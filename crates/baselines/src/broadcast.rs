@@ -1,0 +1,85 @@
+//! Random/broadcast partitioning (the "random partitioning strategy" of the
+//! paper's introduction; architecturally the SplitJoin approach of Najafi
+//! et al., USENIX ATC'16).
+//!
+//! Stored tuples are spread round-robin over all instances regardless of
+//! key — perfect storage balance — but every probe must be broadcast to
+//! every instance. Join-relevant work is therefore multiplied by the group
+//! size, which is why the paper calls it wasteful for low-selectivity
+//! (hash) joins.
+
+use fastjoin_core::partition::Partitioner;
+use fastjoin_core::tuple::Key;
+
+/// Round-robin store / broadcast probe partitioner.
+#[derive(Debug, Clone)]
+pub struct BroadcastPartitioner {
+    instances: usize,
+    next: usize,
+}
+
+impl BroadcastPartitioner {
+    /// Creates a partitioner over `n` instances.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a join group needs at least one instance");
+        BroadcastPartitioner { instances: n, next: 0 }
+    }
+}
+
+impl Partitioner for BroadcastPartitioner {
+    fn store_route(&mut self, _key: Key) -> usize {
+        let i = self.next;
+        self.next = (self.next + 1) % self.instances;
+        i
+    }
+
+    fn probe_route(&mut self, _key: Key, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.instances);
+    }
+
+    fn apply_migration(&mut self, _keys: &[Key], _target: usize) -> bool {
+        false // storage is already perfectly balanced; nothing to migrate
+    }
+
+    fn instances(&self) -> usize {
+        self.instances
+    }
+
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_is_perfectly_balanced() {
+        let mut p = BroadcastPartitioner::new(4);
+        let mut counts = vec![0u64; 4];
+        for key in 0..400u64 {
+            counts[p.store_route(key)] += 1;
+        }
+        assert_eq!(counts, vec![100; 4]);
+    }
+
+    #[test]
+    fn probe_hits_every_instance() {
+        let mut p = BroadcastPartitioner::new(6);
+        let mut probes = Vec::new();
+        p.probe_route(123, &mut probes);
+        assert_eq!(probes, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn migration_is_unsupported() {
+        let mut p = BroadcastPartitioner::new(4);
+        assert!(!p.apply_migration(&[1], 2));
+    }
+}

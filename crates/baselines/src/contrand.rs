@@ -1,0 +1,157 @@
+//! BiStream's **ContRand** hybrid routing (Lin et al., SIGMOD'15 §5;
+//! referenced by the FastJoin paper as "BiStream-ContRand").
+//!
+//! ContRand splits a join group's instances into subgroups of size `g`.
+//! A key is hashed to a subgroup (*content-sensitive*), but within the
+//! subgroup each stored tuple lands on a random instance (*random*). A
+//! probe must then visit every instance of the key's subgroup. This caps a
+//! hot key's storage imbalance at the subgroup granularity in exchange for
+//! a `g×` probe fan-out — a *static* compromise, which is exactly what the
+//! FastJoin paper criticizes: "it is essentially a simple static load
+//! distribution strategy" that cannot react to dynamic workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastjoin_core::hash::partition_salted;
+use fastjoin_core::partition::Partitioner;
+use fastjoin_core::tuple::Key;
+
+/// ContRand partitioner for one join group.
+#[derive(Debug)]
+pub struct ContRandPartitioner {
+    instances: usize,
+    subgroup_size: usize,
+    subgroups: usize,
+    salt: u64,
+    rng: StdRng,
+}
+
+impl ContRandPartitioner {
+    /// Creates a partitioner over `n` instances with subgroups of
+    /// `subgroup_size`.
+    ///
+    /// # Panics
+    /// Panics unless `subgroup_size` divides `n` and both are nonzero.
+    #[must_use]
+    pub fn new(n: usize, subgroup_size: usize, salt: u64, seed: u64) -> Self {
+        assert!(n > 0 && subgroup_size > 0, "empty group or subgroup");
+        assert!(
+            n.is_multiple_of(subgroup_size),
+            "subgroup size {subgroup_size} must divide the group size {n}"
+        );
+        ContRandPartitioner {
+            instances: n,
+            subgroup_size,
+            subgroups: n / subgroup_size,
+            salt,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Subgroup index of a key.
+    #[inline]
+    fn subgroup_of(&self, key: Key) -> usize {
+        partition_salted(key, self.salt, self.subgroups)
+    }
+
+    /// Instances of the subgroup containing `key`, in index order.
+    fn members_of(&self, key: Key) -> std::ops::Range<usize> {
+        let sg = self.subgroup_of(key);
+        sg * self.subgroup_size..(sg + 1) * self.subgroup_size
+    }
+
+    /// Configured subgroup size.
+    #[must_use]
+    pub fn subgroup_size(&self) -> usize {
+        self.subgroup_size
+    }
+}
+
+impl Partitioner for ContRandPartitioner {
+    fn store_route(&mut self, key: Key) -> usize {
+        let members = self.members_of(key);
+        self.rng.gen_range(members)
+    }
+
+    fn probe_route(&mut self, key: Key, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.members_of(key));
+    }
+
+    fn apply_migration(&mut self, _keys: &[Key], _target: usize) -> bool {
+        false // static strategy: no dynamic load balancing
+    }
+
+    fn instances(&self) -> usize {
+        self.instances
+    }
+
+    fn name(&self) -> &'static str {
+        "contrand"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_lands_inside_probe_set() {
+        let mut p = ContRandPartitioner::new(16, 4, 0, 1);
+        let mut probes = Vec::new();
+        for key in 0..500u64 {
+            let store = p.store_route(key);
+            p.probe_route(key, &mut probes);
+            assert_eq!(probes.len(), 4);
+            assert!(probes.contains(&store), "store {store} outside probe set {probes:?}");
+        }
+    }
+
+    #[test]
+    fn hot_key_storage_spreads_over_subgroup() {
+        let mut p = ContRandPartitioner::new(8, 4, 0, 2);
+        let mut counts = [0u64; 8];
+        for _ in 0..4000 {
+            counts[p.store_route(7)] += 1;
+        }
+        let used: Vec<usize> = counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i).collect();
+        assert_eq!(used.len(), 4, "hot key must spread over exactly its subgroup");
+        for &i in &used {
+            assert!(counts[i] > 700, "instance {i} got {} of 4000", counts[i]);
+        }
+    }
+
+    #[test]
+    fn probe_set_is_stable_per_key() {
+        let mut p = ContRandPartitioner::new(12, 3, 0, 3);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.probe_route(99, &mut a);
+        p.probe_route(99, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn migration_is_unsupported() {
+        let mut p = ContRandPartitioner::new(8, 2, 0, 4);
+        assert!(!p.apply_migration(&[1], 0));
+    }
+
+    #[test]
+    fn subgroup_size_one_degenerates_to_hash() {
+        let mut p = ContRandPartitioner::new(8, 1, 0, 5);
+        let mut probes = Vec::new();
+        for key in 0..100 {
+            let store = p.store_route(key);
+            p.probe_route(key, &mut probes);
+            assert_eq!(probes, vec![store]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_nondividing_subgroup() {
+        let _ = ContRandPartitioner::new(10, 4, 0, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation — operating point and the latency ordering (companion to the
+//! Fig. 4 discussion in EXPERIMENTS.md).
+//!
+//! At full saturation (offered ≫ capacity, the throughput methodology),
+//! backpressure keeps *every* queue of the balanced system near its cap
+//! while the unbalanced system idles its cold instances — so the balanced
+//! system can show a *higher* mean queueing latency despite doing strictly
+//! better work. Below saturation the ordering follows hot-instance
+//! queueing instead. This bench measures both regimes.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_bench::{default_params, figure_header, format_value, print_table};
+use fastjoin_datagen::ridehail::{RideHailConfig, RideHailGen};
+use fastjoin_sim::experiment::{summarize, ExperimentParams, ORDER_RATE, TRACK_RATE};
+use fastjoin_sim::Simulation;
+
+fn run_at(params: &ExperimentParams, sys: SystemKind, order_rate: f64, track_rate: f64, gb: u64) -> fastjoin_sim::SimReport {
+    let wl = RideHailGen::new(&RideHailConfig {
+        seed: params.seed,
+        order_rate,
+        track_rate,
+        ..RideHailConfig::scaled_to_gb(gb)
+    });
+    Simulation::new(params.sim_config(sys), wl).run()
+}
+
+fn main() {
+    figure_header(
+        "Ablation",
+        "Latency vs operating point: saturated vs sub-saturated offered load",
+        "saturation inverts the balanced system's mean-latency advantage",
+    );
+    let params = default_params();
+    // ~60 % and ~75 % of BiStream's measured saturated ingest (~150 k/s).
+    let regimes: [(&str, f64); 3] =
+        [("saturated (offered ≫ capacity)", f64::NAN), ("75 % of capacity", 112_500.0), ("60 % of capacity", 90_000.0)];
+    for (name, total_rate) in regimes {
+        let mut rows = Vec::new();
+        for sys in SystemKind::headline() {
+            let report = if total_rate.is_nan() {
+                run_at(&params, sys, ORDER_RATE, TRACK_RATE, params.gb)
+            } else {
+                run_at(&params, sys, total_rate / 30.0, total_rate * 29.0 / 30.0, params.gb.min(20))
+            };
+            let s = summarize(sys, &report);
+            rows.push(vec![
+                s.system.to_string(),
+                format_value(s.throughput),
+                format!("{:.2}", s.latency_ms),
+                format!(
+                    "{:.2}",
+                    report.metrics.latency_hist.quantile(0.99).unwrap_or(0) as f64 / 1000.0
+                ),
+                format!("{:.2}", s.imbalance),
+            ]);
+        }
+        println!("\n--- {name} ---");
+        print_table(&["system", "avg thpt/s", "mean lat ms", "p99 lat ms", "avg LI"], &rows);
+    }
+    println!("\npaper reference (Fig 4): FastJoin −17.5 % latency vs BiStream. The shape");
+    println!("reproduces below saturation (hot-instance queueing dominates); at full");
+    println!("saturation the balanced system pays equal-depth queues everywhere instead.");
+}

@@ -1,0 +1,88 @@
+//! Figure 1 — "The skewed data distribution leads to highly load imbalance
+//! and low throughput in BiStream".
+//!
+//! * 1a/1b: cumulative key-popularity curves of the order and track
+//!   streams (paper: ~20 % / ~24 % of locations carry 80 % of tuples).
+//! * 1c: per-instance workload timelines under plain hash partitioning
+//!   diverging over time.
+//! * 1d: BiStream's overall throughput timeline alongside its degree of
+//!   load imbalance.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_bench::{figure_header, format_value, print_series, print_table, scaled_params};
+use fastjoin_core::tuple::Side;
+use fastjoin_datagen::ridehail::{RideHailConfig, RideHailGen};
+use fastjoin_datagen::stats::KeyCensus;
+use fastjoin_sim::experiment::{ridehail_workload, ExperimentParams, WARMUP_FRAC};
+use fastjoin_sim::Simulation;
+
+fn main() {
+    figure_header(
+        "Fig 1a/1b",
+        "Key popularity distributions of the two streams",
+        "≈20 % of locations hold 80 % of orders; ≈24 % hold 80 % of tracks",
+    );
+    let cfg = RideHailConfig::default();
+    let tuples: Vec<_> = RideHailGen::new(&cfg).collect();
+    let universe = cfg.locations as usize;
+    let orders =
+        KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key));
+    let tracks =
+        KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key));
+
+    let mut rows = Vec::new();
+    for (name, census) in [("orders (Fig 1a)", &orders), ("tracks (Fig 1b)", &tracks)] {
+        let frac80 = census.fraction_of_keys_for_share(0.8, universe);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", census.total()),
+            format!("{}", census.distinct_keys()),
+            format!("{:.1}", census.mean_tuples_per_key()),
+            format!("{:.1} %", frac80 * 100.0),
+        ]);
+    }
+    print_table(&["stream", "tuples", "distinct keys", "c = |R|/K", "keys for 80 %"], &rows);
+
+    println!("\ncumulative share curves (fraction of locations -> fraction of tuples):");
+    for (name, census) in [("orders", &orders), ("tracks", &tracks)] {
+        let curve = census.share_curve(10, universe);
+        let pts: Vec<String> =
+            curve.iter().map(|(x, y)| format!("{:.0}%->{:.0}%", x * 100.0, y * 100.0)).collect();
+        println!("  {name}: {}", pts.join("  "));
+    }
+
+    figure_header(
+        "Fig 1c/1d",
+        "Per-instance workload divergence and throughput under BiStream",
+        "workloads diverge across join instances; higher imbalance, lower throughput",
+    );
+    let params = scaled_params(ExperimentParams {
+        instances: 8, // the paper's Fig 1c plots a handful of instances
+        ..ExperimentParams::default()
+    });
+    let mut sim_cfg = params.sim_config(SystemKind::BiStream);
+    sim_cfg.record_instance_loads = true;
+    let report = Simulation::new(sim_cfg, ridehail_workload(&params)).run();
+
+    println!("\nFig 1c — per-instance load (L_i = |R_i|*phi_si) by second:");
+    for (i, series) in report.instance_loads.iter().enumerate() {
+        let vals: Vec<f64> =
+            series.means().iter().map(|m| m.unwrap_or(0.0)).collect();
+        print_series(&format!("  instance {i}"), "load", vals);
+    }
+
+    println!("\nFig 1d — overall throughput and load imbalance by second:");
+    print_series("  throughput", "results/s", report.metrics.throughput.sums().to_vec());
+    print_series(
+        "  LI",
+        "ratio",
+        report.metrics.imbalance.means().iter().map(|m| m.unwrap_or(1.0)),
+    );
+    let periods = report.periods();
+    let from = (periods as f64 * WARMUP_FRAC) as usize;
+    println!(
+        "\nsummary: avg throughput {} results/s, avg LI {:.2} (steady state)",
+        format_value(report.avg_throughput(from, periods)),
+        report.avg_imbalance(from, periods),
+    );
+}

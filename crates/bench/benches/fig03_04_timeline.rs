@@ -1,0 +1,66 @@
+//! Figures 3 & 4 — real-time system throughput and processing latency of
+//! FastJoin vs BiStream-ContRand vs BiStream on the ride-hailing workload
+//! (48 instances, 30 GB, Θ = 2.2).
+//!
+//! Paper: FastJoin raises average throughput by 16 % over ContRand and
+//! 31.7 % over BiStream, and lowers average latency by 15.3 % / 17.5 %.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_bench::{default_params, figure_header, format_value, print_series, print_table};
+use fastjoin_sim::experiment::{run_ridehail, summarize, WARMUP_FRAC};
+
+fn main() {
+    figure_header(
+        "Fig 3/4",
+        "Real-time throughput and latency timelines (48 instances, 30 GB, Θ=2.2)",
+        "FastJoin > BiStream-ContRand > BiStream in throughput; reverse in latency",
+    );
+    let params = default_params();
+    let mut summaries = Vec::new();
+    for sys in SystemKind::headline() {
+        let report = run_ridehail(sys, &params);
+        println!("\n--- {} ---", sys.label());
+        print_series(
+            "  Fig 3 throughput",
+            "results/s",
+            report.metrics.throughput.sums().to_vec(),
+        );
+        print_series(
+            "  Fig 4 latency",
+            "ms",
+            report
+                .metrics
+                .latency
+                .means()
+                .iter()
+                .map(|m| m.unwrap_or(0.0) / 1000.0),
+        );
+        summaries.push(summarize(sys, &report));
+    }
+
+    println!();
+    let base = summaries.last().expect("BiStream is last").clone();
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.system.to_string(),
+                format_value(s.throughput),
+                format!("{:+.1} %", (s.throughput / base.throughput - 1.0) * 100.0),
+                format!("{:.2}", s.latency_ms),
+                format!("{:+.1} %", (s.latency_ms / base.latency_ms - 1.0) * 100.0),
+                format!("{}", s.migrations),
+            ]
+        })
+        .collect();
+    print_table(
+        &["system", "avg thpt/s", "vs BiStream", "avg lat ms", "vs BiStream", "migrations"],
+        &rows,
+    );
+    println!(
+        "(averages over the post-warmup window, skipping the first {:.0} % of periods)",
+        WARMUP_FRAC * 100.0
+    );
+    println!("paper reference: FastJoin +31.7 % thpt / −17.5 % lat vs BiStream;");
+    println!("                 +16 % thpt / −15.3 % lat vs BiStream-ContRand.");
+}

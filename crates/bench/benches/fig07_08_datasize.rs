@@ -1,0 +1,52 @@
+//! Figures 7 & 8 — average throughput and latency vs dataset size
+//! (10–70 "GB" at the simulator's record scale; see DESIGN.md).
+//!
+//! Paper: dataset scale does not change performance much; FastJoin's edge
+//! is small on the smallest datasets (few keys per instance limit the
+//! selection algorithm's solution space) and solid on large ones.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_bench::{default_params, figure_header, format_value, print_table};
+use fastjoin_sim::experiment::{run_ridehail, summarize};
+
+fn main() {
+    figure_header(
+        "Fig 7/8",
+        "Average throughput and latency vs dataset size",
+        "scale changes performance little; FastJoin weakest on small datasets",
+    );
+    let base = default_params();
+    let mut rows = Vec::new();
+    for &gb in &[10u64, 20, 30, 50, 70] {
+        let params = fastjoin_sim::experiment::ExperimentParams {
+            gb: ((gb as f64) * (base.gb as f64) / 30.0).round() as u64,
+            // Let bigger datasets run to completion.
+            max_secs: base.max_secs * gb.max(30) / 30,
+            ..base.clone()
+        };
+        let mut line = vec![format!("{gb} GB")];
+        let mut thpts = Vec::new();
+        for sys in SystemKind::headline() {
+            let s = summarize(sys, &run_ridehail(sys, &params));
+            line.push(format_value(s.throughput));
+            line.push(format!("{:.2}", s.latency_ms));
+            thpts.push(s.throughput);
+        }
+        line.push(format!("{:+.1} %", (thpts[0] / thpts[2] - 1.0) * 100.0));
+        rows.push(line);
+    }
+    print_table(
+        &[
+            "dataset",
+            "FastJoin thpt",
+            "FJ lat ms",
+            "ContRand thpt",
+            "CR lat ms",
+            "BiStream thpt",
+            "BS lat ms",
+            "FJ vs BS",
+        ],
+        &rows,
+    );
+    println!("paper reference: flat across sizes; FastJoin helps least at 10 GB.");
+}

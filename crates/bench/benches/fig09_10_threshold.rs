@@ -1,0 +1,43 @@
+//! Figures 9 & 10 — average throughput and latency vs the load-imbalance
+//! threshold Θ.
+//!
+//! Paper: both a too-low and a too-high threshold degrade FastJoin
+//! slightly — too low churns migrations, too high never balances — with
+//! the sweet spot around Θ = 2.2. The static baselines are flat lines.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_bench::{default_params, figure_header, format_value, print_table};
+use fastjoin_sim::experiment::{run_ridehail, summarize};
+
+fn main() {
+    figure_header(
+        "Fig 9/10",
+        "Average throughput and latency vs threshold Θ (FastJoin)",
+        "interior optimum near Θ = 2.2; extremes help less",
+    );
+    let base = default_params();
+
+    // Static baselines once (flat reference lines in the paper's plot).
+    let mut rows = Vec::new();
+    for sys in [SystemKind::BiStreamContRand, SystemKind::BiStream] {
+        let s = summarize(sys, &run_ridehail(sys, &base));
+        rows.push(vec![
+            format!("{} (any Θ)", s.system),
+            format_value(s.throughput),
+            format!("{:.2}", s.latency_ms),
+            "-".into(),
+        ]);
+    }
+    for &theta in &[1.2f64, 1.6, 2.0, 2.2, 2.6, 3.2, 4.0] {
+        let params = fastjoin_sim::experiment::ExperimentParams { theta, ..base.clone() };
+        let s = summarize(SystemKind::FastJoin, &run_ridehail(SystemKind::FastJoin, &params));
+        rows.push(vec![
+            format!("FastJoin Θ={theta}"),
+            format_value(s.throughput),
+            format!("{:.2}", s.latency_ms),
+            s.migrations.to_string(),
+        ]);
+    }
+    print_table(&["system", "avg thpt/s", "avg lat ms", "migrations"], &rows);
+    println!("paper reference: best near Θ=2.2; Θ→1 churns, Θ→∞ behaves like BiStream.");
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks — the hot-path primitives: hashing,
+//! dispatch, store insert/probe, and Zipf sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
+use fastjoin_core::hash::{mix64, partition};
+use fastjoin_core::partition::HashPartitioner;
+use fastjoin_core::state::TupleStore;
+use fastjoin_core::tuple::Tuple;
+use fastjoin_datagen::zipf::Zipf;
+use fastjoin_datagen::TieredSampler;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("mix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(mix64(x))
+        });
+    });
+    group.bench_function("partition48", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(partition(x, 48))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hash48", |b| {
+        let mut d = Dispatcher::new(
+            Box::new(HashPartitioner::new(48, 0)),
+            Box::new(HashPartitioner::new(48, 1)),
+        );
+        let mut out = Dispatch::default();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            d.dispatch_into(Tuple::r(k % 10_000, k, 0), &mut out);
+            black_box(out.store_dest)
+        });
+    });
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mut store = TupleStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut t = Tuple::r(i % 1000, i, 0);
+            t.seq = i;
+            store.insert(t);
+        });
+    });
+    group.bench_function("probe_bucket16", |b| {
+        let mut store = TupleStore::new();
+        for i in 0..16_000u64 {
+            let mut t = Tuple::r(i % 1000, i, 0);
+            t.seq = i;
+            store.insert(t); // 16 tuples per key
+        }
+        let mut probe = Tuple::s(7, 20_000, 0);
+        probe.seq = u64::MAX;
+        b.iter(|| black_box(store.probe(&probe, 0).count()));
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("zipf_10M_keys", |b| {
+        let z = Zipf::new(10_000_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+    group.bench_function("tiered_20k_keys", |b| {
+        let t = TieredSampler::new(20_000, 0.2, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(t.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_dispatch, bench_store, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! # fastjoin-bench
+//!
+//! Shared plumbing for the figure-regeneration benches. Every table and
+//! figure of the paper's evaluation has a `harness = false` bench target
+//! that prints the figure's rows/series; `cargo bench -p fastjoin-bench`
+//! regenerates all of them (see DESIGN.md §4 for the index and
+//! EXPERIMENTS.md for paper-vs-measured).
+//!
+//! Set `FASTJOIN_BENCH_SCALE` (default `1.0`) to shrink or grow every
+//! experiment proportionally — `0.2` gives a quick smoke pass, `1.0` the
+//! full figures.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use fastjoin_sim::experiment::ExperimentParams;
+
+/// Reads the global bench scale factor from `FASTJOIN_BENCH_SCALE`.
+#[must_use]
+pub fn bench_scale() -> f64 {
+    std::env::var("FASTJOIN_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Default experiment parameters scaled by [`bench_scale`]: the paper's
+/// 48 instances, Θ = 2.2, 30 GB dataset.
+#[must_use]
+pub fn default_params() -> ExperimentParams {
+    scaled_params(ExperimentParams::default())
+}
+
+/// Applies the global scale to a parameter set (dataset size and run
+/// length; everything else untouched).
+#[must_use]
+pub fn scaled_params(mut p: ExperimentParams) -> ExperimentParams {
+    let s = bench_scale();
+    p.gb = ((p.gb as f64 * s).round() as u64).max(1);
+    p.max_secs = ((p.max_secs as f64 * s).round() as u64).max(5);
+    p
+}
+
+/// Prints a figure header.
+pub fn figure_header(id: &str, title: &str, paper_note: &str) {
+    println!();
+    println!("==========================================================================");
+    println!("{id}: {title}");
+    println!("  paper: {paper_note}");
+    println!("  scale: {} (set FASTJOIN_BENCH_SCALE to change)", bench_scale());
+    println!("==========================================================================");
+}
+
+/// Prints an aligned table: `headers` then `rows` of equal arity.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(headers.iter().map(|s| (*s).to_string()).collect()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Prints a labelled per-second series, one value per period.
+pub fn print_series(label: &str, unit: &str, values: impl IntoIterator<Item = f64>) {
+    let cells: Vec<String> = values.into_iter().map(format_value).collect();
+    println!("{label} [{unit}]: {}", cells.join(" "));
+}
+
+/// Formats a value compactly (k/M suffixes for large magnitudes).
+#[must_use]
+pub fn format_value(v: f64) -> String {
+    let a = v.abs();
+    if a >= 10_000_000.0 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 10_000.0 {
+        format!("{:.0}k", v / 1e3)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // The env var is unset in tests (or must not break defaults).
+        let s = bench_scale();
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn scaled_params_stay_positive() {
+        std::env::remove_var("FASTJOIN_BENCH_SCALE");
+        let p = scaled_params(ExperimentParams { gb: 1, max_secs: 1, ..Default::default() });
+        assert!(p.gb >= 1);
+        assert!(p.max_secs >= 5);
+    }
+
+    #[test]
+    fn format_value_ranges() {
+        assert_eq!(format_value(12_345_678.0), "12.3M");
+        assert_eq!(format_value(12_345.0), "12k");
+        assert_eq!(format_value(123.4), "123");
+        assert_eq!(format_value(1.234), "1.23");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

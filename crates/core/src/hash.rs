@@ -1,0 +1,132 @@
+//! Stable 64-bit mixing hash and key-space partitioning.
+//!
+//! The dispatcher must map keys to join instances identically on every node
+//! and on every run, so we cannot use `std`'s randomly-seeded `SipHash`.
+//! This module provides a small, fast, well-mixed 64-bit finalizer
+//! (SplitMix64 / MurmurHash3 `fmix64` style) plus the partitioning helpers
+//! used by all routing strategies.
+//!
+//! The same function doubles as the "hash partitioning" the paper assumes
+//! (§III-A: "a hash function is performed on each tuple and tuples with the
+//! same key are dispatched to the same join instance").
+
+use crate::tuple::Key;
+
+/// Mixes the bits of `x` with the SplitMix64 finalizer. Bijective on `u64`,
+/// so distinct keys never collide at this stage; collisions can only be
+/// introduced by the modulo in [`partition`].
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes arbitrary bytes down to a 64-bit key (FNV-1a with a final mix).
+/// Used by applications whose join attribute is not already numeric, e.g.
+/// string location cells in the ride-hailing example.
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Maps a key to one of `n` partitions. This is the default (pre-migration)
+/// placement of a key: instance `partition(k, n)` in each group.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+#[must_use]
+pub fn partition(key: Key, n: usize) -> usize {
+    assert!(n > 0, "cannot partition over zero instances");
+    (mix64(key) % n as u64) as usize
+}
+
+/// Maps a key to a partition with an extra salt, so that independent layers
+/// (e.g. the R-group and the S-group, or ContRand's group-of-groups) do not
+/// all co-locate the same hot keys.
+#[inline]
+#[must_use]
+pub fn partition_salted(key: Key, salt: u64, n: usize) -> usize {
+    assert!(n > 0, "cannot partition over zero instances");
+    (mix64(key ^ mix64(salt)) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), 42);
+        assert_ne!(mix64(0), 0, "zero must not be a fixed point");
+    }
+
+    #[test]
+    fn mix64_is_injective_on_a_sample() {
+        // Bijectivity of SplitMix64 means no collisions ever; spot-check.
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn partition_is_in_range_and_stable() {
+        for key in 0..1000 {
+            let p = partition(key, 48);
+            assert!(p < 48);
+            assert_eq!(p, partition(key, 48));
+        }
+    }
+
+    #[test]
+    fn partition_spreads_sequential_keys() {
+        // Sequential integer keys (common for synthetic data) must not all
+        // land on a handful of instances.
+        let n = 16;
+        let mut counts = vec![0usize; n];
+        for key in 0..16_000u64 {
+            counts[partition(key, n)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            *max < 2 * *min,
+            "poor spread: min={min} max={max} counts={counts:?}"
+        );
+    }
+
+    #[test]
+    fn salted_partition_differs_from_unsalted() {
+        let n = 48;
+        let differing = (0..1000u64)
+            .filter(|&k| partition(k, n) != partition_salted(k, 1, n))
+            .count();
+        // With 48 partitions, ~97.9% of keys should move under a new salt.
+        assert!(differing > 900, "salt had little effect: {differing}/1000");
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_inputs() {
+        assert_ne!(hash_bytes(b"chengdu:12:34"), hash_bytes(b"chengdu:12:35"));
+        assert_eq!(hash_bytes(b""), hash_bytes(b""));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero instances")]
+    fn partition_rejects_zero() {
+        let _ = partition(1, 0);
+    }
+}

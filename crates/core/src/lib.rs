@@ -1,0 +1,63 @@
+//! # fastjoin-core
+//!
+//! A from-scratch reproduction of **FastJoin** (Zhou, Zhang, Chen, Jin,
+//! Zhou — *FastJoin: A Skewness-Aware Distributed Stream Join System*,
+//! IPDPS 2019): a distributed hash stream join on the join-biclique model
+//! with dynamic, skewness-aware load balancing.
+//!
+//! ## What's here
+//!
+//! * [`mod@tuple`] / [`hash`] — stream tuples, stable hashing, partitioning.
+//! * [`state`] / [`window`] — per-instance tuple stores with sliding-window
+//!   expiry, and the paper's sub-window accounting ring (§III-E).
+//! * [`load`] — the load model `L_i = |R_i|·φ_si` and the degree of load
+//!   imbalance `LI` (§III-B).
+//! * [`selection`] — the key-selection algorithms: **GreedyFit**
+//!   (Algorithm 1), **SAFit** (Algorithm 3, simulated annealing), and an
+//!   exhaustive test oracle (§III-C, §IV-A).
+//! * [`routing`] / [`partition`] / [`dispatcher`] — hash partitioning with
+//!   migration overrides, and the pluggable [`partition::Partitioner`]
+//!   abstraction baselines hook into.
+//! * [`instance`] / [`protocol`] / [`monitor`] — the join instances, the
+//!   completeness-preserving migration protocol (§III-D, Algorithm 2), and
+//!   the monitoring component.
+//! * [`biclique`] — [`biclique::JoinCluster`], a synchronous reference
+//!   cluster wiring all components together.
+//! * [`metrics`] — throughput/latency/imbalance collection.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastjoin_core::biclique::JoinCluster;
+//! use fastjoin_core::config::FastJoinConfig;
+//! use fastjoin_core::tuple::Tuple;
+//!
+//! let cfg = FastJoinConfig { instances_per_group: 4, ..FastJoinConfig::default() };
+//! let mut cluster = JoinCluster::fastjoin(cfg);
+//! let tuples = (0..100).flat_map(|i| [Tuple::r(i % 10, i, 0), Tuple::s(i % 10, i, 0)]);
+//! let results = cluster.run_to_completion(tuples);
+//! assert_eq!(results.len(), 10 * 10 * 10); // 10 keys × 10 R × 10 S
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod biclique;
+pub mod config;
+pub mod dispatcher;
+pub mod hash;
+pub mod instance;
+pub mod load;
+pub mod metrics;
+pub mod monitor;
+pub mod partition;
+pub mod protocol;
+pub mod routing;
+pub mod selection;
+pub mod state;
+pub mod tuple;
+pub mod window;
+
+pub use biclique::JoinCluster;
+pub use config::{FastJoinConfig, SelectorKind, WindowConfig};
+pub use tuple::{JoinedPair, Key, Side, Timestamp, Tuple};

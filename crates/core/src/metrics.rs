@@ -1,0 +1,338 @@
+//! Lightweight metrics: counters, log-bucketed latency histograms, and
+//! fixed-period time series.
+//!
+//! The evaluation reports three quantities (§VI-A): system throughput
+//! (joined result tuples per second), average processing latency, and the
+//! real-time degree of load imbalance `LI`. These helpers collect all three
+//! without heap allocation on the hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// A latency histogram with logarithmic buckets (powers of two), covering
+/// `[0, 2^63)` time units in 64 buckets. Recording is O(1) and allocation
+/// free.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>, // 64 fixed buckets
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram { buckets: vec![0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        // value 0 -> bucket 0; otherwise floor(log2(value)) + 1, capped.
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(63)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded observations, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Maximum recorded observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from bucket boundaries: the
+    /// upper edge of the bucket containing the q-th observation. `None` if
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper edge of bucket i: 0 for bucket 0, else 2^i - 1.
+                return Some(if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time series that buckets observations into fixed periods of event
+/// time — the evaluation's "report every second" counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    period: u64,
+    /// Sum of observations per period, indexed by period number.
+    sums: Vec<f64>,
+    /// Observation count per period.
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket period (event-time units).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "time series period must be > 0");
+        TimeSeries { period, sums: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Bucket period.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Records `value` at event time `ts`.
+    pub fn record(&mut self, ts: u64, value: f64) {
+        let idx = (ts / self.period) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of periods covered (including empty interior ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Per-period sums (e.g. results joined in each second → throughput).
+    #[must_use]
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Per-period means (e.g. average latency per second); `None` for
+    /// periods with no observations.
+    #[must_use]
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { None } else { Some(s / c as f64) })
+            .collect()
+    }
+
+    /// Mean of per-period sums over `[from, to)` period indices — the
+    /// "average system throughput" the figures report, skipping warmup.
+    #[must_use]
+    pub fn mean_sum_over(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.sums.len());
+        if from >= to {
+            return 0.0;
+        }
+        self.sums[from..to].iter().sum::<f64>() / (to - from) as f64
+    }
+
+    /// Mean of all observations over `[from, to)` period indices.
+    #[must_use]
+    pub fn mean_value_over(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.sums.len());
+        if from >= to {
+            return 0.0;
+        }
+        let total: f64 = self.sums[from..to].iter().sum();
+        let n: u64 = self.counts[from..to].iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+/// Aggregate run report for one experiment: throughput series, latency
+/// histogram and series, and the imbalance (`LI`) series.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Joined results per period (sum per bucket = throughput).
+    pub throughput: TimeSeries,
+    /// Per-result processing latency observations.
+    pub latency: TimeSeries,
+    /// Latency histogram across the whole run.
+    pub latency_hist: LogHistogram,
+    /// Degree of load imbalance sampled by the monitor.
+    pub imbalance: TimeSeries,
+    /// Count of migrations performed.
+    pub migrations: u64,
+    /// Total tuples migrated.
+    pub tuples_migrated: u64,
+}
+
+impl RunMetrics {
+    /// Creates an empty report with the given series period.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        RunMetrics {
+            throughput: TimeSeries::new(period),
+            latency: TimeSeries::new(period),
+            latency_hist: LogHistogram::new(),
+            imbalance: TimeSeries::new(period),
+            migrations: 0,
+            tuples_migrated: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = LogHistogram::new();
+        for v in [1, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean().unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn histogram_empty_mean_is_none() {
+        assert!(LogHistogram::new().mean().is_none());
+        assert!(LogHistogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantile_brackets_values() {
+        let mut h = LogHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Median 500 lives in bucket [256, 511]; upper edge 511.
+        assert_eq!(p50, 511);
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 999);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(20);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 30);
+        assert!((a.mean().unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_buckets_by_period() {
+        let mut ts = TimeSeries::new(1000);
+        ts.record(0, 1.0);
+        ts.record(999, 1.0);
+        ts.record(1000, 5.0);
+        ts.record(2500, 7.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.sums(), &[2.0, 5.0, 7.0]);
+        let means = ts.means();
+        assert_eq!(means[0], Some(1.0));
+        assert_eq!(means[1], Some(5.0));
+        assert_eq!(means[2], Some(7.0));
+    }
+
+    #[test]
+    fn timeseries_interior_gaps_are_empty() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 1.0);
+        ts.record(35, 2.0);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.means()[1], None);
+        assert_eq!(ts.means()[2], None);
+    }
+
+    #[test]
+    fn timeseries_windowed_averages() {
+        let mut ts = TimeSeries::new(10);
+        for t in 0..100 {
+            ts.record(t, 2.0); // 10 obs per period, sum 20
+        }
+        assert!((ts.mean_sum_over(0, 10) - 20.0).abs() < 1e-12);
+        assert!((ts.mean_value_over(0, 10) - 2.0).abs() < 1e-12);
+        // Degenerate windows.
+        assert_eq!(ts.mean_sum_over(5, 5), 0.0);
+        assert_eq!(ts.mean_value_over(50, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be > 0")]
+    fn timeseries_rejects_zero_period() {
+        let _ = TimeSeries::new(0);
+    }
+}

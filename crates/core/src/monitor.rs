@@ -1,0 +1,355 @@
+//! The monitoring component (§III-A).
+//!
+//! One monitor per join group receives periodic `(|R_i|, φ_si)` reports
+//! from its instances into a *load information table*, computes the degree
+//! of load imbalance `LI` (Eq. 2), and when `LI > Θ` instructs the heaviest
+//! instance to migrate keys to the lightest. At most one migration per
+//! group is in flight at a time, and a cooldown keeps rounds apart (the
+//! paper: "the migration can never take place frequently").
+
+use std::collections::VecDeque;
+
+use crate::load::{InstanceLoad, LoadTable};
+use crate::protocol::{Epoch, InstanceMsg, MigrationDone};
+
+/// Migration command produced by the monitor: deliver `msg` to instance
+/// `source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationTrigger {
+    /// The heaviest instance — the migration source.
+    pub source: usize,
+    /// The command to deliver to it.
+    pub msg: InstanceMsg,
+}
+
+/// Lifetime migration statistics of one monitor.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Migration rounds triggered.
+    pub triggered: u64,
+    /// Rounds that completed having moved at least one key.
+    pub effective: u64,
+    /// Rounds abandoned by selection (nothing worth moving).
+    pub abandoned: u64,
+    /// Total stored tuples physically migrated.
+    pub tuples_moved: u64,
+    /// Total keys migrated.
+    pub keys_moved: u64,
+}
+
+/// The per-group monitor.
+#[derive(Debug)]
+pub struct Monitor {
+    table: LoadTable,
+    theta: f64,
+    cooldown: u64,
+    /// End time of the last completed round (or of creation).
+    last_round_end: u64,
+    in_flight: Option<Epoch>,
+    next_epoch: Epoch,
+    stats: MonitorStats,
+    /// Reports kept per instance for smoothing (§III-E's fixed-size
+    /// vector of recent sub-window statistics). Depth 1 = no smoothing.
+    history_depth: usize,
+    history: Vec<VecDeque<InstanceLoad>>,
+}
+
+impl Monitor {
+    /// Creates a monitor for `n` instances with imbalance threshold `theta`
+    /// and a minimum spacing of `cooldown` time units between rounds.
+    ///
+    /// # Panics
+    /// Panics if `theta <= 1.0` — such a threshold would trigger on a
+    /// perfectly balanced group.
+    #[must_use]
+    pub fn new(n: usize, theta: f64, cooldown: u64) -> Self {
+        assert!(theta > 1.0, "theta must be > 1.0, got {theta}");
+        Monitor {
+            table: LoadTable::new(n),
+            theta,
+            cooldown,
+            last_round_end: 0,
+            in_flight: None,
+            next_epoch: 1,
+            stats: MonitorStats::default(),
+            history_depth: 1,
+            history: vec![VecDeque::new(); n],
+        }
+    }
+
+    /// Keeps the last `depth` reports per instance and feeds the load
+    /// table their mean — the paper's §III-E fixed-size vector of
+    /// sub-window statistics, used here to damp report noise. Depth 1
+    /// (the default) disables smoothing.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn set_history_depth(&mut self, depth: usize) {
+        assert!(depth > 0, "history depth must be at least 1");
+        self.history_depth = depth;
+        for h in &mut self.history {
+            while h.len() > depth {
+                h.pop_front();
+            }
+        }
+    }
+
+    /// The load information table (read access).
+    #[must_use]
+    pub fn table(&self) -> &LoadTable {
+        &self.table
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// True while a migration round is in flight.
+    #[must_use]
+    pub fn migration_in_flight(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Records a periodic load report from instance `i`. With a history
+    /// depth above 1, the load table holds the mean of the retained
+    /// reports (oldest popped like the paper's sub-window vector head).
+    pub fn on_report(&mut self, i: usize, load: InstanceLoad) {
+        if self.history_depth == 1 {
+            self.table.update(i, load);
+            return;
+        }
+        let h = &mut self.history[i];
+        h.push_back(load);
+        while h.len() > self.history_depth {
+            h.pop_front();
+        }
+        let n = h.len() as u64;
+        let stored = h.iter().map(|l| l.stored).sum::<u64>() / n;
+        let queue = h.iter().map(|l| l.queue).sum::<u64>() / n;
+        self.table.update(i, InstanceLoad::new(stored, queue));
+    }
+
+    /// Registers `additional` new (idle) instances. They are immediately
+    /// eligible as migration targets — which is exactly how an elastic
+    /// join-biclique fills new capacity (§IV-C).
+    pub fn grow(&mut self, additional: usize) {
+        self.table.grow(additional);
+        self.history.extend(std::iter::repeat_with(VecDeque::new).take(additional));
+    }
+
+    /// Current degree of load imbalance `LI` (Eq. 2, smoothed).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        self.table.imbalance()
+    }
+
+    /// Evaluates the trigger condition at time `now`: returns a
+    /// [`MigrationTrigger`] when `LI > Θ`, no round is in flight, and the
+    /// cooldown has elapsed.
+    pub fn maybe_trigger(&mut self, now: u64) -> Option<MigrationTrigger> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        if now < self.last_round_end.saturating_add(self.cooldown) {
+            return None;
+        }
+        if self.table.imbalance() <= self.theta {
+            return None;
+        }
+        let source = self.table.heaviest();
+        let target = self.table.lightest();
+        if source == target {
+            return None;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.in_flight = Some(epoch);
+        self.stats.triggered += 1;
+        Some(MigrationTrigger {
+            source,
+            msg: InstanceMsg::MigrateCmd {
+                epoch,
+                target,
+                target_load: self.table.get(target),
+            },
+        })
+    }
+
+    /// Records the completion (or abandonment) of the in-flight round.
+    ///
+    /// # Panics
+    /// Panics on an epoch mismatch — that is a protocol bug.
+    pub fn on_migration_done(&mut self, done: MigrationDone, now: u64) {
+        let expected = self.in_flight.take().expect("MigrationDone with no round in flight");
+        assert_eq!(expected, done.epoch, "MigrationDone epoch mismatch");
+        self.last_round_end = now;
+        if done.keys_moved == 0 {
+            self.stats.abandoned += 1;
+        } else {
+            self.stats.effective += 1;
+            self.stats.tuples_moved += done.tuples_moved;
+            self.stats.keys_moved += done.keys_moved as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_monitor() -> Monitor {
+        let mut m = Monitor::new(4, 2.2, 100);
+        m.on_report(0, InstanceLoad::new(1000, 100)); // heavy
+        m.on_report(1, InstanceLoad::new(100, 10));
+        m.on_report(2, InstanceLoad::new(10, 2)); // light
+        m.on_report(3, InstanceLoad::new(200, 20));
+        m
+    }
+
+    #[test]
+    fn triggers_heaviest_to_lightest() {
+        let mut m = loaded_monitor();
+        let trig = m.maybe_trigger(200).expect("imbalance far above theta");
+        assert_eq!(trig.source, 0);
+        match trig.msg {
+            InstanceMsg::MigrateCmd { target, target_load, epoch } => {
+                assert_eq!(target, 2);
+                assert_eq!(target_load, InstanceLoad::new(10, 2));
+                assert_eq!(epoch, 1);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        assert!(m.migration_in_flight());
+    }
+
+    #[test]
+    fn no_double_trigger_while_in_flight() {
+        let mut m = loaded_monitor();
+        assert!(m.maybe_trigger(200).is_some());
+        assert!(m.maybe_trigger(300).is_none(), "a round is already in flight");
+    }
+
+    #[test]
+    fn cooldown_blocks_early_retrigger() {
+        let mut m = loaded_monitor();
+        // Cooldown is 100 and last_round_end starts at 0.
+        assert!(m.maybe_trigger(50).is_none(), "cooldown not elapsed");
+        let trig = m.maybe_trigger(100).unwrap();
+        let epoch = match trig.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(
+            MigrationDone { epoch, tuples_moved: 10, keys_moved: 2 },
+            150,
+        );
+        assert!(m.maybe_trigger(200).is_none(), "cooldown from round end");
+        assert!(m.maybe_trigger(250).is_some());
+    }
+
+    #[test]
+    fn balanced_group_never_triggers() {
+        let mut m = Monitor::new(3, 2.2, 0);
+        for i in 0..3 {
+            m.on_report(i, InstanceLoad::new(500, 50));
+        }
+        assert_eq!(m.imbalance(), 1.0);
+        assert!(m.maybe_trigger(1_000_000).is_none());
+    }
+
+    #[test]
+    fn imbalance_below_theta_does_not_trigger() {
+        let mut m = Monitor::new(2, 3.0, 0);
+        m.on_report(0, InstanceLoad::new(100, 10));
+        m.on_report(1, InstanceLoad::new(50, 10));
+        assert!(m.imbalance() > 1.0 && m.imbalance() <= 3.0);
+        assert!(m.maybe_trigger(100).is_none());
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut m = loaded_monitor();
+        let t1 = m.maybe_trigger(100).unwrap();
+        let e1 = match t1.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(MigrationDone { epoch: e1, tuples_moved: 0, keys_moved: 0 }, 150);
+        let t2 = m.maybe_trigger(300).unwrap();
+        let e2 = match t2.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(MigrationDone { epoch: e2, tuples_moved: 42, keys_moved: 3 }, 350);
+        let s = m.stats();
+        assert_eq!(s.triggered, 2);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.effective, 1);
+        assert_eq!(s.tuples_moved, 42);
+        assert_eq!(s.keys_moved, 3);
+    }
+
+    #[test]
+    fn history_smoothing_damps_report_spikes() {
+        let mut m = Monitor::new(2, 2.2, 0);
+        m.set_history_depth(4);
+        // Instance 0 reports a steady 100/10; instance 1 spikes once.
+        for _ in 0..4 {
+            m.on_report(0, InstanceLoad::new(100, 10));
+        }
+        for _ in 0..3 {
+            m.on_report(1, InstanceLoad::new(100, 10));
+        }
+        m.on_report(1, InstanceLoad::new(1_000, 100)); // one spike
+        // Unsmoothed LI would be ~(1001·101)/(101·11) ≈ 91; smoothed mean
+        // of instance 1 is (100·3+1000)/4 = 325, (10·3+100)/4 = 32.
+        let li = m.imbalance();
+        assert!(li < 15.0, "spike must be damped, LI = {li}");
+        assert!(li > 1.0);
+    }
+
+    #[test]
+    fn history_depth_one_is_unsmoothed() {
+        let mut m = Monitor::new(2, 2.2, 0);
+        m.on_report(0, InstanceLoad::new(100, 10));
+        m.on_report(1, InstanceLoad::new(1_000, 100));
+        let unsmoothed = m.imbalance();
+        let mut s = Monitor::new(2, 2.2, 0);
+        s.set_history_depth(1);
+        s.on_report(0, InstanceLoad::new(100, 10));
+        s.on_report(1, InstanceLoad::new(1_000, 100));
+        assert_eq!(unsmoothed, s.imbalance());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_history_depth() {
+        Monitor::new(2, 2.2, 0).set_history_depth(0);
+    }
+
+    #[test]
+    fn grown_instance_becomes_the_migration_target() {
+        let mut m = loaded_monitor();
+        m.grow(1);
+        let trig = m.maybe_trigger(200).expect("still imbalanced");
+        match trig.msg {
+            InstanceMsg::MigrateCmd { target, .. } => assert_eq!(target, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no round in flight")]
+    fn done_without_round_panics() {
+        let mut m = Monitor::new(2, 2.0, 0);
+        m.on_migration_done(MigrationDone { epoch: 1, tuples_moved: 0, keys_moved: 0 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be > 1.0")]
+    fn rejects_degenerate_theta() {
+        let _ = Monitor::new(2, 1.0, 0);
+    }
+}

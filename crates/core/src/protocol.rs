@@ -1,0 +1,222 @@
+//! Control-plane messages and effects exchanged between the dispatcher,
+//! join instances, and the monitor (§III-A, §III-D).
+//!
+//! The core is engine-agnostic: a join instance consumes [`InstanceMsg`]s
+//! and produces [`Effects`], and the embedding engine (the discrete-event
+//! simulator or the threaded runtime) is responsible for delivering them.
+//! Delivery must be FIFO per (sender → receiver) channel — the same
+//! guarantee Storm gives between two bolts — which, together with the
+//! migration protocol, yields exactly-once join completeness.
+
+use std::collections::HashSet;
+
+use crate::load::InstanceLoad;
+use crate::tuple::{JoinedPair, Key, Tuple};
+
+/// Identifies one migration round within a group; assigned by the monitor,
+/// strictly increasing.
+pub type Epoch = u64;
+
+/// Messages a join instance can receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceMsg {
+    /// A data tuple routed by the dispatcher (store-side or probe-side).
+    Data(Tuple),
+    /// Monitor → heaviest instance: migrate load to `target`, whose latest
+    /// aggregate statistics are attached (the paper: "the source instance
+    /// collects the statistics of the target instance").
+    MigrateCmd {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Index of the lightest instance (the migration target).
+        target: usize,
+        /// Target's `(|R_j|, φ_sj)` from the load information table.
+        target_load: InstanceLoad,
+    },
+    /// Source → target: a migration of `keys` begins; the target must hold
+    /// dispatcher data for those keys until [`InstanceMsg::MigEnd`].
+    MigStart {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Source instance index.
+        from: usize,
+        /// The selected key set `SK`.
+        keys: Vec<Key>,
+    },
+    /// Source → target: the extracted store payload for the selected keys.
+    MigStore {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Stored tuples, in per-key insertion order.
+        tuples: Vec<Tuple>,
+    },
+    /// Dispatcher → source: the routing table now sends the selected keys
+    /// to the target; no more old-route data will arrive.
+    RouteUpdated {
+        /// Migration round id.
+        epoch: Epoch,
+    },
+    /// Source → target: tuples that arrived at the source for selected keys
+    /// while the routing update was in flight, in arrival order.
+    MigForward {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Unprocessed tuples to enqueue at the target.
+        tuples: Vec<Tuple>,
+    },
+    /// Source → target: the migration round is complete; release held data.
+    MigEnd {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Source instance index.
+        from: usize,
+    },
+}
+
+/// A request for the dispatcher to reroute `keys` to `target` and confirm
+/// back to the requesting source instance with [`InstanceMsg::RouteUpdated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Migration round id.
+    pub epoch: Epoch,
+    /// Keys being migrated.
+    pub keys: Vec<Key>,
+    /// New owner instance.
+    pub target: usize,
+    /// Requesting (source) instance, to receive the confirmation.
+    pub source: usize,
+}
+
+/// Notification to the monitor that a migration round finished (or was
+/// abandoned because selection found nothing worth moving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationDone {
+    /// Migration round id.
+    pub epoch: Epoch,
+    /// Stored tuples physically moved (0 for an abandoned round).
+    pub tuples_moved: u64,
+    /// Keys migrated.
+    pub keys_moved: usize,
+}
+
+/// Side effects produced by a join instance while handling messages or
+/// processing tuples. The engine drains these after every call.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Joined result pairs to emit downstream.
+    pub joined: Vec<JoinedPair>,
+    /// Peer messages: `(destination instance, message)`.
+    pub sends: Vec<(usize, InstanceMsg)>,
+    /// Routing-table updates to apply at the dispatcher.
+    pub route_requests: Vec<RouteRequest>,
+    /// Migration completions to report to the monitor.
+    pub migration_done: Vec<MigrationDone>,
+}
+
+impl Effects {
+    /// Creates an empty effect buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no effects are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty()
+            && self.sends.is_empty()
+            && self.route_requests.is_empty()
+            && self.migration_done.is_empty()
+    }
+
+    /// Clears all buffers, retaining capacity.
+    pub fn clear(&mut self) {
+        self.joined.clear();
+        self.sends.clear();
+        self.route_requests.clear();
+        self.migration_done.clear();
+    }
+}
+
+/// Migration-protocol state of a join instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrationState {
+    /// No migration involving this instance.
+    Idle,
+    /// This instance is the migration source: selected-key data is buffered
+    /// until the dispatcher confirms the routing update.
+    Source {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Target instance.
+        target: usize,
+        /// Selected key set.
+        keys: HashSet<Key>,
+        /// Data buffered during the routing update (arrival order).
+        buffer: Vec<Tuple>,
+        /// Stored tuples extracted and sent (for reporting).
+        tuples_moved: u64,
+    },
+    /// This instance is the migration target: dispatcher data for migrated
+    /// keys is held until the source signals completion.
+    Target {
+        /// Migration round id.
+        epoch: Epoch,
+        /// Source instance.
+        from: usize,
+        /// Keys being received.
+        keys: HashSet<Key>,
+        /// Dispatcher data held until `MigEnd` (arrival order).
+        held: Vec<Tuple>,
+        /// Stored tuples received so far via `MigStore` (for the completion
+        /// report — the target emits [`MigrationDone`], proving both
+        /// endpoints are idle before the monitor can start a new round).
+        received: u64,
+    },
+}
+
+impl MigrationState {
+    /// True when no migration is in progress at this instance.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        matches!(self, MigrationState::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Side;
+
+    #[test]
+    fn effects_clear_and_emptiness() {
+        let mut e = Effects::new();
+        assert!(e.is_empty());
+        e.sends.push((1, InstanceMsg::RouteUpdated { epoch: 0 }));
+        assert!(!e.is_empty());
+        e.clear();
+        assert!(e.is_empty());
+
+        let mut e2 = Effects::new();
+        let t = Tuple::new(Side::R, 1, 0, 0);
+        let s = Tuple::new(Side::S, 1, 1, 0);
+        let (mut t2, mut s2) = (t, s);
+        t2.seq = 1;
+        s2.seq = 2;
+        e2.joined.push(JoinedPair::orient(t2, s2));
+        assert!(!e2.is_empty());
+    }
+
+    #[test]
+    fn migration_state_idle_check() {
+        assert!(MigrationState::Idle.is_idle());
+        let st = MigrationState::Target {
+            epoch: 1,
+            from: 0,
+            keys: HashSet::new(),
+            held: Vec::new(),
+            received: 0,
+        };
+        assert!(!st.is_idle());
+    }
+}

@@ -1,0 +1,191 @@
+//! Routing tables with migration overrides.
+//!
+//! The dispatcher routes a key to `hash(key) mod n` by default; after the
+//! monitor migrates a key set, the dispatcher "records the migration
+//! information in a routing table \[and\] checks the routing table to
+//! dispatch the tuples to the right join instances" (§III-A). Each join
+//! group (the R-storing group and the S-storing group) has its own table,
+//! because migrations happen independently per group.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::partition_salted;
+use crate::tuple::Key;
+
+/// Routing table of one join group: default hash placement plus the
+/// override map for migrated keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingTable {
+    instances: usize,
+    /// The group size hashing was set up for. Scaling out keeps hashing
+    /// over the original `home` range so existing placements stay stable;
+    /// added instances receive keys only through migration overrides.
+    home: usize,
+    /// Salt so the two groups don't co-locate the same hot keys.
+    salt: u64,
+    overrides: HashMap<Key, usize>,
+}
+
+impl RoutingTable {
+    /// Creates a table over `n` instances with a per-group salt.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, salt: u64) -> Self {
+        assert!(n > 0, "a join group needs at least one instance");
+        RoutingTable { instances: n, home: n, salt, overrides: HashMap::new() }
+    }
+
+    /// Adds `additional` instances to the group. Hash placement keeps
+    /// using the original range (existing keys do not move); the new
+    /// instances are valid migration targets and fill up through the
+    /// normal dynamic-balancing mechanism.
+    pub fn grow(&mut self, additional: usize) {
+        self.instances += additional;
+    }
+
+    /// Number of instances in the group.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// The instance a key routes to: the override if migrated, otherwise
+    /// the hash placement.
+    #[inline]
+    #[must_use]
+    pub fn route(&self, key: Key) -> usize {
+        match self.overrides.get(&key) {
+            Some(&i) => i,
+            None => self.default_route(key),
+        }
+    }
+
+    /// The pre-migration (hash) placement of a key (always within the
+    /// original `home` range — see [`RoutingTable::grow`]).
+    #[inline]
+    #[must_use]
+    pub fn default_route(&self, key: Key) -> usize {
+        partition_salted(key, self.salt, self.home)
+    }
+
+    /// Records that `keys` now live on `target`. Overrides that would be
+    /// identical to the hash placement are stored anyway: a later migration
+    /// away and back must not be distinguishable from never migrating.
+    ///
+    /// # Panics
+    /// Panics if `target` is out of range.
+    pub fn apply_migration(&mut self, keys: &[Key], target: usize) {
+        assert!(target < self.instances, "migration target {target} out of range");
+        for &k in keys {
+            self.overrides.insert(k, target);
+        }
+    }
+
+    /// Number of keys currently routed away from their hash placement
+    /// (including round-trips back to it — see [`apply_migration`]).
+    ///
+    /// [`apply_migration`]: RoutingTable::apply_migration
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Iterates over `(key, instance)` overrides.
+    pub fn overrides(&self) -> impl Iterator<Item = (Key, usize)> + '_ {
+        self.overrides.iter().map(|(k, i)| (*k, *i))
+    }
+
+    /// Drops overrides that match the default placement again (periodic
+    /// compaction; routing results are unchanged).
+    pub fn compact(&mut self) {
+        let home = self.home;
+        let salt = self.salt;
+        self.overrides.retain(|&k, &mut i| partition_salted(k, salt, home) != i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_route_is_hash_placement() {
+        let t = RoutingTable::new(8, 0);
+        for k in 0..100 {
+            assert_eq!(t.route(k), t.default_route(k));
+            assert!(t.route(k) < 8);
+        }
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut t = RoutingTable::new(8, 0);
+        let k = 42;
+        let target = (t.default_route(k) + 1) % 8;
+        t.apply_migration(&[k], target);
+        assert_eq!(t.route(k), target);
+        assert_eq!(t.override_count(), 1);
+        // Unmigrated keys unaffected.
+        assert_eq!(t.route(k + 1), t.default_route(k + 1));
+    }
+
+    #[test]
+    fn repeated_migrations_keep_latest() {
+        let mut t = RoutingTable::new(4, 0);
+        t.apply_migration(&[7], 1);
+        t.apply_migration(&[7], 3);
+        assert_eq!(t.route(7), 3);
+        assert_eq!(t.override_count(), 1);
+    }
+
+    #[test]
+    fn compact_removes_round_trips() {
+        let mut t = RoutingTable::new(4, 0);
+        let k = 5;
+        let home = t.default_route(k);
+        t.apply_migration(&[k], (home + 1) % 4);
+        t.apply_migration(&[k], home); // migrated back
+        assert_eq!(t.override_count(), 1);
+        t.compact();
+        assert_eq!(t.override_count(), 0);
+        assert_eq!(t.route(k), home);
+    }
+
+    #[test]
+    fn groups_with_different_salts_disagree() {
+        let a = RoutingTable::new(48, 0);
+        let b = RoutingTable::new(48, 1);
+        let differing = (0..1000u64).filter(|&k| a.route(k) != b.route(k)).count();
+        assert!(differing > 900, "salts should decorrelate placements: {differing}");
+    }
+
+    #[test]
+    fn grow_keeps_existing_routes_stable() {
+        let mut t = RoutingTable::new(4, 0);
+        let before: Vec<usize> = (0..200).map(|k| t.route(k)).collect();
+        t.grow(2);
+        assert_eq!(t.instances(), 6);
+        let after: Vec<usize> = (0..200).map(|k| t.route(k)).collect();
+        assert_eq!(before, after, "scale-out must not remap existing keys");
+        // The new instances are valid migration targets.
+        t.apply_migration(&[7], 5);
+        assert_eq!(t.route(7), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_target() {
+        let mut t = RoutingTable::new(4, 0);
+        t.apply_migration(&[1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn rejects_zero_instances() {
+        let _ = RoutingTable::new(0, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Exact key selection by exhaustive subset search.
+//!
+//! The paper (§IV-A) notes the selection problem is a 0-1 knapsack and that
+//! exact methods (dynamic programming over a huge capacity, or
+//! branch-and-bound with `O(2^K)` worst case) are too slow for the data
+//! path. This implementation exists as a *test oracle*: on small key
+//! universes it finds the subset maximizing total benefit `Σ F_k` subject
+//! to `Σ F_k < L_i − L_j` (strict, preserving the Eq. 9 invariant),
+//! tie-broken by fewest migrated tuples. Property tests compare GreedyFit
+//! and SAFit against it.
+
+use super::{KeySelector, MigrationPlan};
+use crate::load::{InstanceLoad, KeyStat};
+
+/// Maximum key-universe size the exhaustive search accepts (2^20 subsets).
+pub const MAX_EXACT_KEYS: usize = 20;
+
+
+/// Exhaustive-search selector (test oracle; exponential time).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExhaustiveFit;
+
+impl ExhaustiveFit {
+    /// Creates the selector.
+    #[must_use]
+    pub fn new() -> Self {
+        ExhaustiveFit
+    }
+}
+
+impl KeySelector for ExhaustiveFit {
+    /// # Panics
+    /// Panics if more than [`MAX_EXACT_KEYS`] keys clear the `theta_gap`
+    /// floor — the search is exponential and anything larger is a misuse.
+    fn select(
+        &mut self,
+        src: InstanceLoad,
+        dst: InstanceLoad,
+        keys: &[KeyStat],
+        theta_gap: f64,
+    ) -> MigrationPlan {
+        let gap = src.load() - dst.load();
+        if gap <= 0.0 || keys.is_empty() {
+            return MigrationPlan::empty(gap);
+        }
+        let stats: Vec<KeyStat> = keys
+            .iter()
+            .copied()
+            .filter(|k| k.benefit(src, dst) >= theta_gap)
+            .collect();
+        assert!(
+            stats.len() <= MAX_EXACT_KEYS,
+            "ExhaustiveFit is a test oracle; got {} keys (max {MAX_EXACT_KEYS})",
+            stats.len()
+        );
+        if stats.is_empty() {
+            return MigrationPlan::empty(gap);
+        }
+        let benefits: Vec<f64> = stats.iter().map(|k| k.benefit(src, dst)).collect();
+
+        let n = stats.len();
+        let mut best_mask = 0u32;
+        let mut best_benefit = 0.0f64;
+        let mut best_tuples = u64::MAX;
+        for mask in 0..(1u32 << n) {
+            let mut benefit = 0.0;
+            let mut tuples = 0u64;
+            for (i, stat) in stats.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    benefit += benefits[i];
+                    tuples += stat.stored;
+                }
+            }
+            if benefit >= gap {
+                continue; // infeasible: would flip or equalize the pair
+            }
+            let better = benefit > best_benefit
+                || (benefit == best_benefit && tuples < best_tuples);
+            if better {
+                best_mask = mask;
+                best_benefit = benefit;
+                best_tuples = tuples;
+            }
+        }
+
+        let selected: Vec<_> = stats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| if best_mask & (1 << i) != 0 { Some(s.key) } else { None })
+            .collect();
+        let tuples = if selected.is_empty() { 0 } else { best_tuples };
+        MigrationPlan {
+            keys: selected,
+            total_benefit: best_benefit,
+            tuples_to_move: tuples,
+            predicted_delta: gap - best_benefit,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ExhaustiveFit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{plan_is_feasible, GreedyFit};
+
+    #[test]
+    fn finds_the_optimal_small_instance() {
+        // Gap = 100·10 − 0 = 1000. Benefits below; optimum packs closest to
+        // (but under) 1000.
+        let src = InstanceLoad::new(100, 10);
+        let dst = InstanceLoad::new(0, 0);
+        // F_k = 100·φ_k + 10·|R_k|.
+        let keys = [
+            KeyStat::new(1, 10, 4), // F = 500
+            KeyStat::new(2, 20, 1), // F = 300
+            KeyStat::new(3, 5, 3),  // F = 350
+        ];
+        let mut ex = ExhaustiveFit::new();
+        let plan = ex.select(src, dst, &keys, 0.0);
+        // Subsets: {1,3} = 850, {1,2} = 800, {2,3} = 650, {1,2,3} = 1150 (infeasible).
+        assert_eq!(plan.total_benefit, 850.0);
+        let mut got = plan.keys.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+        assert!(plan_is_feasible(&plan));
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        let src = InstanceLoad::new(321, 77);
+        let dst = InstanceLoad::new(13, 5);
+        let keys: Vec<KeyStat> =
+            (0..12).map(|i| KeyStat::new(i, 1 + (i * 5) % 17, 1 + (i * 3) % 7)).collect();
+        let exact = ExhaustiveFit::new().select(src, dst, &keys, 0.0);
+        let greedy = GreedyFit::new().select(src, dst, &keys, 0.0);
+        assert!(
+            greedy.total_benefit <= exact.total_benefit + 1e-9,
+            "greedy {} > exact {}",
+            greedy.total_benefit,
+            exact.total_benefit
+        );
+    }
+
+    #[test]
+    fn ties_prefer_fewer_tuples() {
+        let src = InstanceLoad::new(10, 10);
+        let dst = InstanceLoad::new(0, 0);
+        // Two keys with identical benefit but different stored counts:
+        // F_k = 10·φ + 10·|R|; (|R|=4, φ=1) → 50, (|R|=1, φ=4) → 50.
+        let keys = [KeyStat::new(1, 4, 1), KeyStat::new(2, 1, 4)];
+        let plan = ExhaustiveFit::new().select(src, dst, &keys, 0.0);
+        // Both together: 100 = gap → infeasible (strict). Either alone: 50.
+        assert_eq!(plan.total_benefit, 50.0);
+        assert_eq!(plan.keys, vec![2], "must pick the lighter key");
+    }
+
+    #[test]
+    #[should_panic(expected = "test oracle")]
+    fn rejects_large_universes() {
+        let keys: Vec<KeyStat> = (0..25).map(|i| KeyStat::new(i, 1, 1)).collect();
+        let _ = ExhaustiveFit::new().select(
+            InstanceLoad::new(100, 100),
+            InstanceLoad::new(1, 1),
+            &keys,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn empty_universe_yields_empty_plan() {
+        let plan = ExhaustiveFit::new().select(
+            InstanceLoad::new(100, 100),
+            InstanceLoad::new(1, 1),
+            &[],
+            0.0,
+        );
+        assert!(plan.is_empty());
+    }
+}

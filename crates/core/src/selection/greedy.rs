@@ -1,0 +1,196 @@
+//! GreedyFit — Algorithm 1 of the paper.
+//!
+//! Orders keys by migration key factor `F_k / |R_ik|` in descending order
+//! and takes each key while it still fits in the remaining gap
+//! (`Gap > F_k`) and its benefit clears the floor `θ_gap`. The strict
+//! `Gap > F_k` test is what guarantees the Eq. 9 invariant `ΔL > 0`: the
+//! source stays at least as loaded as the target, so the pair cannot swap
+//! roles and oscillate.
+//!
+//! Complexity: `O(K log K)` time for the sort, `O(K)` space (§IV-A).
+
+use super::{KeySelector, MigrationPlan};
+use crate::load::{InstanceLoad, KeyStat};
+
+/// The paper's default key-selection algorithm.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyFit;
+
+impl GreedyFit {
+    /// Creates a GreedyFit selector.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedyFit
+    }
+}
+
+impl KeySelector for GreedyFit {
+    fn select(
+        &mut self,
+        src: InstanceLoad,
+        dst: InstanceLoad,
+        keys: &[KeyStat],
+        theta_gap: f64,
+    ) -> MigrationPlan {
+        let gap = src.load() - dst.load();
+        if gap <= 0.0 || keys.is_empty() {
+            return MigrationPlan::empty(gap);
+        }
+
+        // FArray: (key stat, F_k, factor). One pass, then one sort.
+        let mut farray: Vec<(KeyStat, f64, f64)> = keys
+            .iter()
+            .map(|k| {
+                let f = k.benefit(src, dst);
+                (*k, f, k.factor(src, dst))
+            })
+            .collect();
+        // Descending by factor; ties broken by key for determinism.
+        farray.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.key.cmp(&b.0.key))
+        });
+
+        let mut remaining = gap;
+        let mut selected = Vec::new();
+        let mut total_benefit = 0.0;
+        let mut tuples = 0u64;
+        for (stat, f, _) in &farray {
+            if remaining > *f && *f >= theta_gap {
+                remaining -= f;
+                total_benefit += f;
+                tuples += stat.stored;
+                selected.push(stat.key);
+            }
+        }
+
+        MigrationPlan {
+            keys: selected,
+            total_benefit,
+            tuples_to_move: tuples,
+            predicted_delta: gap - total_benefit,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GreedyFit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::plan_is_feasible;
+
+    fn select(src: InstanceLoad, dst: InstanceLoad, keys: &[KeyStat], theta: f64) -> MigrationPlan {
+        GreedyFit::new().select(src, dst, keys, theta)
+    }
+
+    #[test]
+    fn empty_when_no_gap() {
+        let plan = select(
+            InstanceLoad::new(10, 10),
+            InstanceLoad::new(10, 10),
+            &[KeyStat::new(1, 5, 5)],
+            0.0,
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn empty_when_target_heavier() {
+        let plan = select(
+            InstanceLoad::new(1, 1),
+            InstanceLoad::new(10, 10),
+            &[KeyStat::new(1, 1, 1)],
+            0.0,
+        );
+        assert!(plan.is_empty());
+        assert!(plan.predicted_delta < 0.0);
+        assert!(plan_is_feasible(&plan), "empty plans are always feasible");
+    }
+
+    #[test]
+    fn selects_highest_factor_first_within_gap() {
+        // src: |R|=100, φ=100 → L=10000; dst: |R|=10, φ=10 → L=100.
+        // Gap = 9900.
+        let src = InstanceLoad::new(100, 100);
+        let dst = InstanceLoad::new(10, 10);
+        // F_k = 110*φ_k + 110*|R_k|.
+        // key 1: |R|=50, φ=1  → F=5610, factor=112.2
+        // key 2: |R|=1,  φ=30 → F=3410, factor=3410
+        // key 3: |R|=40, φ=40 → F=8800, factor=220
+        let keys = [KeyStat::new(1, 50, 1), KeyStat::new(2, 1, 30), KeyStat::new(3, 40, 40)];
+        let plan = select(src, dst, &keys, 0.0);
+        // Order by factor: key2 (3410), key3 (220), key1 (112.2).
+        // Take key2: gap 9900→6490. Take key3 (8800)? 6490 > 8800 false → skip.
+        // Take key1 (5610)? 6490 > 5610 → yes, gap → 880.
+        assert_eq!(plan.keys, vec![2, 1]);
+        assert_eq!(plan.total_benefit, 3410.0 + 5610.0);
+        assert_eq!(plan.tuples_to_move, 51);
+        assert!(plan.predicted_delta > 0.0);
+    }
+
+    #[test]
+    fn respects_theta_gap_floor() {
+        let src = InstanceLoad::new(100, 100);
+        let dst = InstanceLoad::new(10, 10);
+        let keys = [KeyStat::new(1, 1, 1)]; // F = 110 + 110 = 220
+        let with_floor = select(src, dst, &keys, 500.0);
+        assert!(with_floor.is_empty(), "benefit 220 is below θ_gap 500");
+        let without = select(src, dst, &keys, 0.0);
+        assert_eq!(without.keys, vec![1]);
+    }
+
+    #[test]
+    fn never_selects_key_that_would_flip_the_pair() {
+        // One huge key whose benefit exceeds the whole gap.
+        let src = InstanceLoad::new(100, 100);
+        let dst = InstanceLoad::new(99, 99);
+        // gap = 10000 - 9801 = 199. F of any key ≥ 199*... easily bigger.
+        let keys = [KeyStat::new(1, 50, 50)];
+        let plan = select(src, dst, &keys, 0.0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn storeless_keys_go_first() {
+        let src = InstanceLoad::new(1000, 1000);
+        let dst = InstanceLoad::new(0, 0);
+        // key 9 has queue pressure but zero stored tuples → infinite factor.
+        let keys = [KeyStat::new(5, 100, 100), KeyStat::new(9, 0, 100)];
+        let plan = select(src, dst, &keys, 0.0);
+        assert_eq!(plan.keys[0], 9);
+    }
+
+    #[test]
+    fn deterministic_under_factor_ties() {
+        let src = InstanceLoad::new(100, 100);
+        let dst = InstanceLoad::new(0, 0);
+        // Identical stats → identical factors; order must be by key.
+        let keys = [KeyStat::new(7, 2, 2), KeyStat::new(3, 2, 2), KeyStat::new(5, 2, 2)];
+        let a = select(src, dst, &keys, 0.0);
+        let b = select(src, dst, &keys, 0.0);
+        assert_eq!(a, b);
+        assert_eq!(a.keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn selection_matches_paper_gap_arithmetic() {
+        // Verify ΔL accounting: L_i - L_j - ΣF_k equals predicted_delta.
+        let src = InstanceLoad::new(500, 80);
+        let dst = InstanceLoad::new(100, 20);
+        let keys: Vec<KeyStat> =
+            (0..20).map(|i| KeyStat::new(i, 5 + i % 7, 1 + i % 3)).collect();
+        let plan = select(src, dst, &keys, 0.0);
+        let sum_f: f64 = plan
+            .keys
+            .iter()
+            .map(|k| keys.iter().find(|s| s.key == *k).unwrap().benefit(src, dst))
+            .sum();
+        let gap = src.load() - dst.load();
+        assert!((plan.predicted_delta - (gap - sum_f)).abs() < 1e-9);
+        assert!(plan.predicted_delta > 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-instance tuple storage.
+//!
+//! Each join instance stores the tuples of one stream, bucketed by key, and
+//! probes those buckets with tuples of the opposite stream. For
+//! window-based joins (§III-E) the store also expires tuples whose event
+//! time has fallen out of the window.
+//!
+//! Window correctness is enforced at *probe* time (`min_ts` filter), so
+//! results never include out-of-window tuples; `expire` is garbage
+//! collection and statistics maintenance. This split matters after a
+//! migration: installed tuples can be older than the newest local ones, so
+//! eager FIFO expiry alone could reclaim them late — but never emit them.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::tuple::{Key, Seq, Timestamp, Tuple};
+
+/// Key-bucketed storage for one stream on one join instance.
+#[derive(Debug, Default, Clone)]
+pub struct TupleStore {
+    buckets: HashMap<Key, VecDeque<Tuple>>,
+    /// Expiry triggers in monotone order: `(trigger_ts, key)`. The trigger
+    /// is `max(event ts, previous trigger)` so the queue stays sorted even
+    /// when migration installs old tuples; removal re-checks the real
+    /// bucket-head timestamp.
+    fifo: VecDeque<(Timestamp, Key)>,
+    total: u64,
+}
+
+impl TupleStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total stored tuples, `|R_i|`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Stored tuples with key `k`, `|R_ik|`.
+    #[inline]
+    #[must_use]
+    pub fn key_count(&self, key: Key) -> u64 {
+        self.buckets.get(&key).map_or(0, |b| b.len() as u64)
+    }
+
+    /// Number of distinct keys currently stored.
+    #[must_use]
+    pub fn key_cardinality(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over `(key, |R_ik|)` pairs.
+    pub fn key_counts(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        self.buckets.iter().map(|(k, b)| (*k, b.len() as u64))
+    }
+
+    /// Inserts a tuple.
+    pub fn insert(&mut self, t: Tuple) {
+        self.buckets.entry(t.key).or_default().push_back(t);
+        let trigger = self.fifo.back().map_or(t.ts, |&(back, _)| back.max(t.ts));
+        self.fifo.push_back((trigger, t.key));
+        self.total += 1;
+    }
+
+    /// Probes the store: returns stored tuples with the probe's key whose
+    /// sequence number is strictly smaller (the exactly-once rule — the
+    /// opposite seq direction of the pair joins in the other group) and
+    /// whose event time is within the window (`ts >= min_ts`). Pass
+    /// `min_ts = 0` for full-history joins.
+    pub fn probe(&self, probe: &Tuple, min_ts: Timestamp) -> impl Iterator<Item = &Tuple> + '_ {
+        let seq = probe.seq;
+        self.buckets
+            .get(&probe.key)
+            .into_iter()
+            .flatten()
+            .filter(move |t| t.seq < seq && t.ts >= min_ts)
+    }
+
+    /// Number of stored tuples the probe would be compared against
+    /// (`|R_ik|`, bucket size) — the hash-probe cost.
+    #[must_use]
+    pub fn probe_bucket_len(&self, key: Key) -> u64 {
+        self.key_count(key)
+    }
+
+    /// Removes and returns all tuples whose key is in `keys`, preserving
+    /// per-key insertion order — the physical payload of a migration.
+    /// Stale FIFO triggers are left behind and skipped by [`expire`].
+    ///
+    /// [`expire`]: TupleStore::expire
+    pub fn extract_keys(&mut self, keys: &[Key]) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for k in keys {
+            if let Some(bucket) = self.buckets.remove(k) {
+                self.total -= bucket.len() as u64;
+                out.extend(bucket);
+            }
+        }
+        out
+    }
+
+    /// Installs migrated tuples (already in per-key order). Tuples already
+    /// outside the window (`ts < min_ts`) are dropped on arrival; pass
+    /// `min_ts = 0` for full-history joins. Returns how many were kept.
+    pub fn install(&mut self, tuples: Vec<Tuple>, min_ts: Timestamp) -> u64 {
+        let mut kept = 0;
+        for t in tuples {
+            if t.ts >= min_ts {
+                self.insert(t);
+                kept += 1;
+            }
+        }
+        kept
+    }
+
+    /// Garbage-collects tuples with event time `< horizon`; returns how
+    /// many were removed. Trigger entries whose bucket head is not actually
+    /// expired (stale after `extract_keys`) are skipped.
+    pub fn expire(&mut self, horizon: Timestamp) -> u64 {
+        let mut removed = 0;
+        while let Some(&(trigger, key)) = self.fifo.front() {
+            if trigger >= horizon {
+                break;
+            }
+            self.fifo.pop_front();
+            if let Some(bucket) = self.buckets.get_mut(&key) {
+                if bucket.front().is_some_and(|t| t.ts < horizon) {
+                    bucket.pop_front();
+                    self.total -= 1;
+                    removed += 1;
+                    if bucket.is_empty() {
+                        self.buckets.remove(&key);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// The largest stored sequence number for `key`, if any (diagnostics).
+    #[must_use]
+    pub fn max_seq(&self, key: Key) -> Option<Seq> {
+        self.buckets.get(&key).and_then(|b| b.iter().map(|t| t.seq).max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Side;
+
+    fn t(key: Key, ts: Timestamp, seq: Seq) -> Tuple {
+        let mut t = Tuple::new(Side::R, key, ts, 0);
+        t.seq = seq;
+        t
+    }
+
+    fn probe_all(s: &TupleStore, key: Key, min_ts: Timestamp) -> Vec<Tuple> {
+        let mut p = Tuple::new(Side::S, key, u64::MAX, 0);
+        p.seq = u64::MAX;
+        s.probe(&p, min_ts).cloned().collect()
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut s = TupleStore::new();
+        assert!(s.is_empty());
+        s.insert(t(1, 10, 1));
+        s.insert(t(1, 11, 2));
+        s.insert(t(2, 12, 3));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.key_count(1), 2);
+        assert_eq!(s.key_count(2), 1);
+        assert_eq!(s.key_count(9), 0);
+        assert_eq!(s.key_cardinality(), 2);
+    }
+
+    #[test]
+    fn probe_respects_seq_order() {
+        let mut s = TupleStore::new();
+        s.insert(t(1, 10, 5));
+        s.insert(t(1, 11, 7));
+        let mut probe = Tuple::new(Side::S, 1, 12, 0);
+        probe.seq = 6;
+        let matches: Vec<_> = s.probe(&probe, 0).collect();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].seq, 5);
+    }
+
+    #[test]
+    fn probe_enforces_window_even_before_gc() {
+        let mut s = TupleStore::new();
+        s.insert(t(1, 10, 1));
+        s.insert(t(1, 200, 2));
+        // No expire() call yet; probe must still exclude the old tuple.
+        let matches = probe_all(&s, 1, 100);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].ts, 200);
+    }
+
+    #[test]
+    fn probe_missing_key_is_empty() {
+        let s = TupleStore::new();
+        let probe = Tuple::new(Side::S, 42, 0, 0);
+        assert_eq!(s.probe(&probe, 0).count(), 0);
+    }
+
+    #[test]
+    fn extract_removes_exactly_the_keys() {
+        let mut s = TupleStore::new();
+        for i in 0..10 {
+            s.insert(t(i % 3, i, i));
+        }
+        let out = s.extract_keys(&[0, 2]);
+        assert_eq!(out.len() as u64 + s.len(), 10);
+        assert_eq!(s.key_count(0), 0);
+        assert_eq!(s.key_count(2), 0);
+        assert!(s.key_count(1) > 0);
+        assert!(out.iter().all(|t| t.key == 0 || t.key == 2));
+        // Per-key order preserved.
+        let seqs0: Vec<_> = out.iter().filter(|t| t.key == 0).map(|t| t.seq).collect();
+        assert!(seqs0.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn extract_then_install_round_trips() {
+        let mut a = TupleStore::new();
+        for i in 0..20 {
+            a.insert(t(i % 5, i, i));
+        }
+        let total = a.len();
+        let moved = a.extract_keys(&[1, 3]);
+        let mut b = TupleStore::new();
+        assert_eq!(b.install(moved, 0), 8);
+        assert_eq!(a.len() + b.len(), total);
+        assert_eq!(b.key_count(1), 4);
+        assert_eq!(b.key_count(3), 4);
+    }
+
+    #[test]
+    fn install_drops_out_of_window_tuples() {
+        let mut b = TupleStore::new();
+        let kept = b.install(vec![t(1, 10, 1), t(1, 100, 2)], 50);
+        assert_eq!(kept, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(probe_all(&b, 1, 50).len(), 1);
+    }
+
+    #[test]
+    fn expire_removes_old_tuples() {
+        let mut s = TupleStore::new();
+        for ts in 0..10 {
+            s.insert(t(ts % 2, ts, ts));
+        }
+        let removed = s.expire(5);
+        assert_eq!(removed, 5);
+        assert_eq!(s.len(), 5);
+        for key in 0..2 {
+            assert!(probe_all(&s, key, 0).iter().all(|t| t.ts >= 5));
+        }
+    }
+
+    #[test]
+    fn expire_is_idempotent() {
+        let mut s = TupleStore::new();
+        for ts in 0..10 {
+            s.insert(t(0, ts, ts));
+        }
+        assert_eq!(s.expire(5), 5);
+        assert_eq!(s.expire(5), 0);
+    }
+
+    #[test]
+    fn expire_skips_stale_fifo_entries_after_extraction() {
+        let mut s = TupleStore::new();
+        for ts in 0..10 {
+            s.insert(t(ts % 2, ts, ts));
+        }
+        let _ = s.extract_keys(&[0]); // leaves stale triggers for key 0
+        let removed = s.expire(100);
+        // Only key-1 tuples remain to expire.
+        assert_eq!(removed, 5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn old_installs_are_eventually_collected() {
+        let mut s = TupleStore::new();
+        s.insert(t(1, 100, 1));
+        // Migration installs a tuple older than the local newest.
+        assert_eq!(s.install(vec![t(2, 10, 2)], 0), 1);
+        // The old tuple's trigger is clamped to 100, so horizon 50 cannot
+        // collect it yet — but horizon 101 must collect it and the local.
+        assert_eq!(s.expire(50), 0);
+        assert_eq!(s.expire(101), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn expired_bucket_is_dropped_from_cardinality() {
+        let mut s = TupleStore::new();
+        s.insert(t(1, 0, 0));
+        s.insert(t(2, 100, 1));
+        s.expire(50);
+        assert_eq!(s.key_cardinality(), 1);
+    }
+
+    #[test]
+    fn max_seq_tracks_per_key() {
+        let mut s = TupleStore::new();
+        s.insert(t(1, 0, 3));
+        s.insert(t(1, 1, 9));
+        assert_eq!(s.max_seq(1), Some(9));
+        assert_eq!(s.max_seq(2), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Arrival processes: generate event timestamps at a configured rate.
+//!
+//! Timestamps are in microseconds of event time. The evaluation drives the
+//! system at a fixed ingest rate (Kafka spouts, §V); we provide a
+//! deterministic constant-rate process and a Poisson process for burstier
+//! arrivals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastjoin_core::tuple::Timestamp;
+
+/// Microseconds per second of event time.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// The shape of inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Evenly spaced arrivals (deterministic).
+    Constant,
+    /// Exponentially distributed gaps (Poisson process).
+    Poisson,
+}
+
+/// A timestamp generator for one stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    /// Mean gap between arrivals, µs (fractional accumulation).
+    mean_gap: f64,
+    /// Next arrival time, fractional µs.
+    next: f64,
+    rng: StdRng,
+}
+
+impl ArrivalProcess {
+    /// Creates a process emitting `rate_per_sec` arrivals per second of
+    /// event time, starting at time 0.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(kind: ArrivalKind, rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite, got {rate_per_sec}"
+        );
+        ArrivalProcess {
+            kind,
+            mean_gap: MICROS_PER_SEC as f64 / rate_per_sec,
+            next: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Time of the next arrival without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Timestamp {
+        self.next as Timestamp
+    }
+
+    /// Consumes and returns the next arrival time.
+    pub fn next_ts(&mut self) -> Timestamp {
+        let ts = self.next as Timestamp;
+        let gap = match self.kind {
+            ArrivalKind::Constant => self.mean_gap,
+            ArrivalKind::Poisson => {
+                // Inverse-CDF exponential; 1 - u avoids ln(0).
+                let u: f64 = self.rng.gen();
+                -(1.0 - u).ln() * self.mean_gap
+            }
+        };
+        self.next += gap;
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_spacing_is_exact() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Constant, 10.0, 0);
+        let ts: Vec<Timestamp> = (0..5).map(|_| p.next_ts()).collect();
+        assert_eq!(ts, vec![0, 100_000, 200_000, 300_000, 400_000]);
+    }
+
+    #[test]
+    fn fractional_rates_accumulate_without_drift() {
+        // 3 arrivals/sec → mean gap 333333.3µs; after 3000 arrivals we must
+        // be at ~1000 s, not drifted by truncation.
+        let mut p = ArrivalProcess::new(ArrivalKind::Constant, 3.0, 0);
+        let mut last = 0;
+        for _ in 0..3000 {
+            last = p.next_ts();
+        }
+        let expected = 2999.0 / 3.0 * MICROS_PER_SEC as f64;
+        assert!((last as f64 - expected).abs() < 2.0, "drift: {last} vs {expected}");
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Poisson, 100.0, 42);
+        let n = 50_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = p.next_ts();
+        }
+        let mean_gap = last as f64 / (n - 1) as f64;
+        let expected = MICROS_PER_SEC as f64 / 100.0;
+        assert!(
+            (mean_gap - expected).abs() / expected < 0.02,
+            "mean gap {mean_gap} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mut a = ArrivalProcess::new(ArrivalKind::Poisson, 10.0, 7);
+        let mut b = ArrivalProcess::new(ArrivalKind::Poisson, 10.0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_ts(), b.next_ts());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut p = ArrivalProcess::new(ArrivalKind::Constant, 1.0, 0);
+        assert_eq!(p.peek(), 0);
+        assert_eq!(p.peek(), 0);
+        let _ = p.next_ts();
+        assert_eq!(p.peek(), MICROS_PER_SEC);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let _ = ArrivalProcess::new(ArrivalKind::Constant, 0.0, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Grid-city workload — a physically-motivated alternative to the
+//! statistical [`crate::ridehail`] generator.
+//!
+//! A city is a `width × height` grid of location cells (the join keys).
+//! *Orders* appear around a handful of Gaussian hotspots (downtown,
+//! airport, station). *Tracks* come from individual taxis doing biased
+//! random walks: each step moves one cell, drifting toward the nearest
+//! hotspot with some probability — taxis gravitate to demand, so track
+//! skew *emerges* from movement rather than being sampled directly. The
+//! result is two spatially correlated skewed streams, which is exactly the
+//! join-relevant structure of the real DiDi data (hot cells are hot in
+//! both streams).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastjoin_core::tuple::Tuple;
+
+use crate::arrival::{ArrivalKind, ArrivalProcess};
+use crate::keyspace::KeySpace;
+
+/// Configuration of the grid city.
+#[derive(Debug, Clone)]
+pub struct GridCityConfig {
+    /// Grid width in cells.
+    pub width: u32,
+    /// Grid height in cells.
+    pub height: u32,
+    /// Number of taxis doing random walks.
+    pub taxis: u32,
+    /// Number of Gaussian order hotspots.
+    pub hotspots: u32,
+    /// Hotspot spread (standard deviation, in cells).
+    pub hotspot_sigma: f64,
+    /// Probability a taxi step drifts toward the nearest hotspot rather
+    /// than moving uniformly at random.
+    pub drift: f64,
+    /// Orders to generate (stream R).
+    pub orders: u64,
+    /// Track records to generate (stream S).
+    pub tracks: u64,
+    /// Order ingest rate, tuples/second of event time.
+    pub order_rate: f64,
+    /// Track ingest rate, tuples/second of event time.
+    pub track_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridCityConfig {
+    fn default() -> Self {
+        GridCityConfig {
+            width: 100,
+            height: 100,
+            taxis: 2_000,
+            hotspots: 6,
+            hotspot_sigma: 4.0,
+            drift: 0.35,
+            orders: 50_000,
+            tracks: 500_000,
+            order_rate: 10_000.0,
+            track_rate: 100_000.0,
+            seed: 0x617D,
+        }
+    }
+}
+
+impl GridCityConfig {
+    /// Number of distinct location cells (join keys).
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+}
+
+/// Iterator over the interleaved order/track streams in timestamp order.
+pub struct GridCityGen {
+    cfg: GridCityConfig,
+    cells: KeySpace,
+    hotspot_xy: Vec<(f64, f64)>,
+    hotspot_weight: Vec<f64>,
+    taxi_xy: Vec<(u32, u32)>,
+    order_arrivals: ArrivalProcess,
+    track_arrivals: ArrivalProcess,
+    orders_left: u64,
+    tracks_left: u64,
+    rng: StdRng,
+    next_order_id: u64,
+}
+
+impl GridCityGen {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration (empty grid, no taxis or
+    /// hotspots, drift outside `[0, 1]`).
+    #[must_use]
+    pub fn new(cfg: &GridCityConfig) -> Self {
+        assert!(cfg.width > 0 && cfg.height > 0, "empty grid");
+        assert!(cfg.taxis > 0, "need at least one taxi");
+        assert!(cfg.hotspots > 0, "need at least one hotspot");
+        assert!((0.0..=1.0).contains(&cfg.drift), "drift must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let hotspot_xy: Vec<(f64, f64)> = (0..cfg.hotspots)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..f64::from(cfg.width)),
+                    rng.gen_range(0.0..f64::from(cfg.height)),
+                )
+            })
+            .collect();
+        // Hotspot popularity itself is skewed (downtown ≫ mall): weight
+        // 1/rank, the classic rank-size rule for urban activity.
+        let hotspot_weight: Vec<f64> =
+            (1..=cfg.hotspots).map(|r| 1.0 / f64::from(r)).collect();
+        let taxi_xy: Vec<(u32, u32)> = (0..cfg.taxis)
+            .map(|_| (rng.gen_range(0..cfg.width), rng.gen_range(0..cfg.height)))
+            .collect();
+        GridCityGen {
+            cells: KeySpace::new(cfg.cells(), cfg.seed),
+            hotspot_xy,
+            hotspot_weight,
+            taxi_xy,
+            order_arrivals: ArrivalProcess::new(ArrivalKind::Constant, cfg.order_rate, cfg.seed ^ 1),
+            track_arrivals: ArrivalProcess::new(ArrivalKind::Constant, cfg.track_rate, cfg.seed ^ 2),
+            orders_left: cfg.orders,
+            tracks_left: cfg.tracks,
+            rng,
+            next_order_id: 1,
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn cell_key(&self, x: u32, y: u32) -> u64 {
+        let cell = u64::from(y) * u64::from(self.cfg.width) + u64::from(x);
+        self.cells.key_of_rank(cell + 1)
+    }
+
+    /// Samples an order location: pick a hotspot by weight, then a
+    /// Gaussian offset (Box–Muller), clamped to the grid.
+    fn sample_order_cell(&mut self) -> (u32, u32) {
+        let total: f64 = self.hotspot_weight.iter().sum();
+        let mut pick = self.rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, w) in self.hotspot_weight.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let (cx, cy) = self.hotspot_xy[idx];
+        let (u1, u2) = (self.rng.gen::<f64>().max(1e-12), self.rng.gen::<f64>());
+        let r = (-2.0 * u1.ln()).sqrt() * self.cfg.hotspot_sigma;
+        let (dx, dy) = (
+            r * (2.0 * std::f64::consts::PI * u2).cos(),
+            r * (2.0 * std::f64::consts::PI * u2).sin(),
+        );
+        let x = (cx + dx).clamp(0.0, f64::from(self.cfg.width - 1));
+        let y = (cy + dy).clamp(0.0, f64::from(self.cfg.height - 1));
+        (x as u32, y as u32)
+    }
+
+    /// Moves one taxi a single step, drifting toward the nearest hotspot
+    /// with probability `drift`, and returns its new cell.
+    fn step_taxi(&mut self) -> (u32, u32) {
+        let i = self.rng.gen_range(0..self.taxi_xy.len());
+        let (x, y) = self.taxi_xy[i];
+        let (dx, dy) = if self.rng.gen::<f64>() < self.cfg.drift {
+            // Toward the nearest hotspot.
+            let (hx, hy) = self
+                .hotspot_xy
+                .iter()
+                .min_by(|a, b| {
+                    let da = (a.0 - f64::from(x)).powi(2) + (a.1 - f64::from(y)).powi(2);
+                    let db = (b.0 - f64::from(x)).powi(2) + (b.1 - f64::from(y)).powi(2);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .copied()
+                .expect("at least one hotspot");
+            ((hx - f64::from(x)).signum() as i64, (hy - f64::from(y)).signum() as i64)
+        } else {
+            (self.rng.gen_range(-1..=1), self.rng.gen_range(-1..=1))
+        };
+        let nx = (i64::from(x) + dx).clamp(0, i64::from(self.cfg.width - 1)) as u32;
+        let ny = (i64::from(y) + dy).clamp(0, i64::from(self.cfg.height - 1)) as u32;
+        self.taxi_xy[i] = (nx, ny);
+        (nx, ny)
+    }
+}
+
+impl Iterator for GridCityGen {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let order_next = match (self.orders_left > 0, self.tracks_left > 0) {
+            (false, false) => return None,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => self.order_arrivals.peek() <= self.track_arrivals.peek(),
+        };
+        if order_next {
+            self.orders_left -= 1;
+            let (x, y) = self.sample_order_cell();
+            let id = self.next_order_id;
+            self.next_order_id += 1;
+            Some(Tuple::r(self.cell_key(x, y), self.order_arrivals.next_ts(), id))
+        } else {
+            self.tracks_left -= 1;
+            let (x, y) = self.step_taxi();
+            Some(Tuple::s(self.cell_key(x, y), self.track_arrivals.next_ts(), 0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::KeyCensus;
+    use fastjoin_core::tuple::Side;
+    use std::collections::HashMap;
+
+    fn small() -> GridCityConfig {
+        GridCityConfig {
+            width: 40,
+            height: 40,
+            taxis: 200,
+            orders: 10_000,
+            tracks: 60_000,
+            ..GridCityConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_the_configured_counts_in_ts_order() {
+        let tuples: Vec<Tuple> = GridCityGen::new(&small()).collect();
+        assert_eq!(tuples.iter().filter(|t| t.side == Side::R).count(), 10_000);
+        assert_eq!(tuples.iter().filter(|t| t.side == Side::S).count(), 60_000);
+        assert!(tuples.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<Tuple> = GridCityGen::new(&small()).take(20_000).collect();
+        let b: Vec<Tuple> = GridCityGen::new(&small()).take(20_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn orders_are_skewed_toward_hotspots() {
+        let cfg = small();
+        let tuples: Vec<Tuple> = GridCityGen::new(&cfg).collect();
+        let census = KeyCensus::from_keys(
+            tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key),
+        );
+        // Gaussian hotspots on a 1600-cell grid concentrate hard: far
+        // fewer than half the cells should carry 80 % of orders.
+        let frac = census.fraction_of_keys_for_share(0.8, cfg.cells() as usize);
+        assert!(frac < 0.3, "80 % of orders in {frac:.2} of cells — not skewed");
+    }
+
+    #[test]
+    fn taxi_drift_correlates_tracks_with_orders() {
+        let cfg = GridCityConfig { drift: 0.5, ..small() };
+        let tuples: Vec<Tuple> = GridCityGen::new(&cfg).collect();
+        let mut order_cells: HashMap<u64, u64> = HashMap::new();
+        let mut track_cells: HashMap<u64, u64> = HashMap::new();
+        for t in &tuples {
+            match t.side {
+                Side::R => *order_cells.entry(t.key).or_insert(0) += 1,
+                Side::S => *track_cells.entry(t.key).or_insert(0) += 1,
+            }
+        }
+        // The top-50 order cells should hold far more than a uniform share
+        // of the tracks (50/1600 ≈ 3%).
+        let mut top: Vec<_> = order_cells.iter().collect();
+        top.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+        let track_total: u64 = track_cells.values().sum();
+        let track_in_top: u64 =
+            top.iter().take(50).map(|(k, _)| track_cells.get(*k).copied().unwrap_or(0)).sum();
+        let share = track_in_top as f64 / track_total as f64;
+        assert!(share > 0.10, "tracks share in hot order cells: {share:.3}");
+    }
+
+    #[test]
+    fn zero_drift_spreads_tracks_more() {
+        let hot = GridCityConfig { drift: 0.8, ..small() };
+        let cold = GridCityConfig { drift: 0.0, ..small() };
+        let census = |cfg: &GridCityConfig| {
+            let tuples: Vec<Tuple> = GridCityGen::new(cfg).collect();
+            let c = KeyCensus::from_keys(
+                tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key),
+            );
+            c.fraction_of_keys_for_share(0.8, cfg.cells() as usize)
+        };
+        assert!(
+            census(&hot) < census(&cold),
+            "drifting taxis must concentrate more than free walkers"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn rejects_empty_grid() {
+        let _ = GridCityGen::new(&GridCityConfig { width: 0, ..small() });
+    }
+
+    #[test]
+    #[should_panic(expected = "drift must be in")]
+    fn rejects_bad_drift() {
+        let _ = GridCityGen::new(&GridCityConfig { drift: 1.5, ..small() });
+    }
+}

@@ -1,0 +1,101 @@
+//! Key-space mapping: Zipf *ranks* to 64-bit join *keys*.
+//!
+//! Rank 1 is the hottest rank. Feeding raw ranks into the join would make
+//! hot keys consecutive integers, which no real key space does; we pass
+//! ranks through the bijective [`fastjoin_core::hash::mix64`] so keys are
+//! spread across the full 64-bit space while the mapping stays
+//! deterministic and invertible for tests.
+
+use fastjoin_core::hash::mix64;
+use fastjoin_core::tuple::Key;
+
+/// A deterministic rank → key bijection for a key universe of size `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySpace {
+    n: u64,
+    salt: u64,
+}
+
+impl KeySpace {
+    /// Creates a key space of `n` keys with a mixing salt (streams that
+    /// must share keys use the same salt).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: u64, salt: u64) -> Self {
+        assert!(n > 0, "empty key space");
+        KeySpace { n, salt }
+    }
+
+    /// Universe size.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Always false (`n > 0` is enforced at construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a rank (`1..=n`) to its key.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn key_of_rank(&self, rank: u64) -> Key {
+        assert!(rank >= 1 && rank <= self.n, "rank {rank} out of 1..={}", self.n);
+        mix64(rank ^ self.salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_injective() {
+        let ks = KeySpace::new(10_000, 7);
+        let keys: HashSet<Key> = (1..=10_000).map(|r| ks.key_of_rank(r)).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let a = KeySpace::new(100, 3);
+        let b = KeySpace::new(100, 3);
+        for r in 1..=100 {
+            assert_eq!(a.key_of_rank(r), b.key_of_rank(r));
+        }
+    }
+
+    #[test]
+    fn same_salt_shares_keys_across_streams() {
+        let orders = KeySpace::new(1000, 42);
+        let tracks = KeySpace::new(1000, 42);
+        assert_eq!(orders.key_of_rank(1), tracks.key_of_rank(1));
+    }
+
+    #[test]
+    fn different_salts_produce_disjoint_hot_keys() {
+        let a = KeySpace::new(1000, 1);
+        let b = KeySpace::new(1000, 2);
+        assert_ne!(a.key_of_rank(1), b.key_of_rank(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn rejects_rank_zero() {
+        let _ = KeySpace::new(10, 0).key_of_rank(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn rejects_rank_above_n() {
+        let _ = KeySpace::new(10, 0).key_of_rank(11);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fastjoin-datagen
+//!
+//! Workload generators for the FastJoin reproduction:
+//!
+//! * [`zipf`] — rejection-inversion Zipf sampling over huge key universes.
+//! * [`keyspace`] — deterministic rank → 64-bit key bijection.
+//! * [`arrival`] — constant-rate and Poisson arrival processes.
+//! * [`synthetic`] — the paper's nine `Gxy` skew groups (§VI-A).
+//! * [`tiered`] — hot/cold tiered skew (flat-headed, like real GPS data).
+//! * [`gridcity`] — a physical city model: random-walk taxis and Gaussian
+//!   order hotspots on a 2D grid (emergent, spatially correlated skew).
+//! * [`ridehail`] — the DiDi-substitute order/track workload (see
+//!   DESIGN.md for the substitution rationale).
+//! * [`stats`] — key-frequency census (Fig. 1a/1b measurements).
+//! * [`trace`] — save/replay workload traces as CSV.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrival;
+pub mod gridcity;
+pub mod keyspace;
+pub mod ridehail;
+pub mod stats;
+pub mod tiered;
+pub mod trace;
+pub mod synthetic;
+pub mod zipf;
+
+pub use arrival::{ArrivalKind, ArrivalProcess};
+pub use gridcity::{GridCityConfig, GridCityGen};
+pub use keyspace::KeySpace;
+pub use ridehail::{RideHailConfig, RideHailGen};
+pub use stats::KeyCensus;
+pub use synthetic::{SyntheticConfig, SyntheticGen, ALL_GROUPS};
+pub use tiered::TieredSampler;
+pub use trace::{read_trace, write_trace};
+pub use zipf::Zipf;

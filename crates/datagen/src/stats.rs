@@ -1,0 +1,185 @@
+//! Key-frequency census — the measurements behind Fig. 1a/1b.
+//!
+//! Given the keys of one stream, [`KeyCensus`] answers questions like
+//! "what fraction of tuples do the hottest 20 % of keys carry?" and
+//! produces the cumulative-share curve the paper plots.
+
+use std::collections::HashMap;
+
+use fastjoin_core::tuple::Key;
+
+/// Frequency census of a key stream.
+#[derive(Debug, Clone)]
+pub struct KeyCensus {
+    /// Per-key counts sorted descending.
+    sorted_counts: Vec<u64>,
+    total: u64,
+}
+
+impl KeyCensus {
+    /// Builds a census from an iterator of observed keys.
+    #[must_use]
+    pub fn from_keys(keys: impl IntoIterator<Item = Key>) -> Self {
+        let mut counts: HashMap<Key, u64> = HashMap::new();
+        for k in keys {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        Self::from_counts(counts.into_values())
+    }
+
+    /// Builds a census from per-key counts.
+    #[must_use]
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        let mut sorted_counts: Vec<u64> = counts.into_iter().collect();
+        sorted_counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total = sorted_counts.iter().sum();
+        KeyCensus { sorted_counts, total }
+    }
+
+    /// Number of distinct keys observed.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.sorted_counts.len()
+    }
+
+    /// Total tuples observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Average tuples per observed key — the paper's `c = |R| / K`
+    /// (§IV-C, scaling gain ratio).
+    #[must_use]
+    pub fn mean_tuples_per_key(&self) -> f64 {
+        if self.sorted_counts.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.sorted_counts.len() as f64
+        }
+    }
+
+    /// Fraction of all tuples carried by the hottest `frac` of a key
+    /// universe of size `universe` (observed keys plus never-hit ones).
+    ///
+    /// # Panics
+    /// Panics if `universe` is smaller than the number of observed keys.
+    #[must_use]
+    pub fn top_share(&self, frac: f64, universe: usize) -> f64 {
+        assert!(
+            universe >= self.sorted_counts.len(),
+            "universe smaller than observed key count"
+        );
+        if self.total == 0 {
+            return 0.0;
+        }
+        let take = ((frac.clamp(0.0, 1.0)) * universe as f64).round() as usize;
+        let take = take.min(self.sorted_counts.len());
+        let sum: u64 = self.sorted_counts[..take].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The smallest fraction of the key universe whose hottest keys carry
+    /// at least `share` of all tuples — e.g. `0.2` for "20 % of the
+    /// locations occupy 80 percent of all the passenger orders".
+    #[must_use]
+    pub fn fraction_of_keys_for_share(&self, share: f64, universe: usize) -> f64 {
+        assert!(
+            universe >= self.sorted_counts.len(),
+            "universe smaller than observed key count"
+        );
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = share.clamp(0.0, 1.0) * self.total as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.sorted_counts.iter().enumerate() {
+            acc += c;
+            if acc as f64 >= target {
+                return (i + 1) as f64 / universe as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Cumulative-share curve with `points` samples: element `i` is
+    /// `(fraction of universe, fraction of tuples)` — the Fig. 1a/1b data.
+    #[must_use]
+    pub fn share_curve(&self, points: usize, universe: usize) -> Vec<(f64, f64)> {
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                (frac, self.top_share(frac, universe))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_have_linear_shares() {
+        let census = KeyCensus::from_counts(vec![10; 100]);
+        assert!((census.top_share(0.2, 100) - 0.2).abs() < 1e-9);
+        assert!((census.top_share(1.0, 100) - 1.0).abs() < 1e-9);
+        assert_eq!(census.mean_tuples_per_key(), 10.0);
+    }
+
+    #[test]
+    fn skewed_counts_concentrate() {
+        // One key has 80, nineteen keys have ~1 each.
+        let mut counts = vec![81];
+        counts.extend(vec![1; 19]);
+        let census = KeyCensus::from_counts(counts);
+        // Top 5% (1 of 20 keys) carries 81 %.
+        assert!(census.top_share(0.05, 20) > 0.8);
+        let frac = census.fraction_of_keys_for_share(0.8, 20);
+        assert!((frac - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_keys_counts_duplicates() {
+        let census = KeyCensus::from_keys(vec![1u64, 1, 1, 2, 3]);
+        assert_eq!(census.distinct_keys(), 3);
+        assert_eq!(census.total(), 5);
+        assert!((census.top_share(1.0 / 3.0, 3) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn universe_larger_than_observed() {
+        // 10 observed keys in a universe of 100: "top 10%" covers all of
+        // the observed mass.
+        let census = KeyCensus::from_counts(vec![5; 10]);
+        assert!((census.top_share(0.1, 100) - 1.0).abs() < 1e-9);
+        assert!((census.fraction_of_keys_for_share(1.0, 100) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_curve_is_monotone() {
+        let census = KeyCensus::from_counts((1..=50u64).collect::<Vec<_>>());
+        let curve = census.share_curve(10, 50);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((curve[9].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_census_is_harmless() {
+        let census = KeyCensus::from_keys(Vec::new());
+        assert_eq!(census.total(), 0);
+        assert_eq!(census.top_share(0.5, 10), 0.0);
+        assert_eq!(census.fraction_of_keys_for_share(0.8, 10), 0.0);
+        assert_eq!(census.mean_tuples_per_key(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe smaller")]
+    fn rejects_undersized_universe() {
+        let census = KeyCensus::from_counts(vec![1, 2, 3]);
+        let _ = census.top_share(0.5, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The paper's synthetic skew groups (§VI-A, Figs. 12–13).
+//!
+//! "In each dataset, one stream has 300 million tuples, and 10 million
+//! unique keys. The keys in each stream are either uniformly distributed
+//! or following the zipf distribution [with coefficient] 1.0 or 2.0. Thus,
+//! we have nine groups of synthetic datasets." The group `Gxy` draws stream
+//! `R` keys with Zipf exponent `x` and stream `S` keys with exponent `y`
+//! (exponent 0 = uniform).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fastjoin_core::tuple::{Side, Tuple};
+
+use crate::arrival::{ArrivalKind, ArrivalProcess};
+use crate::keyspace::KeySpace;
+use crate::zipf::Zipf;
+
+/// The nine evaluation groups, in the order of Figs. 12–13's x-axis.
+pub const ALL_GROUPS: [(u8, u8); 9] =
+    [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)];
+
+/// Configuration of a two-stream synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Zipf exponent of stream R's key distribution (0 = uniform).
+    pub r_exponent: f64,
+    /// Zipf exponent of stream S's key distribution (0 = uniform).
+    pub s_exponent: f64,
+    /// Key-universe size shared by the two streams.
+    pub keys: u64,
+    /// Tuples to generate per stream.
+    pub tuples_per_stream: u64,
+    /// Event-time ingest rate per stream (tuples/second).
+    pub rate_per_sec: f64,
+    /// Arrival shape.
+    pub arrivals: ArrivalKind,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The group `Gxy` at a simulation-friendly scale (the paper's 300 M
+    /// tuples / 10 M keys shrink proportionally; skew shape is preserved
+    /// because the Zipf exponent, not the count, controls it).
+    #[must_use]
+    pub fn group(x: u8, y: u8) -> Self {
+        assert!(x <= 2 && y <= 2, "zipf coefficients in the paper are 0, 1 or 2");
+        SyntheticConfig {
+            r_exponent: f64::from(x),
+            s_exponent: f64::from(y),
+            keys: 100_000,
+            tuples_per_stream: 300_000,
+            rate_per_sec: 150_000.0,
+            arrivals: ArrivalKind::Constant,
+            seed: 0x5EED_0000 + u64::from(x) * 16 + u64::from(y),
+        }
+    }
+
+    /// The paper's label for a group, e.g. `G02`.
+    #[must_use]
+    pub fn label(x: u8, y: u8) -> String {
+        format!("G{x}{y}")
+    }
+}
+
+/// Iterator producing the interleaved two-stream workload in timestamp
+/// order. Ties go to stream R (deterministic).
+pub struct SyntheticGen {
+    r_zipf: Zipf,
+    s_zipf: Zipf,
+    keyspace: KeySpace,
+    r_arrivals: ArrivalProcess,
+    s_arrivals: ArrivalProcess,
+    r_left: u64,
+    s_left: u64,
+    r_rng: StdRng,
+    s_rng: StdRng,
+    emitted: u64,
+}
+
+impl SyntheticGen {
+    /// Creates the generator for a configuration.
+    #[must_use]
+    pub fn new(cfg: &SyntheticConfig) -> Self {
+        SyntheticGen {
+            r_zipf: Zipf::new(cfg.keys, cfg.r_exponent),
+            s_zipf: Zipf::new(cfg.keys, cfg.s_exponent),
+            keyspace: KeySpace::new(cfg.keys, cfg.seed),
+            r_arrivals: ArrivalProcess::new(cfg.arrivals, cfg.rate_per_sec, cfg.seed ^ 0xA),
+            s_arrivals: ArrivalProcess::new(cfg.arrivals, cfg.rate_per_sec, cfg.seed ^ 0xB),
+            r_left: cfg.tuples_per_stream,
+            s_left: cfg.tuples_per_stream,
+            r_rng: StdRng::seed_from_u64(cfg.seed ^ 0xC),
+            s_rng: StdRng::seed_from_u64(cfg.seed ^ 0xD),
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for SyntheticGen {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let side = match (self.r_left > 0, self.s_left > 0) {
+            (false, false) => return None,
+            (true, false) => Side::R,
+            (false, true) => Side::S,
+            (true, true) => {
+                if self.r_arrivals.peek() <= self.s_arrivals.peek() {
+                    Side::R
+                } else {
+                    Side::S
+                }
+            }
+        };
+        self.emitted += 1;
+        let payload = self.emitted;
+        let t = match side {
+            Side::R => {
+                self.r_left -= 1;
+                let rank = self.r_zipf.sample(&mut self.r_rng);
+                Tuple::r(self.keyspace.key_of_rank(rank), self.r_arrivals.next_ts(), payload)
+            }
+            Side::S => {
+                self.s_left -= 1;
+                let rank = self.s_zipf.sample(&mut self.s_rng);
+                Tuple::s(self.keyspace.key_of_rank(rank), self.s_arrivals.next_ts(), payload)
+            }
+        };
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(x: u8, y: u8) -> SyntheticConfig {
+        SyntheticConfig {
+            keys: 100,
+            tuples_per_stream: 1000,
+            rate_per_sec: 1000.0,
+            ..SyntheticConfig::group(x, y)
+        }
+    }
+
+    #[test]
+    fn produces_exactly_both_streams() {
+        let gen = SyntheticGen::new(&tiny(1, 1));
+        let tuples: Vec<Tuple> = gen.collect();
+        assert_eq!(tuples.len(), 2000);
+        let r = tuples.iter().filter(|t| t.side == Side::R).count();
+        assert_eq!(r, 1000);
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let gen = SyntheticGen::new(&tiny(2, 0));
+        let mut last = 0;
+        for t in gen {
+            assert!(t.ts >= last, "out-of-order ts {} < {}", t.ts, last);
+            last = t.ts;
+        }
+    }
+
+    #[test]
+    fn streams_share_the_key_universe() {
+        let tuples: Vec<Tuple> = SyntheticGen::new(&tiny(1, 1)).collect();
+        let r_keys: std::collections::HashSet<u64> =
+            tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key).collect();
+        let s_keys: std::collections::HashSet<u64> =
+            tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key).collect();
+        let shared = r_keys.intersection(&s_keys).count();
+        assert!(shared > 10, "only {shared} shared keys — universes disagree");
+    }
+
+    #[test]
+    fn skewed_stream_is_more_concentrated_than_uniform() {
+        let tuples: Vec<Tuple> = SyntheticGen::new(&tiny(2, 0)).collect();
+        let mode_count = |side: Side| {
+            let mut counts = std::collections::HashMap::new();
+            for t in tuples.iter().filter(|t| t.side == side) {
+                *counts.entry(t.key).or_insert(0u64) += 1;
+            }
+            counts.values().copied().max().unwrap()
+        };
+        assert!(
+            mode_count(Side::R) > 3 * mode_count(Side::S),
+            "zipf-2 stream must have a far hotter mode than uniform"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<Tuple> = SyntheticGen::new(&tiny(1, 2)).collect();
+        let b: Vec<Tuple> = SyntheticGen::new(&tiny(1, 2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(SyntheticConfig::label(0, 2), "G02");
+        assert_eq!(ALL_GROUPS.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0, 1 or 2")]
+    fn rejects_out_of_paper_exponents() {
+        let _ = SyntheticConfig::group(3, 0);
+    }
+}

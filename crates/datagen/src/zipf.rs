@@ -1,0 +1,219 @@
+//! Zipf-distributed rank sampling by rejection inversion.
+//!
+//! The paper's synthetic datasets draw keys from Zipf distributions with
+//! exponents 1.0 and 2.0 over 10 million keys (§VI-A). A CDF table over
+//! that many ranks would cost ~80 MB per stream, so we implement W. Hörmann
+//! and G. Derflinger's *rejection-inversion* sampler ("Rejection-inversion
+//! to generate variates from monotone discrete distributions", ACM TOMACS
+//! 6(3), 1996) — O(1) memory, amortized ~1.03 uniforms per sample, exact
+//! for any exponent ≥ 0 (exponent 0 degenerates to the uniform
+//! distribution, which is how the `G0y` groups are generated).
+
+use rand::Rng;
+
+/// Samples ranks in `1..=n` with `P(rank = k) ∝ k^(-exponent)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with the given exponent.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or if `exponent` is negative or not finite.
+    #[must_use]
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one element");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "zipf exponent must be finite and >= 0, got {exponent}"
+        );
+        let mut z = Zipf { n, exponent, h_integral_x1: 0.0, h_integral_n: 0.0, s: 0.0 };
+        z.h_integral_x1 = z.h_integral(1.5) - 1.0;
+        z.h_integral_n = z.h_integral(n as f64 + 0.5);
+        z.s = 2.0 - z.h_integral_inverse(z.h_integral(2.5) - z.h(2.0));
+        z
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 =
+                self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = self.h_integral_inverse(u);
+            // Clamp to the valid rank range.
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h_integral(k + 0.5) - self.h(k) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// `H(x) = ∫ t^(-exponent) dt`, in the numerically stable form
+    /// `helper2((1-e)·ln x) · ln x`.
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - self.exponent) * log_x) * log_x
+    }
+
+    /// `h(x) = x^(-exponent)`.
+    fn h(&self, x: f64) -> f64 {
+        (-self.exponent * x.ln()).exp()
+    }
+
+    /// Inverse of `h_integral`.
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        let mut t = x * (1.0 - self.exponent);
+        if t < -1.0 {
+            // Numerical round-off; clamp to the domain of log1p.
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Exact unnormalized probability of rank `k` (for tests).
+    #[must_use]
+    pub fn weight(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        (k as f64).powf(-self.exponent)
+    }
+}
+
+/// `log1p(x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25))
+    }
+}
+
+/// `expm1(x)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, exponent: f64, draws: usize, seed: u64) -> Vec<u64> {
+        let z = Zipf::new(n, exponent);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            counts[(k - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn single_element_always_returns_one() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let counts = histogram(10, 0.0, 100_000, 3);
+        let expected = 10_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "rank {} count {} deviates {:.3}", i + 1, c, dev);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_theory_for_exponent_one() {
+        let n = 50u64;
+        let counts = histogram(n, 1.0, 200_000, 4);
+        let z = Zipf::new(n, 1.0);
+        let total_weight: f64 = (1..=n).map(|k| z.weight(k)).sum();
+        for k in [1u64, 2, 5, 10, 50] {
+            let expected = z.weight(k) / total_weight * 200_000.0;
+            let got = counts[(k - 1) as usize] as f64;
+            let dev = (got - expected).abs() / expected;
+            assert!(dev < 0.1, "rank {k}: expected {expected:.0}, got {got} (dev {dev:.3})");
+        }
+    }
+
+    #[test]
+    fn frequencies_are_monotone_decreasing_in_rank() {
+        let counts = histogram(20, 2.0, 300_000, 5);
+        // Allow small noise in the tail by comparing rank 1 ≥ 2 ≥ 4 ≥ 8.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts[3] > counts[7]);
+    }
+
+    #[test]
+    fn heavy_skew_concentrates_mass() {
+        let counts = histogram(1000, 2.0, 100_000, 6);
+        let top = counts[0] as f64 / 100_000.0;
+        // ζ(2) ≈ 1.645 → P(rank 1) ≈ 0.61.
+        assert!((top - 0.61).abs() < 0.03, "top-rank share {top}");
+    }
+
+    #[test]
+    fn large_keyspace_is_cheap_to_construct() {
+        // 10M keys, the paper's synthetic keyspace — must not allocate
+        // per-rank state.
+        let z = Zipf::new(10_000_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut max_seen = 0;
+        for _ in 0..10_000 {
+            max_seen = max_seen.max(z.sample(&mut rng));
+        }
+        assert!(max_seen > 100, "tail must be reachable");
+        assert!(max_seen <= 10_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be finite")]
+    fn rejects_negative_exponent() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Messages exchanged between runtime executors.
+//!
+//! Every join-instance executor has exactly one input channel carrying
+//! [`RtMsg`]; keeping data and control on the same FIFO channel is what
+//! gives the per-channel ordering the migration protocol requires (the
+//! same property Storm gives messages between two bolts).
+
+use fastjoin_core::load::InstanceLoad;
+use fastjoin_core::protocol::{InstanceMsg, MigrationDone, RouteRequest};
+
+/// Input to a join-instance executor.
+#[derive(Debug)]
+pub enum RtMsg {
+    /// A core protocol message (data or migration control).
+    Inst(InstanceMsg),
+    /// A probe-side tuple with its dispatch fan-out (how many instances
+    /// received it). The join of the original tuple completes when all
+    /// fan-out parts complete — the straggler penalty of broadcast-style
+    /// strategies.
+    Probe(fastjoin_core::tuple::Tuple, u32),
+    /// Monitor request: report the period's load statistics.
+    ReportRequest,
+    /// End of stream: process everything pending, then acknowledge and
+    /// stop. Sent by the dispatcher after the last data tuple.
+    Eos,
+}
+
+/// Input to the dispatcher executor.
+#[derive(Debug)]
+pub enum DispatcherMsg {
+    /// A raw tuple from a spout (timestamp assigned by the dispatcher).
+    Ingest(fastjoin_core::tuple::Tuple),
+    /// A routing update from a migration source.
+    Route {
+        /// Which group's table to update (0 = R, 1 = S).
+        group: usize,
+        /// The update.
+        req: RouteRequest,
+    },
+    /// All spouts are done: forward EOS to every instance and stop.
+    Eos,
+}
+
+/// Input to a monitor executor.
+#[derive(Debug)]
+pub enum MonitorMsg {
+    /// A load report from an instance.
+    Report {
+        /// Reporting instance.
+        id: usize,
+        /// Its period statistics.
+        load: InstanceLoad,
+    },
+    /// A migration round finished.
+    Done(MigrationDone),
+    /// Stop triggering new migrations and shut down once idle.
+    Quiesce,
+}
+
+/// Per-probe completion record sent to the collector.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRecord {
+    /// Result pairs this probe emitted.
+    pub matches: u64,
+    /// Microseconds from ingest to completion.
+    pub latency_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastjoin_core::tuple::Tuple;
+
+    #[test]
+    fn messages_are_constructible_and_debuggable() {
+        let m = RtMsg::Inst(InstanceMsg::Data(Tuple::r(1, 2, 3)));
+        assert!(format!("{m:?}").contains("Data"));
+        let d = DispatcherMsg::Eos;
+        assert!(format!("{d:?}").contains("Eos"));
+        let r = ProbeRecord { matches: 3, latency_us: 10 };
+        assert_eq!(r.matches, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Run reports for the threaded runtime.
+
+use fastjoin_core::instance::InstanceCounters;
+use fastjoin_core::metrics::{LogHistogram, TimeSeries};
+use fastjoin_core::monitor::MonitorStats;
+
+/// Everything measured during a topology run.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Wall-clock duration, microseconds.
+    pub duration_us: u64,
+    /// Tuples ingested from the workload.
+    pub tuples_ingested: u64,
+    /// Total join result pairs produced.
+    pub results_total: u64,
+    /// Probe-side tuples processed.
+    pub probes_total: u64,
+    /// Per-probe completion latency (µs) histogram.
+    pub latency: LogHistogram,
+    /// Results per second of wall time.
+    pub throughput: TimeSeries,
+    /// Final lifetime counters of every instance: `[R group, S group]`.
+    pub counters: [Vec<InstanceCounters>; 2],
+    /// Monitor statistics per group (`None` for static systems).
+    pub monitor_stats: [Option<MonitorStats>; 2],
+}
+
+impl RuntimeReport {
+    /// Results per wall-clock second, averaged over the run.
+    #[must_use]
+    pub fn results_per_sec(&self) -> f64 {
+        if self.duration_us == 0 {
+            0.0
+        } else {
+            self.results_total as f64 / (self.duration_us as f64 / 1e6)
+        }
+    }
+
+    /// Mean per-probe latency in microseconds.
+    #[must_use]
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean().unwrap_or(0.0)
+    }
+
+    /// Total migrations triggered across both groups.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.monitor_stats.iter().flatten().map(|s| s.triggered).sum()
+    }
+
+    /// Total tuples stored across one group's instances.
+    #[must_use]
+    pub fn stored_total(&self, group: usize) -> u64 {
+        self.counters[group].iter().map(|c| c.stored).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_zero_duration() {
+        let r = RuntimeReport {
+            duration_us: 0,
+            tuples_ingested: 0,
+            results_total: 0,
+            probes_total: 0,
+            latency: LogHistogram::new(),
+            throughput: TimeSeries::new(1_000_000),
+            counters: [Vec::new(), Vec::new()],
+            monitor_stats: [None, None],
+        };
+        assert_eq!(r.results_per_sec(), 0.0);
+        assert_eq!(r.mean_latency_us(), 0.0);
+        assert_eq!(r.migrations(), 0);
+    }
+}

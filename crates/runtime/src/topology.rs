@@ -1,0 +1,520 @@
+//! The threaded topology: spout → dispatcher → join instances → collector,
+//! with one monitor thread per group (the Storm deployment of §V, scaled
+//! to one process).
+//!
+//! Executor-to-executor communication uses crossbeam channels; each join
+//! instance has exactly one input channel, so all messages it receives are
+//! FIFO per sender — the ordering contract the migration protocol needs.
+//! The *data* channel into each instance is bounded (Storm-style
+//! backpressure propagating to the spout); every *control* edge
+//! (instance → dispatcher, instance → monitor, instance → collector,
+//! instance → instance) is unbounded, which breaks the only potential
+//! wait-for cycle (dispatcher blocked on a full instance queue while that
+//! instance publishes a routing update).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use fastjoin_baselines::{build_partitioners, SystemKind};
+use fastjoin_core::config::FastJoinConfig;
+use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
+use fastjoin_core::instance::JoinInstance;
+use fastjoin_core::metrics::{LogHistogram, TimeSeries};
+use fastjoin_core::monitor::{Monitor, MonitorStats};
+use fastjoin_core::protocol::{Effects, InstanceMsg};
+use fastjoin_core::selection::make_selector;
+use fastjoin_core::instance::Work;
+use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
+
+use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg};
+use crate::report::RuntimeReport;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Which system to run.
+    pub system: SystemKind,
+    /// Cluster configuration (instances, Θ, selector, window, …).
+    pub fastjoin: FastJoinConfig,
+    /// Capacity of each instance's input channel (backpressure bound).
+    pub queue_cap: usize,
+    /// Monitor sampling period in wall-clock milliseconds.
+    pub monitor_period_ms: u64,
+    /// Optional spout rate limit, tuples/second (None = full speed).
+    pub rate_limit: Option<f64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            system: SystemKind::FastJoin,
+            fastjoin: FastJoinConfig::default(),
+            queue_cap: 4096,
+            monitor_period_ms: 100,
+            rate_limit: None,
+        }
+    }
+}
+
+/// Handle used by instance executors to address their peers.
+struct GroupWiring {
+    /// Senders to every instance of this group.
+    to_instances: Vec<Sender<RtMsg>>,
+    /// Sender to this group's monitor (None for static systems).
+    to_monitor: Option<Sender<MonitorMsg>>,
+}
+
+/// Runs a complete topology over a workload and reports the measurements.
+///
+/// # Panics
+/// Panics if the configuration is invalid or a worker thread panics.
+pub fn run_topology(
+    cfg: &RuntimeConfig,
+    workload: impl IntoIterator<Item = Tuple>,
+) -> RuntimeReport {
+    run_topology_inner(cfg, workload, None)
+}
+
+/// Like [`run_topology`], but additionally streams every joined pair to
+/// `results` as it is produced (unordered across instances; exactly once).
+/// Dropping the receiver mid-run is safe — emission is best-effort.
+///
+/// # Panics
+/// Panics if the configuration is invalid or a worker thread panics.
+pub fn run_topology_with_results(
+    cfg: &RuntimeConfig,
+    workload: impl IntoIterator<Item = Tuple>,
+    results: Sender<JoinedPair>,
+) -> RuntimeReport {
+    run_topology_inner(cfg, workload, Some(results))
+}
+
+fn run_topology_inner(
+    cfg: &RuntimeConfig,
+    workload: impl IntoIterator<Item = Tuple>,
+    results: Option<Sender<JoinedPair>>,
+) -> RuntimeReport {
+    cfg.fastjoin.validate().expect("invalid configuration");
+    let n = cfg.fastjoin.instances_per_group;
+    let (r_part, s_part, dynamic) = build_partitioners(cfg.system, &cfg.fastjoin);
+    let start = Instant::now();
+    let now_us = move || start.elapsed().as_micros() as u64;
+
+    // Channels.
+    let (disp_data_tx, disp_data_rx) = bounded::<DispatcherMsg>(cfg.queue_cap);
+    let (disp_ctrl_tx, disp_ctrl_rx) = unbounded::<DispatcherMsg>();
+    let mut inst_txs: [Vec<Sender<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+    let mut inst_rxs: [Vec<Receiver<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+    for g in 0..2 {
+        for _ in 0..n {
+            let (tx, rx) = bounded::<RtMsg>(cfg.queue_cap);
+            inst_txs[g].push(tx);
+            inst_rxs[g].push(rx);
+        }
+    }
+    let (collector_tx, collector_rx) = unbounded::<CollectorMsg>();
+    let mut mon_txs: [Option<Sender<MonitorMsg>>; 2] = [None, None];
+    let mut mon_rxs: [Option<Receiver<MonitorMsg>>; 2] = [None, None];
+    if dynamic {
+        for g in 0..2 {
+            let (tx, rx) = unbounded::<MonitorMsg>();
+            mon_txs[g] = Some(tx);
+            mon_rxs[g] = Some(rx);
+        }
+    }
+    let mut handles = Vec::new();
+
+    // --- Dispatcher executor ------------------------------------------
+    {
+        let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()];
+        let data_rx = disp_data_rx;
+        let ctrl_rx = disp_ctrl_rx;
+        handles.push(
+            thread::Builder::new()
+                .name("dispatcher".into())
+                .spawn(move || {
+                    let mut dispatcher = Dispatcher::new(r_part, s_part);
+                    let mut scratch = Dispatch::default();
+                    loop {
+                        // Select across data and control; whichever order
+                        // they are served in, an instance's buffer catches
+                        // any selected-key data that was routed before the
+                        // table update (see core::instance). The control
+                        // channel never disconnects before the data channel
+                        // (instances outlive the spout), so data closure is
+                        // the shutdown signal.
+                        let msg = crossbeam::select! {
+                            recv(ctrl_rx) -> m => match m {
+                                Ok(m) => m,
+                                // Control senders all gone: only data can
+                                // arrive now. Block on it instead of
+                                // spinning through the always-ready
+                                // disconnected arm.
+                                Err(_) => match data_rx.recv() {
+                                    Ok(m) => m,
+                                    Err(_) => break,
+                                },
+                            },
+                            recv(data_rx) -> m => match m {
+                                Ok(m) => m,
+                                Err(_) => break,
+                            },
+                        };
+                        match msg {
+                            DispatcherMsg::Ingest(mut t) => {
+                                // The shuffler stamps tuples at ingest (§V).
+                                t.ts = now_us();
+                                dispatcher.dispatch_into(t, &mut scratch);
+                                let t = scratch.tuple;
+                                let own = t.side.index();
+                                let opp = t.side.opposite().index();
+                                let fanout = scratch.probe_dests.len() as u32;
+                                let _ = inst_txs[own][scratch.store_dest]
+                                    .send(RtMsg::Inst(InstanceMsg::Data(t)));
+                                for &d in &scratch.probe_dests {
+                                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout));
+                                }
+                            }
+                            DispatcherMsg::Route { group, req } => {
+                                let ok = dispatcher
+                                    .apply_route(if group == 0 { Side::R } else { Side::S }, &req);
+                                assert!(ok, "route update on non-migratable partitioner");
+                                let _ = inst_txs[group][req.source]
+                                    .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
+                            }
+                            DispatcherMsg::Eos => {
+                                for group in &inst_txs {
+                                    for tx in group {
+                                        let _ = tx.send(RtMsg::Eos);
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn dispatcher"),
+        );
+    }
+
+    // --- Instance executors -------------------------------------------
+    for g in 0..2 {
+        let side = if g == 0 { Side::R } else { Side::S };
+        for (i, rx) in inst_rxs[g].iter().enumerate() {
+            let rx = rx.clone();
+            let wiring = GroupWiring {
+                to_instances: inst_txs[g].clone(),
+                to_monitor: mon_txs[g].clone(),
+            };
+            let disp_ctrl = disp_ctrl_tx.clone();
+            let collector = collector_tx.clone();
+            let fj = cfg.fastjoin.clone();
+            let results = results.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("join-{side}-{i}"))
+                    .spawn(move || {
+                        instance_loop(
+                            g, i, side, &fj, &rx, &wiring, &disp_ctrl, &collector, &now_us,
+                            results,
+                        );
+                    })
+                    .expect("spawn instance"),
+            );
+        }
+    }
+
+    // --- Monitor executors --------------------------------------------
+    let (quiesce_ack_tx, quiesce_ack_rx) = unbounded::<usize>();
+    if dynamic {
+        for g in 0..2 {
+            let rx = mon_rxs[g].take().expect("dynamic groups have monitors");
+            let to_instances = inst_txs[g].clone();
+            let fj = cfg.fastjoin.clone();
+            let period = Duration::from_millis(cfg.monitor_period_ms);
+            let collector = collector_tx.clone();
+            let ack = quiesce_ack_tx.clone();
+                handles.push(
+                thread::Builder::new()
+                    .name(format!("monitor-{g}"))
+                    .spawn(move || {
+                        monitor_loop(g, &fj, period, &rx, &to_instances, &collector, &ack, &now_us);
+                    })
+                    .expect("spawn monitor"),
+            );
+        }
+    }
+    drop(quiesce_ack_tx);
+    drop(collector_tx);
+    drop(disp_ctrl_tx);
+    // Drop our copies of the instance senders so channels disconnect once
+    // the dispatcher and monitors are done with theirs.
+    inst_txs = [Vec::new(), Vec::new()];
+    debug_assert!(inst_txs.iter().all(Vec::is_empty));
+
+    // --- Spout (this thread) ------------------------------------------
+    let mut ingested = 0u64;
+    let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
+    let mut next_send = Instant::now();
+    for t in workload {
+        if let Some(gap) = gap {
+            while Instant::now() < next_send {
+                std::hint::spin_loop();
+            }
+            next_send += gap;
+        }
+        disp_data_tx.send(DispatcherMsg::Ingest(t)).expect("dispatcher alive");
+        ingested += 1;
+    }
+
+    // --- Shutdown handshake -------------------------------------------
+    if dynamic {
+        for tx in mon_txs.iter().flatten() {
+            let _ = tx.send(MonitorMsg::Quiesce);
+        }
+        // Wait for both monitors to confirm no round is in flight.
+        let mut acked = 0;
+        while acked < 2 {
+            match quiesce_ack_rx.recv_timeout(Duration::from_secs(60)) {
+                Ok(_) => acked += 1,
+                Err(e) => panic!("monitor quiesce timed out: {e}"),
+            }
+        }
+    }
+    mon_txs = [None, None];
+    let _ = &mon_txs;
+    disp_data_tx.send(DispatcherMsg::Eos).expect("dispatcher alive");
+    drop(disp_data_tx);
+
+    // --- Collect -------------------------------------------------------
+    let mut latency = LogHistogram::new();
+    let mut throughput = TimeSeries::new(1_000_000);
+    let mut results_total = 0u64;
+    let mut probes_total = 0u64;
+    let mut counters: [Vec<_>; 2] =
+        [vec![Default::default(); n], vec![Default::default(); n]];
+    let mut done = 0;
+    let mut monitor_stats: [Option<MonitorStats>; 2] = [None, None];
+    // seq → (fan-out parts left, max latency seen so far).
+    let mut fanout_left: std::collections::HashMap<u64, (u32, u64)> =
+        std::collections::HashMap::new();
+    while let Ok(msg) = collector_rx.recv() {
+        match msg {
+            CollectorMsg::Probe { seq, fanout, record } => {
+                results_total += record.matches;
+                throughput.record(now_us(), record.matches as f64);
+                let entry = fanout_left.entry(seq).or_insert((fanout, 0));
+                entry.0 -= 1;
+                entry.1 = entry.1.max(record.latency_us);
+                let done_probe = entry.0 == 0;
+                if done_probe {
+                    let (_, max_lat) = fanout_left.remove(&seq).expect("entry exists");
+                    probes_total += 1;
+                    latency.record(max_lat);
+                }
+            }
+            CollectorMsg::InstanceDone { group, id, counters: c } => {
+                counters[group][id] = c;
+                done += 1;
+                if done == 2 * n {
+                    break;
+                }
+            }
+            CollectorMsg::MonitorDone { group, stats } => {
+                monitor_stats[group] = Some(stats);
+            }
+        }
+    }
+    // Monitors report their stats after the last instance exits.
+    if dynamic {
+        while monitor_stats.iter().any(Option::is_none) {
+            match collector_rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(CollectorMsg::MonitorDone { group, stats }) => {
+                    monitor_stats[group] = Some(stats);
+                }
+                Ok(_) => {}
+                Err(e) => panic!("monitor stats never arrived: {e}"),
+            }
+        }
+    }
+
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    RuntimeReport {
+        duration_us: now_us(),
+        tuples_ingested: ingested,
+        results_total,
+        probes_total,
+        latency,
+        throughput,
+        counters,
+        monitor_stats,
+    }
+}
+
+/// Messages into the collector.
+enum CollectorMsg {
+    Probe {
+        seq: u64,
+        fanout: u32,
+        record: ProbeRecord,
+    },
+    InstanceDone {
+        group: usize,
+        id: usize,
+        counters: fastjoin_core::instance::InstanceCounters,
+    },
+    MonitorDone {
+        group: usize,
+        stats: MonitorStats,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn instance_loop(
+    group: usize,
+    id: usize,
+    side: Side,
+    fj: &FastJoinConfig,
+    rx: &Receiver<RtMsg>,
+    wiring: &GroupWiring,
+    disp_ctrl: &Sender<DispatcherMsg>,
+    collector: &Sender<CollectorMsg>,
+    now_us: &dyn Fn() -> u64,
+    results: Option<Sender<JoinedPair>>,
+) {
+    let mut inst = JoinInstance::new(id, side, fj.window);
+    // Pairs are only materialized when a consumer wants them.
+    inst.set_emit_pairs(results.is_some());
+    inst.set_migration_mode(fj.migration_mode);
+    let mut selector = make_selector(&FastJoinConfig {
+        seed: fj.seed.wrapping_add(group as u64).wrapping_add(id as u64 * 97),
+        ..fj.clone()
+    });
+    let mut fx = Effects::new();
+    let mut eos = false;
+    // Fan-out of the probe currently being processed, keyed by seq.
+    let mut probe_fanout: std::collections::HashMap<u64, u32> =
+        std::collections::HashMap::new();
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            RtMsg::Inst(m) => inst.handle(m, selector.as_mut(), fj.theta_gap, &mut fx),
+            RtMsg::Probe(t, fanout) => {
+                probe_fanout.insert(t.seq, fanout);
+                inst.handle(InstanceMsg::Data(t), selector.as_mut(), fj.theta_gap, &mut fx);
+            }
+            RtMsg::ReportRequest => {
+                inst.collect_expired();
+                let load = inst.take_load_report();
+                if let Some(mon) = &wiring.to_monitor {
+                    let _ = mon.send(MonitorMsg::Report { id, load });
+                }
+            }
+            RtMsg::Eos => eos = true,
+        }
+        flush_instance_effects(group, id, &mut fx, wiring, disp_ctrl, collector, &results);
+        // Process everything currently pending before taking new input.
+        while let Some(work) = inst.process_next(&mut fx) {
+            if let Work::Probe { tuple, matches, .. } = work {
+                let fanout = probe_fanout.remove(&tuple.seq).unwrap_or(1);
+                let record = ProbeRecord {
+                    matches,
+                    latency_us: now_us().saturating_sub(tuple.ts),
+                };
+                let _ = collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
+            }
+            flush_instance_effects(group, id, &mut fx, wiring, disp_ctrl, collector, &results);
+        }
+        if eos && inst.migration_state().is_idle() {
+            let _ = collector.send(CollectorMsg::InstanceDone {
+                group,
+                id,
+                counters: inst.counters(),
+            });
+            break;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flush_instance_effects(
+    group: usize,
+    _id: usize,
+    fx: &mut Effects,
+    wiring: &GroupWiring,
+    disp_ctrl: &Sender<DispatcherMsg>,
+    _collector: &Sender<CollectorMsg>,
+    results: &Option<Sender<JoinedPair>>,
+) {
+    if let Some(tx) = results {
+        for pair in fx.joined.drain(..) {
+            let _ = tx.send(pair); // receiver may have hung up — best effort
+        }
+    } else {
+        fx.joined.clear(); // pairs are not materialized without a consumer
+    }
+    for (to, msg) in fx.sends.drain(..) {
+        let _ = wiring.to_instances[to].send(RtMsg::Inst(msg));
+    }
+    for req in fx.route_requests.drain(..) {
+        let _ = disp_ctrl.send(DispatcherMsg::Route { group, req });
+    }
+    for done in fx.migration_done.drain(..) {
+        if let Some(mon) = &wiring.to_monitor {
+            let _ = mon.send(MonitorMsg::Done(done));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn monitor_loop(
+    group: usize,
+    fj: &FastJoinConfig,
+    period: Duration,
+    rx: &Receiver<MonitorMsg>,
+    to_instances: &[Sender<RtMsg>],
+    collector: &Sender<CollectorMsg>,
+    quiesce_ack: &Sender<usize>,
+    now_us: &dyn Fn() -> u64,
+) {
+    let n = to_instances.len();
+    // The runtime's monitor clock is wall-clock milliseconds.
+    let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown / 1000);
+    let mut quiescing = false;
+    let mut acked = false;
+    let mut next_tick = Instant::now() + period;
+    #[allow(clippy::while_let_loop)] // the loop body has multiple exits
+    loop {
+        // Ask every instance for its period statistics.
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(timeout) {
+            Ok(MonitorMsg::Report { id, load }) => monitor.on_report(id, load),
+            Ok(MonitorMsg::Done(done)) => {
+                monitor.on_migration_done(done, now_us() / 1000);
+            }
+            Ok(MonitorMsg::Quiesce) => quiescing = true,
+            Err(RecvTimeoutError::Timeout) => {
+                next_tick += period;
+                for tx in to_instances {
+                    let _ = tx.send(RtMsg::ReportRequest);
+                }
+                if !quiescing {
+                    if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
+                        let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if quiescing && !acked && !monitor.migration_in_flight() {
+            let _ = quiesce_ack.send(group);
+            acked = true;
+        }
+    }
+    let _ = collector.send(CollectorMsg::MonitorDone { group, stats: monitor.stats() });
+}

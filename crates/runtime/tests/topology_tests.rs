@@ -1,0 +1,200 @@
+//! Integration tests for the threaded runtime: completeness and migration
+//! correctness under real concurrency.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_core::config::{FastJoinConfig, WindowConfig};
+use fastjoin_core::tuple::Tuple;
+use fastjoin_runtime::{run_topology, RuntimeConfig};
+
+fn cfg(system: SystemKind, n: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        system,
+        fastjoin: FastJoinConfig {
+            instances_per_group: n,
+            theta: 1.5,
+            migration_cooldown: 50_000, // 50 ms in the runtime's µs clock
+            ..FastJoinConfig::default()
+        },
+        queue_cap: 256,
+        monitor_period_ms: 20,
+        rate_limit: None,
+    }
+}
+
+/// `pairs` copies of each of `keys` keys on both sides → keys·pairs² results.
+fn uniform_workload(keys: u64, pairs: u64) -> Vec<Tuple> {
+    let mut tuples = Vec::new();
+    for i in 0..pairs {
+        for k in 0..keys {
+            tuples.push(Tuple::r(k, 0, i));
+            tuples.push(Tuple::s(k, 0, i));
+        }
+    }
+    tuples
+}
+
+#[test]
+fn fastjoin_topology_is_complete() {
+    let report = run_topology(&cfg(SystemKind::FastJoin, 4), uniform_workload(10, 20));
+    assert_eq!(report.tuples_ingested, 400);
+    assert_eq!(report.results_total, 10 * 20 * 20);
+    // In the biclique, *every* tuple probes the opposite group once.
+    assert_eq!(report.probes_total, 400, "every tuple probes exactly once");
+}
+
+#[test]
+fn every_system_is_complete_under_concurrency() {
+    for system in [
+        SystemKind::FastJoin,
+        SystemKind::BiStream,
+        SystemKind::BiStreamContRand,
+        SystemKind::Broadcast,
+    ] {
+        let report = run_topology(&cfg(system, 8), uniform_workload(7, 30));
+        assert_eq!(
+            report.results_total,
+            7 * 30 * 30,
+            "{:?} lost or duplicated results",
+            system
+        );
+        assert_eq!(report.probes_total, 420, "{system:?} probe completions");
+    }
+}
+
+#[test]
+fn skewed_workload_triggers_real_migrations() {
+    // One hot key carries most of the load; run long enough for several
+    // monitor periods. Throttle the spout so the run spans monitor ticks.
+    let mut tuples = Vec::new();
+    for i in 0..30_000u64 {
+        let key = if i % 4 != 0 { 999 } else { i % 97 };
+        if i % 5 == 0 {
+            tuples.push(Tuple::r(key, 0, i));
+        } else {
+            tuples.push(Tuple::s(key, 0, i));
+        }
+    }
+    let mut c = cfg(SystemKind::FastJoin, 4);
+    c.rate_limit = Some(60_000.0); // ~500 ms run, ~25 monitor periods
+    let report = run_topology(&c, tuples.clone());
+
+    // Completeness: per-key cross products.
+    let mut r_counts = std::collections::HashMap::new();
+    let mut s_counts = std::collections::HashMap::new();
+    for t in &tuples {
+        match t.side {
+            fastjoin_core::tuple::Side::R => *r_counts.entry(t.key).or_insert(0u64) += 1,
+            fastjoin_core::tuple::Side::S => *s_counts.entry(t.key).or_insert(0u64) += 1,
+        }
+    }
+    let expected: u64 =
+        r_counts.iter().map(|(k, r)| r * s_counts.get(k).copied().unwrap_or(0)).sum();
+    assert_eq!(report.results_total, expected, "migration must not lose or duplicate joins");
+    assert!(
+        report.migrations() > 0,
+        "hot key should trigger at least one migration; stats: {:?}",
+        report.monitor_stats
+    );
+}
+
+#[test]
+fn windowed_topology_respects_the_window() {
+    // All R tuples are ingested (and thus timestamped) well before the S
+    // probes; with a tiny window nothing matches, with a huge one all do.
+    let n_pairs = 50u64;
+    let make = |sub_window_len: u64| {
+        let mut c = cfg(SystemKind::FastJoin, 2);
+        c.fastjoin.window = Some(WindowConfig { sub_windows: 4, sub_window_len });
+        c.rate_limit = Some(5_000.0); // 200 µs between tuples
+        let mut tuples = Vec::new();
+        for i in 0..n_pairs {
+            tuples.push(Tuple::r(i % 5, 0, i));
+        }
+        for i in 0..n_pairs {
+            tuples.push(Tuple::s(i % 5, 0, i));
+        }
+        run_topology(&c, tuples)
+    };
+    let huge = make(10_000_000); // 40 s window — everything joins
+    assert_eq!(huge.results_total, 5 * 10 * 10);
+    let tiny = make(10); // 40 µs window — probes ingested ≥ 200 µs later
+    assert!(
+        tiny.results_total < huge.results_total / 2,
+        "tiny window must drop most joins: {} vs {}",
+        tiny.results_total,
+        huge.results_total
+    );
+}
+
+#[test]
+fn empty_workload_shuts_down_cleanly() {
+    let report = run_topology(&cfg(SystemKind::FastJoin, 2), Vec::new());
+    assert_eq!(report.results_total, 0);
+    assert_eq!(report.tuples_ingested, 0);
+}
+
+#[test]
+fn latency_histogram_is_populated() {
+    let report = run_topology(&cfg(SystemKind::BiStream, 2), uniform_workload(5, 10));
+    assert_eq!(report.latency.count(), 100, "both sides probe");
+    assert!(report.mean_latency_us() > 0.0);
+}
+
+#[test]
+fn per_instance_counters_account_for_every_tuple() {
+    let report = run_topology(&cfg(SystemKind::BiStream, 4), uniform_workload(11, 13));
+    // R tuples stored in group 0, S tuples in group 1.
+    assert_eq!(report.stored_total(0), 11 * 13);
+    assert_eq!(report.stored_total(1), 11 * 13);
+    let probed_r: u64 = report.counters[0].iter().map(|c| c.probed).sum();
+    assert_eq!(probed_r, 11 * 13, "every S tuple probes the R group once");
+}
+
+#[test]
+fn rate_limit_slows_the_spout() {
+    let t0 = std::time::Instant::now();
+    let mut c = cfg(SystemKind::BiStream, 2);
+    c.rate_limit = Some(10_000.0);
+    let _ = run_topology(&c, uniform_workload(5, 100)); // 1000 tuples at 10k/s
+    assert!(t0.elapsed().as_millis() >= 90, "1000 tuples at 10k/s must take ≥ ~100 ms");
+}
+
+#[test]
+fn result_stream_carries_every_pair_exactly_once() {
+    use fastjoin_core::tuple::JoinedPair;
+    let (tx, rx) = crossbeam::channel::unbounded::<JoinedPair>();
+    let handle = std::thread::spawn(move || {
+        let mut pairs = Vec::new();
+        while let Ok(p) = rx.recv() {
+            pairs.push(p);
+        }
+        pairs
+    });
+    let report = fastjoin_runtime::run_topology_with_results(
+        &cfg(SystemKind::FastJoin, 4),
+        uniform_workload(6, 15),
+        tx,
+    );
+    let pairs = handle.join().unwrap();
+    assert_eq!(pairs.len() as u64, report.results_total);
+    assert_eq!(pairs.len(), 6 * 15 * 15);
+    let mut ids: Vec<_> = pairs.iter().map(JoinedPair::identity).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), pairs.len(), "duplicate pairs in the result stream");
+    for p in &pairs {
+        assert_eq!(p.left.key, p.right.key);
+    }
+}
+
+#[test]
+fn dropping_the_result_receiver_is_harmless() {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    drop(rx); // consumer went away before the run
+    let report = fastjoin_runtime::run_topology_with_results(
+        &cfg(SystemKind::BiStream, 2),
+        uniform_workload(3, 10),
+        tx,
+    );
+    assert_eq!(report.results_total, 3 * 10 * 10);
+}

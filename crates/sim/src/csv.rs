@@ -1,0 +1,122 @@
+//! CSV export of simulation reports, for external plotting.
+//!
+//! One row per report period with the three quantities every figure of the
+//! paper plots: throughput (results/period), mean latency (µs), and the
+//! degree of load imbalance.
+
+use std::io::{self, Write};
+
+use crate::driver::SimReport;
+
+/// Writes `second,throughput,latency_us,imbalance` rows for the whole run.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_report_csv<W: Write>(out: W, report: &SimReport) -> io::Result<()> {
+    let mut w = io::BufWriter::new(out);
+    writeln!(w, "second,throughput,latency_us,imbalance")?;
+    let thpt = report.metrics.throughput.sums();
+    let lat = report.metrics.latency.means();
+    let li = report.metrics.imbalance.means();
+    let periods = thpt.len().max(lat.len()).max(li.len());
+    let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.3}"));
+    for p in 0..periods {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            p,
+            thpt.get(p).map_or(String::new(), |v| format!("{v:.0}")),
+            fmt_opt(lat.get(p).copied().flatten()),
+            fmt_opt(li.get(p).copied().flatten()),
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes the per-instance load series (Fig. 1c data) as
+/// `second,instance,load` rows. Requires the run to have been made with
+/// `record_instance_loads`.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_instance_loads_csv<W: Write>(out: W, report: &SimReport) -> io::Result<()> {
+    let mut w = io::BufWriter::new(out);
+    writeln!(w, "second,instance,load")?;
+    for (i, series) in report.instance_loads.iter().enumerate() {
+        for (p, v) in series.means().iter().enumerate() {
+            if let Some(v) = v {
+                writeln!(w, "{p},{i},{v:.3}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{SimConfig, Simulation};
+    use fastjoin_core::config::FastJoinConfig;
+    use fastjoin_core::tuple::Tuple;
+
+    fn tiny_report(record_loads: bool) -> SimReport {
+        let cfg = SimConfig {
+            fastjoin: FastJoinConfig {
+                instances_per_group: 2,
+                monitor_period: 100_000,
+                ..FastJoinConfig::default()
+            },
+            record_instance_loads: record_loads,
+            ..SimConfig::default()
+        };
+        let tuples = (0..2_000u64).flat_map(|i| {
+            let ts = i * 500;
+            [Tuple::r(i % 5, ts, 0), Tuple::s(i % 5, ts, 0)]
+        });
+        Simulation::new(cfg, tuples).run()
+    }
+
+    #[test]
+    fn report_csv_has_header_and_rows() {
+        let report = tiny_report(false);
+        let mut buf = Vec::new();
+        write_report_csv(&mut buf, &report).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("second,throughput,latency_us,imbalance"));
+        let rows: Vec<&str> = lines.collect();
+        assert!(!rows.is_empty());
+        // Every row: 4 comma-separated fields, first is the period index.
+        for (i, row) in rows.iter().enumerate() {
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields.len(), 4, "{row}");
+            assert_eq!(fields[0], i.to_string());
+        }
+        // At least one row carries a throughput number.
+        assert!(rows.iter().any(|r| !r.split(',').nth(1).unwrap().is_empty()));
+    }
+
+    #[test]
+    fn instance_loads_csv_lists_all_instances() {
+        let report = tiny_report(true);
+        let mut buf = Vec::new();
+        write_instance_loads_csv(&mut buf, &report).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("second,instance,load\n"));
+        for inst in ["0", "1"] {
+            assert!(
+                text.lines().any(|l| l.split(',').nth(1) == Some(inst)),
+                "instance {inst} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_loads_csv_is_empty_without_recording() {
+        let report = tiny_report(false);
+        let mut buf = Vec::new();
+        write_instance_loads_csv(&mut buf, &report).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1, "header only");
+    }
+}

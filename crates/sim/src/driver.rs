@@ -1,0 +1,703 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Simulation`] wires the FastJoin core components (dispatcher, join
+//! instances, monitors) to the event queue of [`crate::event`] with the
+//! service/network costs of [`crate::cost`]. Each join instance is a
+//! single-server queue: it serves one tuple at a time, its service time is
+//! given by the cost model, and its input queue is the instance's own
+//! pending queue.
+//!
+//! Two Storm-realistic behaviours matter for reproducing the paper's
+//! curves:
+//!
+//! * **Ingest timestamping** — the paper's shuffler "assigns timestamps
+//!   to tuples" at ingest (§V). The driver therefore rewrites each tuple's
+//!   `ts` to the simulated ingest time; the workload's own timestamps only
+//!   define the *offered* arrival schedule. Windows and latency are thus
+//!   measured in one coherent clock.
+//! * **Backpressure** — like Storm's `max.spout.pending`, ingest stalls
+//!   while any instance's pending queue exceeds `queue_cap`. Offered load
+//!   above system capacity then yields throughput = capacity (what the
+//!   paper's "maximize the input rate" methodology measures) instead of
+//!   unbounded queues.
+//!
+//! The simulation is fully deterministic for a given workload and seed.
+
+use fastjoin_core::config::FastJoinConfig;
+use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
+use fastjoin_core::instance::{JoinInstance, Work};
+use fastjoin_core::metrics::RunMetrics;
+use fastjoin_core::monitor::{Monitor, MonitorStats};
+use fastjoin_core::protocol::{Effects, InstanceMsg};
+use fastjoin_core::selection::{make_selector, KeySelector};
+use fastjoin_core::tuple::{Side, Tuple};
+use fastjoin_baselines::{build_partitioners, SystemKind};
+
+use crate::cost::CostModel;
+use crate::event::{ChannelClock, Endpoint, Event, EventQueue, SimTime};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Which system to simulate.
+    pub system: SystemKind,
+    /// FastJoin/cluster configuration (instances, Θ, selector, window, …).
+    pub fastjoin: FastJoinConfig,
+    /// Service and network cost model.
+    pub cost: CostModel,
+    /// Metric bucket width, µs (the paper reports per second).
+    pub report_period: u64,
+    /// Hard stop of simulated time, µs.
+    pub max_time: SimTime,
+    /// Backpressure threshold: ingest stalls while any instance's pending
+    /// queue exceeds this many tuples.
+    pub queue_cap: usize,
+    /// How long a stalled ingest waits before retrying, µs.
+    pub backpressure_retry: SimTime,
+    /// Record per-instance load time series of the R group (Fig. 1c).
+    pub record_instance_loads: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            system: SystemKind::FastJoin,
+            fastjoin: FastJoinConfig::default(),
+            cost: CostModel::default(),
+            report_period: 1_000_000,
+            max_time: 60_000_000,
+            queue_cap: 2048,
+            backpressure_retry: 1_000,
+            record_instance_loads: false,
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Throughput/latency/imbalance series (see
+    /// [`fastjoin_core::metrics::RunMetrics`]).
+    pub metrics: RunMetrics,
+    /// Total join result pairs emitted.
+    pub results_total: u64,
+    /// Total workload tuples ingested.
+    pub tuples_ingested: u64,
+    /// Simulated time at termination, µs.
+    pub duration: SimTime,
+    /// Monitor statistics per group (`None` for static systems).
+    pub monitor_stats: [Option<MonitorStats>; 2],
+    /// Per-instance load series of the R group (only when
+    /// `record_instance_loads`).
+    pub instance_loads: Vec<fastjoin_core::metrics::TimeSeries>,
+    /// Tuples ingested per report period.
+    pub ingest_series: fastjoin_core::metrics::TimeSeries,
+    /// Total stored tuples (R group) sampled at monitor ticks.
+    pub stored_series: fastjoin_core::metrics::TimeSeries,
+    /// Total pending tuples (both groups) sampled at monitor ticks.
+    pub pending_series: fastjoin_core::metrics::TimeSeries,
+    /// Per-instance stored-tuple counts at termination (R group).
+    pub final_stored_r: Vec<u64>,
+    /// Per-instance total busy time, µs: `[R group, S group]`.
+    pub busy_us: [Vec<u64>; 2],
+}
+
+impl SimReport {
+    /// Average throughput (results/period) over `[from, to)` report
+    /// periods.
+    #[must_use]
+    pub fn avg_throughput(&self, from: usize, to: usize) -> f64 {
+        self.metrics.throughput.mean_sum_over(from, to)
+    }
+
+    /// Average per-probe latency, µs, over `[from, to)` report periods.
+    #[must_use]
+    pub fn avg_latency_us(&self, from: usize, to: usize) -> f64 {
+        self.metrics.latency.mean_value_over(from, to)
+    }
+
+    /// Average sampled imbalance over `[from, to)` report periods.
+    #[must_use]
+    pub fn avg_imbalance(&self, from: usize, to: usize) -> f64 {
+        self.metrics.imbalance.mean_value_over(from, to)
+    }
+
+    /// Number of report periods covered.
+    #[must_use]
+    pub fn periods(&self) -> usize {
+        self.metrics.throughput.len()
+    }
+
+    /// Total migrations triggered (both groups).
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.monitor_stats.iter().flatten().map(|s| s.triggered).sum()
+    }
+}
+
+struct Server {
+    inst: JoinInstance,
+    busy: bool,
+    /// Total service time accumulated, µs (utilization diagnostics).
+    busy_us: u64,
+    pause_until: SimTime,
+    /// Join results produced by the in-service tuple, emitted at
+    /// completion.
+    in_service_matches: u64,
+    /// `(seq, ingest ts)` of the in-service tuple if it was a probe.
+    in_service_probe: Option<(u64, u64)>,
+}
+
+struct SimGroup {
+    servers: Vec<Server>,
+    monitor: Option<Monitor>,
+    selector: Box<dyn KeySelector + Send>,
+}
+
+/// The simulation state machine.
+pub struct Simulation<W: Iterator<Item = Tuple>> {
+    cfg: SimConfig,
+    workload: W,
+    next_tuple: Option<Tuple>,
+    dispatcher: Dispatcher,
+    groups: [SimGroup; 2],
+    queue: EventQueue,
+    channels: ChannelClock,
+    now: SimTime,
+    fx: Effects,
+    scratch: Dispatch,
+    metrics: RunMetrics,
+    results_total: u64,
+    tuples_ingested: u64,
+    /// Outstanding probe fan-out counts by dispatch seq. A probe's join is
+    /// complete — and its latency measured — only when every instance it
+    /// was fanned out to has processed it (the straggler penalty of
+    /// broadcast-style strategies).
+    probe_fanout: std::collections::HashMap<u64, u32>,
+    instance_loads: Vec<fastjoin_core::metrics::TimeSeries>,
+    ingest_series: fastjoin_core::metrics::TimeSeries,
+    stored_series: fastjoin_core::metrics::TimeSeries,
+    pending_series: fastjoin_core::metrics::TimeSeries,
+}
+
+impl<W: Iterator<Item = Tuple>> Simulation<W> {
+    /// Creates a simulation over a timestamp-ordered workload.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: SimConfig, mut workload: W) -> Self {
+        cfg.fastjoin.validate().expect("invalid configuration");
+        let n = cfg.fastjoin.instances_per_group;
+        let (r_part, s_part, dynamic) = build_partitioners(cfg.system, &cfg.fastjoin);
+        let make_group = |side: Side, seed_offset: u64| SimGroup {
+            servers: (0..n)
+                .map(|i| {
+                    let mut inst = JoinInstance::new(i, side, cfg.fastjoin.window);
+                    // The simulator measures counts and timing only.
+                    inst.set_emit_pairs(false);
+                    inst.set_migration_mode(cfg.fastjoin.migration_mode);
+                    Server {
+                    inst,
+                    busy: false,
+                    busy_us: 0,
+                    pause_until: 0,
+                    in_service_matches: 0,
+                    in_service_probe: None,
+                }})
+                .collect(),
+            monitor: dynamic
+                .then(|| Monitor::new(n, cfg.fastjoin.theta, cfg.fastjoin.migration_cooldown)),
+            selector: make_selector(&FastJoinConfig {
+                seed: cfg.fastjoin.seed.wrapping_add(seed_offset),
+                ..cfg.fastjoin.clone()
+            }),
+        };
+        let mut queue = EventQueue::new();
+        let next_tuple = workload.next();
+        if let Some(t) = &next_tuple {
+            queue.push(t.ts, Event::Arrival);
+        }
+        queue.push(cfg.fastjoin.monitor_period, Event::MonitorTick);
+        let instance_loads = if cfg.record_instance_loads {
+            (0..n).map(|_| fastjoin_core::metrics::TimeSeries::new(cfg.report_period)).collect()
+        } else {
+            Vec::new()
+        };
+        Simulation {
+            metrics: RunMetrics::new(cfg.report_period),
+            dispatcher: Dispatcher::new(r_part, s_part),
+            groups: [make_group(Side::R, 0), make_group(Side::S, 1)],
+            queue,
+            channels: ChannelClock::new(),
+            now: 0,
+            fx: Effects::new(),
+            scratch: Dispatch::default(),
+            results_total: 0,
+            tuples_ingested: 0,
+            probe_fanout: std::collections::HashMap::new(),
+            instance_loads,
+            ingest_series: fastjoin_core::metrics::TimeSeries::new(cfg.report_period),
+            stored_series: fastjoin_core::metrics::TimeSeries::new(cfg.report_period),
+            pending_series: fastjoin_core::metrics::TimeSeries::new(cfg.report_period),
+            next_tuple,
+            workload,
+            cfg,
+        }
+    }
+
+    /// Runs to completion (workload exhausted and system drained, or
+    /// `max_time` reached) and returns the report.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        while let Some((time, event)) = self.queue.pop() {
+            if time > self.cfg.max_time {
+                self.now = self.cfg.max_time;
+                break;
+            }
+            self.now = time;
+            match event {
+                Event::Arrival => self.on_arrival(),
+                Event::Delivery { group, dest, msg } => self.on_delivery(group, dest, msg),
+                Event::RouteAtDispatcher { group, req } => {
+                    let side = if group == 0 { Side::R } else { Side::S };
+                    let supported = self.dispatcher.apply_route(side, &req);
+                    assert!(supported, "migration on a non-migratable partitioner");
+                    let delivery = self.channels.send(
+                        Endpoint::Dispatcher,
+                        Endpoint::Instance(group, req.source),
+                        self.now + self.cfg.cost.network_latency as SimTime,
+                    );
+                    self.queue.push(
+                        delivery,
+                        Event::Delivery {
+                            group,
+                            dest: req.source,
+                            msg: InstanceMsg::RouteUpdated { epoch: req.epoch },
+                        },
+                    );
+                }
+                Event::ServiceDone { group, dest } => self.on_service_done(group, dest),
+                Event::Wake { group, dest } => self.try_start(group, dest),
+                Event::MonitorTick => self.on_monitor_tick(),
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimReport {
+        let n = self.cfg.fastjoin.instances_per_group;
+        SimReport {
+            metrics: self.metrics,
+            results_total: self.results_total,
+            tuples_ingested: self.tuples_ingested,
+            duration: self.now,
+            monitor_stats: [
+                self.groups[0].monitor.as_ref().map(Monitor::stats),
+                self.groups[1].monitor.as_ref().map(Monitor::stats),
+            ],
+            instance_loads: self.instance_loads,
+            ingest_series: self.ingest_series,
+            stored_series: self.stored_series,
+            pending_series: self.pending_series,
+            final_stored_r: (0..n).map(|i| self.groups[0].servers[i].inst.store().len()).collect(),
+            busy_us: [
+                self.groups[0].servers.iter().map(|s| s.busy_us).collect(),
+                self.groups[1].servers.iter().map(|s| s.busy_us).collect(),
+            ],
+        }
+    }
+
+    fn on_arrival(&mut self) {
+        if self.next_tuple.is_none() {
+            return;
+        }
+        // Storm-style backpressure: stall the spout while any instance is
+        // over its queue cap.
+        if self.is_congested() {
+            self.queue.push(self.now + self.cfg.backpressure_retry, Event::Arrival);
+            return;
+        }
+        let mut tuple = self.next_tuple.take().expect("checked above");
+        let offered_ts = tuple.ts;
+        // The shuffler assigns the tuple's timestamp at ingest (§V).
+        tuple.ts = self.now;
+        self.tuples_ingested += 1;
+        self.ingest_series.record(self.now, 1.0);
+        self.dispatcher.dispatch_into(tuple, &mut self.scratch);
+        let t = self.scratch.tuple;
+        let own = t.side.index();
+        let opp = t.side.opposite().index();
+        let latency = self.cfg.cost.network_latency as SimTime;
+        let store_dest = self.scratch.store_dest;
+        let delivery = self.channels.send(
+            Endpoint::Dispatcher,
+            Endpoint::Instance(own, store_dest),
+            self.now + latency,
+        );
+        self.queue.push(delivery, Event::Delivery { group: own, dest: store_dest, msg: InstanceMsg::Data(t) });
+        let probe_dests = std::mem::take(&mut self.scratch.probe_dests);
+        self.probe_fanout.insert(t.seq, probe_dests.len() as u32);
+        for &dest in &probe_dests {
+            let delivery = self.channels.send(
+                Endpoint::Dispatcher,
+                Endpoint::Instance(opp, dest),
+                self.now + latency,
+            );
+            self.queue.push(delivery, Event::Delivery { group: opp, dest, msg: InstanceMsg::Data(t) });
+        }
+        self.scratch.probe_dests = probe_dests;
+
+        // Schedule the next workload arrival. The offered schedule is a
+        // *rate*, not absolute times: a spout that was throttled resumes
+        // pulling at the offered pace, it does not replay the backlog in a
+        // burst. Pace the next arrival by the offered inter-arrival gap
+        // relative to the actual ingest time.
+        self.next_tuple = self.workload.next();
+        if let Some(next) = &self.next_tuple {
+            let gap = next.ts.saturating_sub(offered_ts);
+            self.queue.push(self.now + gap, Event::Arrival);
+        }
+    }
+
+    fn on_delivery(&mut self, group: usize, dest: usize, msg: InstanceMsg) {
+        // Key-selection work pauses the source (§III-C: "an instance must
+        // stop executing the store and join operations").
+        let selection_pause = if matches!(msg, InstanceMsg::MigrateCmd { .. }) {
+            let keys = self.groups[group].servers[dest].inst.key_stats().len();
+            self.cfg.cost.selection_us(keys) as SimTime
+        } else {
+            0
+        };
+        {
+            let g = &mut self.groups[group];
+            g.servers[dest].inst.handle(
+                msg,
+                g.selector.as_mut(),
+                self.cfg.fastjoin.theta_gap,
+                &mut self.fx,
+            );
+            if selection_pause > 0 {
+                let server = &mut g.servers[dest];
+                server.pause_until = server.pause_until.max(self.now + selection_pause);
+            }
+        }
+        self.flush_effects(group, dest);
+        self.try_start(group, dest);
+    }
+
+    /// Routes the effects produced by instance `(group, src)`.
+    fn flush_effects(&mut self, group: usize, src: usize) {
+        debug_assert!(self.fx.joined.is_empty(), "join results only appear in service");
+        let latency = self.cfg.cost.network_latency as SimTime;
+        for (to, msg) in self.fx.sends.drain(..) {
+            // Migration payloads take longer to transfer.
+            let extra = match &msg {
+                InstanceMsg::MigStore { tuples, .. } | InstanceMsg::MigForward { tuples, .. } => {
+                    self.cfg.cost.migration_us(tuples.len() as u64) as SimTime
+                }
+                _ => 0,
+            };
+            let delivery = self.channels.send(
+                Endpoint::Instance(group, src),
+                Endpoint::Instance(group, to),
+                self.now + latency + extra,
+            );
+            self.queue.push(delivery, Event::Delivery { group, dest: to, msg });
+        }
+        for req in self.fx.route_requests.drain(..) {
+            let delivery = self.channels.send(
+                Endpoint::Instance(group, src),
+                Endpoint::Dispatcher,
+                self.now + latency,
+            );
+            self.queue.push(delivery, Event::RouteAtDispatcher { group, req });
+        }
+        for done in self.fx.migration_done.drain(..) {
+            // Completion notifications matter only for round bookkeeping;
+            // deliver them to the monitor immediately (a latency here only
+            // lengthens the cooldown).
+            self.metrics.migrations += 1;
+            self.metrics.tuples_migrated += done.tuples_moved;
+            self.groups[group]
+                .monitor
+                .as_mut()
+                .expect("migration completed in a static group")
+                .on_migration_done(done, self.now);
+        }
+    }
+
+    /// Starts service on the next pending tuple if the instance is free.
+    fn try_start(&mut self, group: usize, dest: usize) {
+        let server = &mut self.groups[group].servers[dest];
+        if server.busy || server.inst.pending_len() == 0 {
+            return;
+        }
+        if self.now < server.pause_until {
+            self.queue.push(server.pause_until, Event::Wake { group, dest });
+            return;
+        }
+        let work = server
+            .inst
+            .process_next(&mut self.fx)
+            .expect("pending_len > 0 implies work");
+        let cost = self.cfg.cost.service_us(&work).max(0.01) as SimTime;
+        match work {
+            Work::Store { .. } => {
+                server.in_service_matches = 0;
+                server.in_service_probe = None;
+            }
+            Work::Probe { tuple, matches, .. } => {
+                server.in_service_matches = matches;
+                server.in_service_probe = Some((tuple.seq, tuple.ts));
+            }
+        }
+        server.busy = true;
+        server.busy_us += cost.max(1);
+        debug_assert!(self.fx.joined.is_empty(), "sim instances do not materialize pairs");
+        self.queue.push(self.now + cost.max(1), Event::ServiceDone { group, dest });
+    }
+
+    fn on_service_done(&mut self, group: usize, dest: usize) {
+        let server = &mut self.groups[group].servers[dest];
+        server.busy = false;
+        let matches = server.in_service_matches;
+        let probe = server.in_service_probe.take();
+        server.in_service_matches = 0;
+        if matches > 0 {
+            self.metrics.throughput.record(self.now, matches as f64);
+            self.results_total += matches;
+        }
+        if let Some((seq, ts)) = probe {
+            // The probe's join completes when its last fan-out part does.
+            let done = {
+                let left = self
+                    .probe_fanout
+                    .get_mut(&seq)
+                    .expect("probe completion without fan-out record");
+                *left -= 1;
+                *left == 0
+            };
+            if done {
+                self.probe_fanout.remove(&seq);
+                let lat = self.now.saturating_sub(ts);
+                self.metrics.latency.record(self.now, lat as f64);
+                self.metrics.latency_hist.record(lat);
+            }
+        }
+        self.try_start(group, dest);
+    }
+
+    fn on_monitor_tick(&mut self) {
+        // Sample per-instance loads BEFORE report collection freezes and
+        // resets the period counters.
+        if self.cfg.record_instance_loads {
+            for (i, series) in self.instance_loads.iter_mut().enumerate() {
+                series.record(self.now, self.groups[0].servers[i].inst.load().load());
+            }
+        }
+        let mut triggers = Vec::new();
+        for (gi, g) in self.groups.iter_mut().enumerate() {
+            for server in &mut g.servers {
+                server.inst.collect_expired();
+            }
+            let Some(monitor) = g.monitor.as_mut() else { continue };
+            for (i, server) in g.servers.iter_mut().enumerate() {
+                monitor.on_report(i, server.inst.take_load_report());
+            }
+            // The LI series plots the R group only, for a like-for-like
+            // comparison across systems (Fig. 11 shows one line each).
+            if gi == 0 {
+                self.metrics.imbalance.record(self.now, monitor.imbalance());
+            }
+            if let Some(trigger) = monitor.maybe_trigger(self.now) {
+                triggers.push((gi, trigger));
+            }
+        }
+        // Static systems still report an imbalance series (Fig. 11 plots
+        // BiStream's LI): compute it from a shadow load table, consuming
+        // the period counters exactly like a monitor would.
+        if self.groups[0].monitor.is_none() {
+            let li = self.shadow_imbalance();
+            self.metrics.imbalance.record(self.now, li);
+        }
+        let stored_r: u64 = self.groups[0].servers.iter().map(|s| s.inst.store().len()).sum();
+        let pending: u64 = self
+            .groups
+            .iter()
+            .flat_map(|g| g.servers.iter())
+            .map(|s| s.inst.pending_len() as u64)
+            .sum();
+        self.stored_series.record(self.now, stored_r as f64);
+        self.pending_series.record(self.now, pending as f64);
+        let latency = self.cfg.cost.network_latency as SimTime;
+        for (gi, trigger) in triggers {
+            let delivery = self.channels.send(
+                Endpoint::Monitor(gi),
+                Endpoint::Instance(gi, trigger.source),
+                self.now + latency,
+            );
+            self.queue.push(
+                delivery,
+                Event::Delivery { group: gi, dest: trigger.source, msg: trigger.msg },
+            );
+        }
+        // Keep ticking while there is anything left to do.
+        if self.next_tuple.is_some() || !self.queue.is_empty() {
+            self.queue.push(self.now + self.cfg.fastjoin.monitor_period, Event::MonitorTick);
+        }
+    }
+
+    fn is_congested(&self) -> bool {
+        let cap = self.cfg.queue_cap;
+        self.groups
+            .iter()
+            .any(|g| g.servers.iter().any(|s| s.inst.pending_len() > cap))
+    }
+
+    /// Imbalance of the R group computed directly from instance state (for
+    /// systems without a monitor). Consumes the period counters exactly
+    /// like a monitor report collection would.
+    fn shadow_imbalance(&mut self) -> f64 {
+        let loads: Vec<f64> = self.groups[0]
+            .servers
+            .iter_mut()
+            .map(|s| s.inst.take_load_report().effective_load())
+            .collect();
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg(n: usize) -> SimConfig {
+        SimConfig {
+            fastjoin: FastJoinConfig {
+                instances_per_group: n,
+                monitor_period: 100_000,
+                migration_cooldown: 200_000,
+                theta: 2.0,
+                ..FastJoinConfig::default()
+            },
+            max_time: 30_000_000,
+            // Correctness tests use a cheap cost model so full-history
+            // joins drain well within max_time.
+            cost: CostModel {
+                store_cost: 0.2,
+                probe_base: 0.5,
+                per_comparison: 0.01,
+                per_match: 0.01,
+                ..CostModel::default()
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    fn uniform_workload(tuples: u64, keys: u64, rate_per_sec: u64) -> Vec<Tuple> {
+        let gap = 1_000_000 / rate_per_sec;
+        (0..tuples)
+            .flat_map(|i| {
+                let ts = i * gap;
+                [Tuple::r(i % keys, ts, 0), Tuple::s(i % keys, ts, 0)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simulation_is_complete_and_exactly_once() {
+        let cfg = base_cfg(4);
+        let workload = uniform_workload(500, 10, 5000);
+        let report = Simulation::new(cfg, workload.into_iter()).run();
+        // 10 keys × 50 × 50 pairs.
+        assert_eq!(report.results_total, 10 * 50 * 50);
+        assert_eq!(report.tuples_ingested, 1000);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let report =
+                Simulation::new(base_cfg(4), uniform_workload(300, 7, 2000).into_iter()).run();
+            (report.results_total, report.duration, report.metrics.throughput.sums().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_is_recorded_for_probes() {
+        let report =
+            Simulation::new(base_cfg(2), uniform_workload(200, 5, 2000).into_iter()).run();
+        assert!(report.metrics.latency_hist.count() > 0);
+        assert!(report.metrics.latency_hist.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn skewed_workload_triggers_migrations_under_fastjoin() {
+        let mut cfg = base_cfg(4);
+        cfg.fastjoin.theta = 1.5;
+        // One hot key carries half the traffic; rest uniform.
+        let mut tuples = Vec::new();
+        let mut ts = 0u64;
+        for i in 0..4000u64 {
+            ts += 100;
+            let key = if i % 2 == 0 { 999 } else { i % 37 };
+            tuples.push(Tuple::r(key, ts, 0));
+            tuples.push(Tuple::s(key, ts, 0));
+        }
+        let report = Simulation::new(cfg, tuples.into_iter()).run();
+        assert!(report.migrations() > 0, "hot key must trigger migration");
+        // Completeness across migrations.
+        let mut expected = 0u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..4000u64 {
+            let key = if i % 2 == 0 { 999 } else { i % 37 };
+            *counts.entry(key).or_insert(0u64) += 1;
+        }
+        for (_, c) in counts {
+            expected += c * c;
+        }
+        assert_eq!(report.results_total, expected);
+    }
+
+    #[test]
+    fn bistream_never_migrates() {
+        let mut cfg = base_cfg(4);
+        cfg.system = SystemKind::BiStream;
+        let report =
+            Simulation::new(cfg, uniform_workload(500, 3, 2000).into_iter()).run();
+        assert_eq!(report.migrations(), 0);
+        assert!(report.monitor_stats[0].is_none());
+        assert!(!report.metrics.imbalance.is_empty(), "shadow LI must be recorded");
+    }
+
+    #[test]
+    fn max_time_truncates_the_run() {
+        let mut cfg = base_cfg(2);
+        cfg.max_time = 1_000_000; // 1 s
+        let workload = uniform_workload(100_000, 11, 1000); // 100 s of data
+        let report = Simulation::new(cfg, workload.into_iter()).run();
+        assert!(report.duration <= 1_000_000);
+        assert!(report.tuples_ingested < 200_000);
+    }
+
+    #[test]
+    fn instance_load_series_recorded_when_enabled() {
+        let mut cfg = base_cfg(3);
+        cfg.record_instance_loads = true;
+        let report =
+            Simulation::new(cfg, uniform_workload(500, 9, 1000).into_iter()).run();
+        assert_eq!(report.instance_loads.len(), 3);
+        assert!(report.instance_loads.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn empty_workload_terminates_immediately() {
+        let report = Simulation::new(base_cfg(2), std::iter::empty()).run();
+        assert_eq!(report.results_total, 0);
+        assert_eq!(report.tuples_ingested, 0);
+    }
+}

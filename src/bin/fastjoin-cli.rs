@@ -1,0 +1,321 @@
+//! `fastjoin-cli` — run FastJoin experiments from the command line.
+//!
+//! ```text
+//! fastjoin-cli simulate [--system fastjoin|bistream|contrand|broadcast]
+//!                       [--workload ridehail|gxy] [--x 0..2] [--y 0..2]
+//!                       [--instances N] [--theta F] [--gb N] [--secs N]
+//!                       [--selector greedy|safit|dp] [--cost hash|nested]
+//!                       [--trace PATH]           # replay a saved trace
+//!                       [--csv PATH]             # dump per-second series
+//! fastjoin-cli compare  [--instances N] [--theta F] [--gb N] [--secs N]
+//! fastjoin-cli topology [--instances N] [--orders N] [--tracks N]
+//!                       [--rate N] [--theta F]
+//! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
+//! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every flag has a
+//! sensible default matching the paper's setup.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fastjoin::baselines::SystemKind;
+use fastjoin::core::config::SelectorKind;
+use fastjoin::core::tuple::{Side, Tuple};
+use fastjoin::datagen::ridehail::{RideHailConfig, RideHailGen};
+use fastjoin::datagen::stats::KeyCensus;
+use fastjoin::datagen::synthetic::{SyntheticConfig, SyntheticGen};
+use fastjoin::datagen::{read_trace, write_trace};
+use fastjoin::runtime::{run_topology, RuntimeConfig};
+use fastjoin::sim::experiment::{run_with, summarize, ExperimentParams};
+use fastjoin::sim::{CostKind, CostModel};
+
+/// Parsed `--flag value` arguments.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?} (flags are --name value)"));
+            };
+            let value =
+                it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn parse_system(s: &str) -> Result<SystemKind, String> {
+    match s {
+        "fastjoin" => Ok(SystemKind::FastJoin),
+        "bistream" => Ok(SystemKind::BiStream),
+        "contrand" => Ok(SystemKind::BiStreamContRand),
+        "broadcast" => Ok(SystemKind::Broadcast),
+        other => Err(format!("unknown system {other:?}")),
+    }
+}
+
+fn build_workload(args: &Args) -> Result<Vec<Tuple>, String> {
+    if let Some(path) = args.flags.get("trace") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        return read_trace(file).map_err(|e| e.to_string());
+    }
+    match args.get_str("workload", "ridehail").as_str() {
+        "ridehail" => {
+            let gb: u64 = args.get("gb", 10)?;
+            Ok(RideHailGen::new(&RideHailConfig::scaled_to_gb(gb)).collect())
+        }
+        "gxy" => {
+            let x: u8 = args.get("x", 1)?;
+            let y: u8 = args.get("y", 1)?;
+            if x > 2 || y > 2 {
+                return Err(format!(
+                    "gxy exponents are 0, 1 or 2 (the paper's groups); got x={x} y={y}"
+                ));
+            }
+            Ok(SyntheticGen::new(&SyntheticConfig::group(x, y)).collect())
+        }
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let system = parse_system(&args.get_str("system", "fastjoin"))?;
+    let selector = match args.get_str("selector", "greedy").as_str() {
+        "greedy" => SelectorKind::GreedyFit,
+        "safit" => SelectorKind::SaFit,
+        "dp" => SelectorKind::Dp,
+        other => return Err(format!("unknown selector {other:?}")),
+    };
+    let cost = match args.get_str("cost", "hash").as_str() {
+        "hash" => CostModel::default(),
+        "nested" => CostModel {
+            kind: CostKind::NestedLoop,
+            per_comparison: CostModel::default().per_comparison / 50.0,
+            per_match: CostModel::default().per_match / 50.0,
+            ..CostModel::default()
+        },
+        other => return Err(format!("unknown cost model {other:?}")),
+    };
+    let params = ExperimentParams {
+        instances: args.get("instances", 48)?,
+        theta: args.get("theta", 2.2)?,
+        gb: args.get("gb", 10)?,
+        max_secs: args.get("secs", 60)?,
+        selector,
+        cost,
+        seed: args.get("seed", 0xD1D1)?,
+    };
+    let workload = build_workload(args)?;
+    println!(
+        "simulating {} over {} tuples ({} instances, Θ = {})",
+        system.label(),
+        workload.len(),
+        params.instances,
+        params.theta
+    );
+    let report = run_with(system, &params, workload.into_iter());
+    let s = summarize(system, &report);
+    println!("results           : {}", report.results_total);
+    println!("avg throughput    : {:.0} results/s", s.throughput);
+    println!("avg latency       : {:.2} ms", s.latency_ms);
+    println!("avg imbalance LI  : {:.2}", s.imbalance);
+    println!("migrations        : {}", s.migrations);
+    println!("sim duration      : {:.1} s", report.duration as f64 / 1e6);
+    if let Some(path) = args.flags.get("csv") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        fastjoin::sim::write_report_csv(file, &report).map_err(|e| e.to_string())?;
+        println!("per-second series : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let params = ExperimentParams {
+        instances: args.get("instances", 48)?,
+        theta: args.get("theta", 2.2)?,
+        gb: args.get("gb", 10)?,
+        max_secs: args.get("secs", 60)?,
+        ..ExperimentParams::default()
+    };
+    println!(
+        "comparing the paper's three systems ({} instances, Θ = {}, {} GB scale)",
+        params.instances, params.theta, params.gb
+    );
+    println!(
+        "{:<18} {:>14} {:>12} {:>8} {:>6}",
+        "system", "throughput/s", "latency ms", "LI", "migs"
+    );
+    let mut first = None;
+    for sys in SystemKind::headline() {
+        let workload = build_workload(args)?;
+        let s = summarize(sys, &run_with(sys, &params, workload.into_iter()));
+        println!(
+            "{:<18} {:>14.0} {:>12.2} {:>8.2} {:>6}",
+            s.system, s.throughput, s.latency_ms, s.imbalance, s.migrations
+        );
+        if first.is_none() {
+            first = Some(s.throughput);
+        } else if sys == SystemKind::BiStream {
+            let gain = (first.unwrap_or(0.0) / s.throughput.max(1.0) - 1.0) * 100.0;
+            println!("FastJoin vs BiStream: {gain:+.1} % (paper: +31.7 %)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    let cfg = RuntimeConfig {
+        system: parse_system(&args.get_str("system", "fastjoin"))?,
+        fastjoin: fastjoin::core::config::FastJoinConfig {
+            instances_per_group: args.get("instances", 8)?,
+            theta: args.get("theta", 2.2)?,
+            migration_cooldown: 100_000,
+            ..Default::default()
+        },
+        queue_cap: args.get("queue-cap", 1024)?,
+        monitor_period_ms: args.get("monitor-ms", 25)?,
+        rate_limit: {
+            let r: f64 = args.get("rate", 0.0)?;
+            (r > 0.0).then_some(r)
+        },
+    };
+    let wl = RideHailGen::new(&RideHailConfig {
+        orders: args.get("orders", 50_000)?,
+        tracks: args.get("tracks", 200_000)?,
+        locations: args.get("locations", 2_000)?,
+        ..RideHailConfig::default()
+    });
+    println!("running threaded topology ({} join threads)…", 2 * cfg.fastjoin.instances_per_group);
+    let report = run_topology(&cfg, wl);
+    println!("results        : {}", report.results_total);
+    println!("throughput     : {:.0} results/s", report.results_per_sec());
+    println!("mean latency   : {:.2} ms", report.mean_latency_us() / 1000.0);
+    println!("migrations     : {}", report.migrations());
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> Result<(), String> {
+    let cfg = RideHailConfig {
+        locations: args.get("locations", 20_000)?,
+        orders: args.get("orders", 200_000)?,
+        tracks: args.get("tracks", 800_000)?,
+        ..RideHailConfig::default()
+    };
+    let tuples: Vec<Tuple> = RideHailGen::new(&cfg).collect();
+    for (name, side) in [("orders", Side::R), ("tracks", Side::S)] {
+        let census =
+            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == side).map(|t| t.key));
+        println!(
+            "{name}: {} tuples, {} keys, c = {:.1}, 80% of tuples in {:.1}% of locations",
+            census.total(),
+            census.distinct_keys(),
+            census.mean_tuples_per_key(),
+            census.fraction_of_keys_for_share(0.8, cfg.locations as usize) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let path = args
+        .flags
+        .get("out")
+        .ok_or_else(|| "gen requires --out PATH".to_string())?;
+    let workload = build_workload(args)?;
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let n = write_trace(file, workload).map_err(|e| e.to_string())?;
+    println!("wrote {n} tuples to {path}");
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: fastjoin-cli <simulate|compare|topology|census|gen> [--flag value]...\n\
+     see the module docs (cargo doc) or the README for the full flag list"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "compare" => cmd_compare(&args),
+        "topology" => cmd_topology(&args),
+        "census" => cmd_census(&args),
+        "gen" => cmd_gen(&args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = args(&["--instances", "16", "--theta", "1.8"]);
+        assert_eq!(a.get::<usize>("instances", 0).unwrap(), 16);
+        assert!((a.get::<f64>("theta", 0.0).unwrap() - 1.8).abs() < 1e-9);
+        assert_eq!(a.get::<u64>("gb", 30).unwrap(), 30, "default applies");
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(Args::parse(&["positional".to_string()]).is_err());
+        assert!(Args::parse(&["--dangling".to_string()]).is_err());
+        let a = args(&["--instances", "lots"]);
+        assert!(a.get::<usize>("instances", 0).is_err());
+    }
+
+    #[test]
+    fn parses_every_system() {
+        for (name, kind) in [
+            ("fastjoin", SystemKind::FastJoin),
+            ("bistream", SystemKind::BiStream),
+            ("contrand", SystemKind::BiStreamContRand),
+            ("broadcast", SystemKind::Broadcast),
+        ] {
+            assert_eq!(parse_system(name).unwrap(), kind);
+        }
+        assert!(parse_system("storm").is_err());
+    }
+
+    #[test]
+    fn builds_gxy_workloads() {
+        let a = args(&["--workload", "gxy", "--x", "0", "--y", "2"]);
+        let wl = build_workload(&a).unwrap();
+        assert!(!wl.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! # fastjoin
+//!
+//! Facade crate for the FastJoin reproduction (Zhou et al., IPDPS 2019):
+//! re-exports the workspace crates under one name and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core::JoinCluster`] for the synchronous API,
+//! [`sim`] for timed experiments, and [`runtime`] for the threaded engine.
+
+#![warn(missing_docs)]
+
+pub use fastjoin_baselines as baselines;
+pub use fastjoin_core as core;
+pub use fastjoin_datagen as datagen;
+pub use fastjoin_runtime as runtime;
+pub use fastjoin_sim as sim;

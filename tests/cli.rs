@@ -1,0 +1,97 @@
+//! End-to-end tests of the `fastjoin-cli` binary (spawned as a process,
+//! exactly as a user runs it).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastjoin-cli"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = cli().args(args).output().expect("spawn fastjoin-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn census_reports_the_fig1_skew() {
+    let (ok, stdout, _) = run(&["census", "--locations", "2000", "--orders", "40000", "--tracks", "160000"]);
+    assert!(ok);
+    assert!(stdout.contains("orders:"), "{stdout}");
+    assert!(stdout.contains("tracks:"), "{stdout}");
+    assert!(stdout.contains("80% of tuples in"), "{stdout}");
+}
+
+#[test]
+fn simulate_runs_and_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("fjcli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("series.csv");
+    let (ok, stdout, stderr) = run(&[
+        "simulate", "--gb", "1", "--secs", "6", "--instances", "4",
+        "--csv", csv.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("avg throughput"), "{stdout}");
+    let text = std::fs::read_to_string(&csv).unwrap();
+    assert!(text.starts_with("second,throughput,latency_us,imbalance"));
+    assert!(text.lines().count() > 2, "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_then_replay_trace_round_trips() {
+    let dir = std::env::temp_dir().join(format!("fjcli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.csv");
+    let (ok, stdout, _) = run(&[
+        "gen", "--out", trace.to_str().unwrap(), "--workload", "gxy", "--x", "0", "--y", "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let (ok, stdout, stderr) = run(&[
+        "simulate", "--trace", trace.to_str().unwrap(), "--instances", "4", "--secs", "5",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("results"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_with_named_errors() {
+    for (args, needle) in [
+        (vec!["frobnicate"], "unknown command"),
+        (vec!["simulate", "--selector", "banana", "--gb", "1"], "unknown selector"),
+        (vec!["simulate", "--instances", "lots"], "bad value for --instances"),
+        (vec!["simulate", "--selector"], "needs a value"),
+        (vec!["gen"], "requires --out"),
+        (vec!["simulate", "--workload", "gxy", "--x", "9", "--gb", "1"], "0, 1 or 2"),
+        (vec!["simulate", "--trace", "/nonexistent/file"], "No such file"),
+    ] {
+        let (ok, _, stderr) = run(&args);
+        assert!(!ok, "{args:?} should fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn malformed_trace_names_the_line() {
+    let dir = std::env::temp_dir().join(format!("fjcli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "R,1,2,3\nX,broken\n").unwrap();
+    let (ok, _, stderr) = run(&["simulate", "--trace", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

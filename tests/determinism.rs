@@ -1,0 +1,124 @@
+//! Determinism and engine-agreement tests: the simulator is bit-stable for
+//! a fixed seed, generators replay identically, and engines agree on
+//! result counts.
+
+use fastjoin::baselines::SystemKind;
+use fastjoin::core::config::{FastJoinConfig, SelectorKind};
+use fastjoin::core::tuple::Tuple;
+use fastjoin::datagen::ridehail::{RideHailConfig, RideHailGen};
+use fastjoin::datagen::synthetic::{SyntheticConfig, SyntheticGen};
+use fastjoin::sim::{CostModel, SimConfig, Simulation};
+
+fn sim_cfg(system: SystemKind, selector: SelectorKind) -> SimConfig {
+    SimConfig {
+        system,
+        fastjoin: FastJoinConfig {
+            instances_per_group: 6,
+            theta: 1.5,
+            monitor_period: 200_000,
+            migration_cooldown: 300_000,
+            selector,
+            ..FastJoinConfig::default()
+        },
+        cost: CostModel { per_comparison: 0.05, per_match: 0.05, ..CostModel::default() },
+        max_time: 60_000_000,
+        ..SimConfig::default()
+    }
+}
+
+fn workload() -> Vec<Tuple> {
+    RideHailGen::new(&RideHailConfig {
+        locations: 500,
+        orders: 5_000,
+        tracks: 20_000,
+        order_rate: 20_000.0,
+        track_rate: 80_000.0,
+        ..RideHailConfig::default()
+    })
+    .collect()
+}
+
+#[test]
+fn simulator_runs_are_bit_stable() {
+    let run = |selector| {
+        let report =
+            Simulation::new(sim_cfg(SystemKind::FastJoin, selector), workload().into_iter())
+                .run();
+        (
+            report.results_total,
+            report.duration,
+            report.migrations(),
+            report.metrics.throughput.sums().to_vec(),
+            report.metrics.imbalance.means(),
+        )
+    };
+    assert_eq!(run(SelectorKind::GreedyFit), run(SelectorKind::GreedyFit));
+    // SAFit is randomized but seeded — still deterministic.
+    assert_eq!(run(SelectorKind::SaFit), run(SelectorKind::SaFit));
+}
+
+#[test]
+fn greedy_and_safit_agree_on_result_counts() {
+    let greedy =
+        Simulation::new(sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit), workload().into_iter())
+            .run();
+    let sa =
+        Simulation::new(sim_cfg(SystemKind::FastJoin, SelectorKind::SaFit), workload().into_iter())
+            .run();
+    // Different migration plans, identical join semantics.
+    assert_eq!(greedy.results_total, sa.results_total);
+}
+
+#[test]
+fn generators_replay_identically() {
+    let a: Vec<Tuple> = SyntheticGen::new(&SyntheticConfig {
+        keys: 1_000,
+        tuples_per_stream: 2_000,
+        ..SyntheticConfig::group(1, 2)
+    })
+    .collect();
+    let b: Vec<Tuple> = SyntheticGen::new(&SyntheticConfig {
+        keys: 1_000,
+        tuples_per_stream: 2_000,
+        ..SyntheticConfig::group(1, 2)
+    })
+    .collect();
+    assert_eq!(a, b);
+
+    let r1: Vec<Tuple> = RideHailGen::new(&RideHailConfig::default()).take(10_000).collect();
+    let r2: Vec<Tuple> = RideHailGen::new(&RideHailConfig::default()).take(10_000).collect();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn all_engines_agree_on_result_totals() {
+    // Same workload through the synchronous cluster, the simulator, and
+    // the threaded runtime — three engines, one answer.
+    let tuples = workload();
+
+    let mut cluster = fastjoin::baselines::build_cluster(
+        SystemKind::FastJoin,
+        sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit).fastjoin,
+    );
+    let sync_results = cluster.run_to_completion(tuples.clone()).len() as u64;
+
+    let sim_report = Simulation::new(
+        sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit),
+        tuples.clone().into_iter(),
+    )
+    .run();
+
+    let rt_report = fastjoin::runtime::run_topology(
+        &fastjoin::runtime::RuntimeConfig {
+            system: SystemKind::FastJoin,
+            fastjoin: sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit).fastjoin,
+            queue_cap: 1024,
+            monitor_period_ms: 20,
+            rate_limit: None,
+        },
+        tuples,
+    );
+
+    assert_eq!(sync_results, sim_report.results_total, "cluster vs simulator");
+    assert_eq!(sync_results, rt_report.results_total, "cluster vs runtime");
+}

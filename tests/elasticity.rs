@@ -1,0 +1,114 @@
+//! Elastic scale-out (§IV-C): new join instances start empty and fill up
+//! through the ordinary migration mechanism — almost all of their memory
+//! goes to tuples (SGR ≈ 1), and no existing key placement changes.
+
+use fastjoin::core::biclique::JoinCluster;
+use fastjoin::core::config::FastJoinConfig;
+use fastjoin::core::tuple::{JoinedPair, Side, Tuple};
+
+fn cfg(n: usize) -> FastJoinConfig {
+    FastJoinConfig {
+        instances_per_group: n,
+        theta: 1.2,
+        monitor_period: 100,
+        migration_cooldown: 0,
+        ..FastJoinConfig::default()
+    }
+}
+
+#[test]
+fn scale_out_attracts_load_via_migration() {
+    let mut cluster = JoinCluster::fastjoin(cfg(2));
+    // Warm up both instances with a skewed multi-key workload.
+    let mut ts = 0;
+    for round in 0..300u64 {
+        for key in 0..12u64 {
+            ts += 1;
+            cluster.ingest(Tuple::r(key, ts, 0));
+            if round % 2 == 0 {
+                cluster.ingest(Tuple::s(key, ts, 0));
+            }
+        }
+    }
+    cluster.pump();
+    cluster.tick();
+    cluster.pump();
+
+    cluster.scale_out();
+    assert_eq!(cluster.config().instances_per_group, 3);
+    assert_eq!(cluster.instance(Side::R, 2).store().len(), 0, "newcomer starts empty");
+
+    // Keep streaming; ticks should now migrate keys onto the newcomer.
+    for round in 0..600u64 {
+        for key in 0..12u64 {
+            ts += 1;
+            cluster.ingest(Tuple::r(key, ts, 0));
+            cluster.ingest(Tuple::s(key, ts, 0));
+        }
+        if round % 20 == 0 {
+            cluster.pump();
+            cluster.tick();
+        }
+    }
+    cluster.pump();
+    cluster.tick();
+    cluster.pump();
+
+    let newcomer_stored = cluster.instance(Side::R, 2).store().len();
+    assert!(
+        newcomer_stored > 0,
+        "migration must have moved keys to the new instance"
+    );
+    let migs = cluster.monitor(Side::R).unwrap().stats().effective;
+    assert!(migs > 0, "effective migrations expected");
+}
+
+#[test]
+fn scale_out_preserves_exactly_once() {
+    let mut cluster = JoinCluster::fastjoin(cfg(2));
+    let mut r_count = std::collections::HashMap::new();
+    let mut s_count = std::collections::HashMap::new();
+    let mut results: Vec<JoinedPair> = Vec::new();
+    let mut ts = 0u64;
+    for phase in 0..3 {
+        for i in 0..800u64 {
+            ts += 1;
+            let key = i % 9;
+            if i % 2 == 0 {
+                cluster.ingest(Tuple::r(key, ts, 0));
+                *r_count.entry(key).or_insert(0u64) += 1;
+            } else {
+                cluster.ingest(Tuple::s(key, ts, 0));
+                *s_count.entry(key).or_insert(0u64) += 1;
+            }
+            if i % 50 == 0 {
+                cluster.pump();
+                cluster.tick();
+                results.append(&mut cluster.drain_results());
+            }
+        }
+        if phase < 2 {
+            cluster.scale_out(); // grow mid-stream, twice
+        }
+    }
+    cluster.pump();
+    cluster.tick();
+    cluster.pump();
+    results.append(&mut cluster.drain_results());
+
+    let expected: u64 =
+        r_count.iter().map(|(k, r)| r * s_count.get(k).copied().unwrap_or(0)).sum();
+    assert_eq!(results.len() as u64, expected);
+    let mut ids: Vec<_> = results.iter().map(JoinedPair::identity).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, expected, "no duplicates across scale-outs");
+    assert_eq!(cluster.config().instances_per_group, 4);
+}
+
+#[test]
+#[should_panic(expected = "dynamic balancing")]
+fn static_cluster_cannot_scale_out() {
+    let mut cluster = JoinCluster::bistream(cfg(2));
+    cluster.scale_out();
+}

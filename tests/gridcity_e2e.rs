@@ -1,0 +1,98 @@
+//! The grid-city workload (physical taxi model) through the full stack:
+//! all three engines must agree, and FastJoin must act on its skew.
+
+use fastjoin::baselines::{build_cluster, SystemKind};
+use fastjoin::core::config::FastJoinConfig;
+use fastjoin::core::tuple::{Side, Tuple};
+use fastjoin::datagen::{GridCityConfig, GridCityGen};
+use fastjoin::sim::{CostModel, SimConfig, Simulation};
+
+fn workload() -> Vec<Tuple> {
+    GridCityGen::new(&GridCityConfig {
+        width: 30,
+        height: 30,
+        taxis: 150,
+        orders: 4_000,
+        tracks: 24_000,
+        order_rate: 40_000.0,
+        track_rate: 240_000.0,
+        ..GridCityConfig::default()
+    })
+    .collect()
+}
+
+fn cfg() -> FastJoinConfig {
+    FastJoinConfig {
+        instances_per_group: 6,
+        theta: 1.4,
+        monitor_period: 10_000,
+        migration_cooldown: 20_000,
+        ..FastJoinConfig::default()
+    }
+}
+
+fn expected_pairs(tuples: &[Tuple]) -> u64 {
+    let mut r = std::collections::HashMap::new();
+    let mut s = std::collections::HashMap::new();
+    for t in tuples {
+        match t.side {
+            Side::R => *r.entry(t.key).or_insert(0u64) += 1,
+            Side::S => *s.entry(t.key).or_insert(0u64) += 1,
+        }
+    }
+    r.iter().map(|(k, n)| n * s.get(k).copied().unwrap_or(0)).sum()
+}
+
+#[test]
+fn gridcity_joins_identically_across_engines() {
+    let tuples = workload();
+    let expected = expected_pairs(&tuples);
+    assert!(expected > 10_000, "city workload must join richly, got {expected}");
+
+    let sync = build_cluster(SystemKind::FastJoin, cfg())
+        .run_to_completion(tuples.clone())
+        .len() as u64;
+    assert_eq!(sync, expected, "synchronous cluster");
+
+    let sim = Simulation::new(
+        SimConfig {
+            fastjoin: cfg(),
+            cost: CostModel { per_comparison: 0.01, per_match: 0.01, ..CostModel::default() },
+            max_time: 120_000_000,
+            ..SimConfig::default()
+        },
+        tuples.clone().into_iter(),
+    )
+    .run();
+    assert_eq!(sim.results_total, expected, "simulator");
+
+    let rt = fastjoin::runtime::run_topology(
+        &fastjoin::runtime::RuntimeConfig {
+            fastjoin: cfg(),
+            queue_cap: 512,
+            monitor_period_ms: 10,
+            ..fastjoin::runtime::RuntimeConfig::default()
+        },
+        tuples,
+    );
+    assert_eq!(rt.results_total, expected, "threaded runtime");
+}
+
+#[test]
+fn gridcity_skew_triggers_migration_in_the_sim() {
+    let report = Simulation::new(
+        SimConfig {
+            fastjoin: cfg(),
+            cost: CostModel { per_comparison: 0.05, per_match: 0.05, ..CostModel::default() },
+            max_time: 120_000_000,
+            ..SimConfig::default()
+        },
+        workload().into_iter(),
+    )
+    .run();
+    assert!(
+        report.migrations() > 0,
+        "hotspot-driven skew should trigger migration; stats: {:?}",
+        report.monitor_stats
+    );
+}

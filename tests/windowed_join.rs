@@ -1,0 +1,126 @@
+//! Cross-crate tests of window-based join semantics (§III-E).
+
+use fastjoin::baselines::{build_cluster, SystemKind};
+use fastjoin::core::config::{FastJoinConfig, WindowConfig};
+use fastjoin::core::tuple::{Side, Tuple};
+
+fn windowed_cfg(span_units: u64) -> FastJoinConfig {
+    FastJoinConfig {
+        instances_per_group: 4,
+        theta: 1.5,
+        monitor_period: 100,
+        migration_cooldown: 0,
+        window: Some(WindowConfig { sub_windows: 4, sub_window_len: span_units / 4 }),
+        ..FastJoinConfig::default()
+    }
+}
+
+/// Reference implementation of the windowed join over raw tuples: pair
+/// (r, s) joins iff keys match and the earlier-ingested tuple is within
+/// `span` of the later one.
+fn reference_count(tuples: &[Tuple], span: u64) -> u64 {
+    let mut count = 0;
+    for (i, a) in tuples.iter().enumerate() {
+        for b in &tuples[i + 1..] {
+            if a.key == b.key && a.side != b.side && b.ts.saturating_sub(a.ts) <= span {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[test]
+fn windowed_join_matches_reference_model() {
+    let span = 100u64;
+    // Tuples spaced 30 time units apart over a few keys: some pairs fall
+    // inside the window, some out.
+    let tuples: Vec<Tuple> = (0..120u64)
+        .map(|i| {
+            // Decorrelate key and side so both sides share every key.
+            let key = (i / 2) % 4;
+            let ts = i * 30;
+            if i % 2 == 0 {
+                Tuple::r(key, ts, i)
+            } else {
+                Tuple::s(key, ts, i)
+            }
+        })
+        .collect();
+    let expected = reference_count(&tuples, span);
+    assert!(expected > 0, "test workload must produce in-window joins");
+    let mut cluster = build_cluster(SystemKind::FastJoin, windowed_cfg(span));
+    let results = cluster.run_to_completion(tuples.clone());
+    assert_eq!(results.len() as u64, expected);
+    for pair in &results {
+        let (early, late) = if pair.left.seq < pair.right.seq {
+            (pair.left, pair.right)
+        } else {
+            (pair.right, pair.left)
+        };
+        assert!(late.ts.saturating_sub(early.ts) <= span, "out-of-window pair emitted");
+    }
+}
+
+#[test]
+fn windowed_join_is_identical_across_systems() {
+    let span = 200u64;
+    let tuples: Vec<Tuple> = (0..300u64)
+        .map(|i| {
+            let key = (i * 7) % 11;
+            let ts = i * 17;
+            if (i / 2) % 2 == 0 {
+                Tuple::r(key, ts, i)
+            } else {
+                Tuple::s(key, ts, i)
+            }
+        })
+        .collect();
+    let expected = reference_count(&tuples, span);
+    for kind in [SystemKind::FastJoin, SystemKind::BiStream, SystemKind::BiStreamContRand] {
+        let mut cluster = build_cluster(kind, windowed_cfg(span));
+        let results = cluster.run_to_completion(tuples.clone());
+        assert_eq!(results.len() as u64, expected, "{}", kind.label());
+    }
+}
+
+#[test]
+fn stores_are_garbage_collected_as_the_window_slides() {
+    let mut cluster = build_cluster(SystemKind::BiStream, windowed_cfg(100));
+    // A burst of old tuples, then advance time far past the window.
+    for i in 0..200u64 {
+        cluster.ingest(Tuple::r(i % 5, i, 0));
+    }
+    cluster.pump();
+    // Before any tick, nothing has been garbage-collected.
+    let stored_before: u64 = (0..4).map(|i| cluster.instance(Side::R, i).store().len()).sum();
+    assert_eq!(stored_before, 200);
+    // One tuple far in the future slides the window for its instance; the
+    // tick GC uses each instance's own watermark, so spread tuples over
+    // all keys to advance them all.
+    for k in 0..5u64 {
+        cluster.ingest(Tuple::r(k, 10_000 + k, 0));
+    }
+    cluster.pump();
+    cluster.tick();
+    let stored_after: u64 = (0..4).map(|i| cluster.instance(Side::R, i).store().len()).sum();
+    assert!(
+        stored_after <= 5,
+        "expired tuples must be collected, still stored: {stored_after}"
+    );
+}
+
+#[test]
+fn full_history_join_never_expires() {
+    let cfg = FastJoinConfig {
+        instances_per_group: 2,
+        window: None,
+        ..FastJoinConfig::default()
+    };
+    let mut cluster = build_cluster(SystemKind::BiStream, cfg);
+    cluster.ingest(Tuple::r(1, 0, 0));
+    cluster.pump();
+    cluster.ingest(Tuple::s(1, u64::from(u32::MAX), 0)); // eons later
+    cluster.pump();
+    assert_eq!(cluster.drain_results().len(), 1);
+}
