@@ -18,7 +18,7 @@ use fastjoin_core::partition::Partitioner;
 use fastjoin_core::tuple::Key;
 
 /// ContRand partitioner for one join group.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ContRandPartitioner {
     instances: usize,
     subgroup_size: usize,
@@ -115,7 +115,8 @@ mod tests {
         for _ in 0..4000 {
             counts[p.store_route(7)] += 1;
         }
-        let used: Vec<usize> = counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i).collect();
+        let used: Vec<usize> =
+            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i).collect();
         assert_eq!(used.len(), 4, "hot key must spread over exactly its subgroup");
         for &i in &used {
             assert!(counts[i] > 700, "instance {i} got {} of 4000", counts[i]);

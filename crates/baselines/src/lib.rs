@@ -93,25 +93,15 @@ pub fn build_partitioners(
         }
         SystemKind::BiStreamContRand => {
             let sub = subgroup_for(n);
-            let r = Box::new(ContRandPartitioner::new(
-                n,
-                sub,
-                Side::R.index() as u64,
-                cfg.seed ^ 0xC0,
-            ));
-            let s = Box::new(ContRandPartitioner::new(
-                n,
-                sub,
-                Side::S.index() as u64,
-                cfg.seed ^ 0xC1,
-            ));
+            let r =
+                Box::new(ContRandPartitioner::new(n, sub, Side::R.index() as u64, cfg.seed ^ 0xC0));
+            let s =
+                Box::new(ContRandPartitioner::new(n, sub, Side::S.index() as u64, cfg.seed ^ 0xC1));
             (r, s, false)
         }
-        SystemKind::Broadcast => (
-            Box::new(BroadcastPartitioner::new(n)),
-            Box::new(BroadcastPartitioner::new(n)),
-            false,
-        ),
+        SystemKind::Broadcast => {
+            (Box::new(BroadcastPartitioner::new(n)), Box::new(BroadcastPartitioner::new(n)), false)
+        }
     }
 }
 
@@ -181,8 +171,7 @@ mod tests {
             cluster.ingest(Tuple::r(42, i, 0));
         }
         cluster.pump();
-        let stored: Vec<u64> =
-            (0..8).map(|i| cluster.instance(Side::R, i).store().len()).collect();
+        let stored: Vec<u64> = (0..8).map(|i| cluster.instance(Side::R, i).store().len()).collect();
         let nonzero = stored.iter().filter(|&&c| c > 0).count();
         assert_eq!(nonzero, DEFAULT_SUBGROUP, "hot key spread: {stored:?}");
     }
@@ -194,8 +183,7 @@ mod tests {
             cluster.ingest(Tuple::r(42, i, 0));
         }
         cluster.pump();
-        let stored: Vec<u64> =
-            (0..8).map(|i| cluster.instance(Side::R, i).store().len()).collect();
+        let stored: Vec<u64> = (0..8).map(|i| cluster.instance(Side::R, i).store().len()).collect();
         let nonzero = stored.iter().filter(|&&c| c > 0).count();
         assert_eq!(nonzero, 1, "hash partitioning pins a key to one instance: {stored:?}");
     }

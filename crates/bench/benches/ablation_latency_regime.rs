@@ -14,7 +14,13 @@ use fastjoin_datagen::ridehail::{RideHailConfig, RideHailGen};
 use fastjoin_sim::experiment::{summarize, ExperimentParams, ORDER_RATE, TRACK_RATE};
 use fastjoin_sim::Simulation;
 
-fn run_at(params: &ExperimentParams, sys: SystemKind, order_rate: f64, track_rate: f64, gb: u64) -> fastjoin_sim::SimReport {
+fn run_at(
+    params: &ExperimentParams,
+    sys: SystemKind,
+    order_rate: f64,
+    track_rate: f64,
+    gb: u64,
+) -> fastjoin_sim::SimReport {
     let wl = RideHailGen::new(&RideHailConfig {
         seed: params.seed,
         order_rate,
@@ -32,8 +38,11 @@ fn main() {
     );
     let params = default_params();
     // ~60 % and ~75 % of BiStream's measured saturated ingest (~150 k/s).
-    let regimes: [(&str, f64); 3] =
-        [("saturated (offered ≫ capacity)", f64::NAN), ("75 % of capacity", 112_500.0), ("60 % of capacity", 90_000.0)];
+    let regimes: [(&str, f64); 3] = [
+        ("saturated (offered ≫ capacity)", f64::NAN),
+        ("75 % of capacity", 112_500.0),
+        ("60 % of capacity", 90_000.0),
+    ];
     for (name, total_rate) in regimes {
         let mut rows = Vec::new();
         for sys in SystemKind::headline() {

@@ -25,10 +25,8 @@ fn main() {
     let cfg = RideHailConfig::default();
     let tuples: Vec<_> = RideHailGen::new(&cfg).collect();
     let universe = cfg.locations as usize;
-    let orders =
-        KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key));
-    let tracks =
-        KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key));
+    let orders = KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key));
+    let tracks = KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key));
 
     let mut rows = Vec::new();
     for (name, census) in [("orders (Fig 1a)", &orders), ("tracks (Fig 1b)", &tracks)] {
@@ -66,8 +64,7 @@ fn main() {
 
     println!("\nFig 1c — per-instance load (L_i = |R_i|*phi_si) by second:");
     for (i, series) in report.instance_loads.iter().enumerate() {
-        let vals: Vec<f64> =
-            series.means().iter().map(|m| m.unwrap_or(0.0)).collect();
+        let vals: Vec<f64> = series.means().iter().map(|m| m.unwrap_or(0.0)).collect();
         print_series(&format!("  instance {i}"), "load", vals);
     }
 

@@ -20,20 +20,11 @@ fn main() {
     for sys in SystemKind::headline() {
         let report = run_ridehail(sys, &params);
         println!("\n--- {} ---", sys.label());
-        print_series(
-            "  Fig 3 throughput",
-            "results/s",
-            report.metrics.throughput.sums().to_vec(),
-        );
+        print_series("  Fig 3 throughput", "results/s", report.metrics.throughput.sums().to_vec());
         print_series(
             "  Fig 4 latency",
             "ms",
-            report
-                .metrics
-                .latency
-                .means()
-                .iter()
-                .map(|m| m.unwrap_or(0.0) / 1000.0),
+            report.metrics.latency.means().iter().map(|m| m.unwrap_or(0.0) / 1000.0),
         );
         summaries.push(summarize(sys, &report));
     }

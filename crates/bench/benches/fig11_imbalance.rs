@@ -25,8 +25,8 @@ fn main() {
         print_series(&format!("  {}", sys.label()), "LI", li.clone());
         let from = (li.len() as f64 * WARMUP_FRAC) as usize;
         let steady = &li[from.min(li.len())..];
-        let below =
-            steady.iter().filter(|&&v| v <= params.theta).count() as f64 / steady.len().max(1) as f64;
+        let below = steady.iter().filter(|&&v| v <= params.theta).count() as f64
+            / steady.len().max(1) as f64;
         below_theta_frac.push((sys.label(), below, report.migrations()));
     }
     println!();

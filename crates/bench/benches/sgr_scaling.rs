@@ -46,8 +46,7 @@ fn main() {
     let tuples: Vec<_> = RideHailGen::new(&cfg).collect();
     let mut rows = Vec::new();
     for (name, side) in [("orders", Side::R), ("tracks", Side::S)] {
-        let census =
-            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == side).map(|t| t.key));
+        let census = KeyCensus::from_keys(tuples.iter().filter(|t| t.side == side).map(|t| t.key));
         let c = census.mean_tuples_per_key();
         rows.push(vec![
             name.to_string(),

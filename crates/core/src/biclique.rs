@@ -66,7 +66,7 @@ impl JoinCluster {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn fastjoin(cfg: FastJoinConfig) -> Self {
-        cfg.validate().expect("invalid FastJoin configuration");
+        cfg.validate().expect("invalid FastJoin configuration"); // lint:allow(constructor validates user-supplied config up front)
         let n = cfg.instances_per_group;
         let r = Box::new(HashPartitioner::new(n, Side::R.index() as u64));
         let s = Box::new(HashPartitioner::new(n, Side::S.index() as u64));
@@ -79,7 +79,7 @@ impl JoinCluster {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn bistream(cfg: FastJoinConfig) -> Self {
-        cfg.validate().expect("invalid configuration");
+        cfg.validate().expect("invalid configuration"); // lint:allow(constructor validates user-supplied config up front)
         let n = cfg.instances_per_group;
         let r = Box::new(HashPartitioner::new(n, Side::R.index() as u64));
         let s = Box::new(HashPartitioner::new(n, Side::S.index() as u64));
@@ -100,10 +100,10 @@ impl JoinCluster {
         s_group: Box<dyn Partitioner + Send>,
         dynamic: bool,
     ) -> Self {
-        cfg.validate().expect("invalid configuration");
+        cfg.validate().expect("invalid configuration"); // lint:allow(constructor validates user-supplied config up front)
         let n = cfg.instances_per_group;
-        assert_eq!(r_group.instances(), n, "R-group partitioner size mismatch");
-        assert_eq!(s_group.instances(), n, "S-group partitioner size mismatch");
+        assert_eq!(r_group.instances(), n, "R-group partitioner size mismatch"); // lint:allow(constructor invariant, not data plane)
+        assert_eq!(s_group.instances(), n, "S-group partitioner size mismatch"); // lint:allow(constructor invariant, not data plane)
 
         let make_group = |side: Side, seed_offset: u64| Group {
             side,
@@ -177,10 +177,8 @@ impl JoinCluster {
         let n = self.cfg.instances_per_group;
         for g in 0..2 {
             let side = self.groups[g].side;
-            assert!(
-                self.dispatcher.grow(side, 1),
-                "partitioner cannot grow online"
-            );
+            // lint:allow(scale-out is an explicit operator action, not data plane)
+            assert!(self.dispatcher.grow(side, 1), "partitioner cannot grow online");
             let group = &mut self.groups[g];
             let mut inst = JoinInstance::new(n, side, self.cfg.window);
             inst.set_migration_mode(self.cfg.migration_mode);
@@ -188,7 +186,7 @@ impl JoinCluster {
             group
                 .monitor
                 .as_mut()
-                .expect("scale-out requires dynamic balancing")
+                .expect("scale-out requires dynamic balancing") // lint:allow(scale-out requires dynamic mode; checked at entry)
                 .grow(1);
         }
         self.cfg.instances_per_group = n + 1;
@@ -220,7 +218,10 @@ impl JoinCluster {
     fn drain_ctrl(&mut self) {
         while let Some((g, dest, msg)) = self.ctrl.pop_front() {
             let group = &mut self.groups[g];
-            group.instances[dest].handle(msg, group.selector.as_mut(), self.cfg.theta_gap, &mut self.fx);
+            group.instances[dest]
+                .handle(msg, group.selector.as_mut(), self.cfg.theta_gap, &mut self.fx)
+                // lint:allow(single-threaded cluster delivers in order; a violation is a bug)
+                .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             self.flush_effects(g);
         }
     }
@@ -235,16 +236,15 @@ impl JoinCluster {
         let route_requests: Vec<_> = self.fx.route_requests.drain(..).collect();
         for req in route_requests {
             let supported = self.dispatcher.apply_route(side, &req);
-            assert!(supported, "dynamic cluster requires a migratable partitioner");
-            self.ctrl
-                .push_back((g, req.source, InstanceMsg::RouteUpdated { epoch: req.epoch }));
+            assert!(supported, "dynamic cluster requires a migratable partitioner"); // lint:allow(dynamic clusters are built with migratable partitioners)
+            self.ctrl.push_back((g, req.source, InstanceMsg::RouteUpdated { epoch: req.epoch }));
         }
         let now = self.now;
         for done in self.fx.migration_done.drain(..) {
             self.groups[g]
                 .monitor
                 .as_mut()
-                .expect("migration completed in a static group")
+                .expect("migration completed in a static group") // lint:allow(migrations only start when a monitor exists)
                 .on_migration_done(done, now);
         }
     }
@@ -318,7 +318,10 @@ impl JoinCluster {
     /// Convenience driver: ingests every tuple, ticking the monitor every
     /// `cfg.monitor_period` of event time and pumping after each tick, then
     /// pumps to idle. Returns all join results.
-    pub fn run_to_completion(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Vec<JoinedPair> {
+    pub fn run_to_completion(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Vec<JoinedPair> {
         let mut next_tick = self.now + self.cfg.monitor_period;
         for t in tuples {
             self.ingest(t);

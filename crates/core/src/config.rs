@@ -8,8 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which key-selection algorithm the migration planner runs (§III-C, §IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SelectorKind {
     /// Algorithm 1 — the paper's default `O(K log K)` greedy selector.
     #[default]
@@ -22,7 +21,6 @@ pub enum SelectorKind {
     /// keys; only usable for small instances and as a test oracle.
     ExactDp,
 }
-
 
 /// Parameters of the SAFit simulated-annealing selector (Algorithm 3):
 /// initial temperature `T`, per-temperature iterations `L`, attenuation
@@ -41,12 +39,7 @@ pub struct SaFitParams {
 
 impl Default for SaFitParams {
     fn default() -> Self {
-        SaFitParams {
-            initial_temp: 1.0,
-            iters_per_temp: 64,
-            attenuation: 0.9,
-            min_temp: 1e-3,
-        }
+        SaFitParams { initial_temp: 1.0, iters_per_temp: 64, attenuation: 0.9, min_temp: 1e-3 }
     }
 }
 
@@ -54,8 +47,7 @@ impl SaFitParams {
     /// Number of annealing iterations this schedule performs.
     #[must_use]
     pub fn total_iterations(&self) -> u64 {
-        if !(self.attenuation > 0.0 && self.attenuation < 1.0)
-            || self.initial_temp <= self.min_temp
+        if !(self.attenuation > 0.0 && self.attenuation < 1.0) || self.initial_temp <= self.min_temp
         {
             return 0;
         }

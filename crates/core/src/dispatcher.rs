@@ -43,6 +43,7 @@ pub struct DispatchCounts {
 }
 
 /// The dispatcher: one partitioner per group plus the sequence counter.
+#[derive(Clone)]
 pub struct Dispatcher {
     /// Partitioners indexed by storing side (`Side::index`).
     parts: [Box<dyn Partitioner + Send>; 2],
@@ -65,7 +66,7 @@ impl Dispatcher {
     /// The partitioner of the group storing `side`.
     #[must_use]
     pub fn partitioner(&self, side: Side) -> &(dyn Partitioner + Send) {
-        self.parts[side.index()].as_ref()
+        self.parts[side.index()].as_ref() // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
     }
 
     /// Delivery counters so far.
@@ -83,21 +84,21 @@ impl Dispatcher {
 
         let own = tuple.side;
         let opp = own.opposite();
-        out.store_dest = self.parts[own.index()].store_route(tuple.key);
-        self.parts[opp.index()].probe_route(tuple.key, &mut out.probe_dests);
+        out.store_dest = self.parts[own.index()].store_route(tuple.key); // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+        self.parts[opp.index()].probe_route(tuple.key, &mut out.probe_dests); // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
         out.tuple = tuple;
 
         let own_counts = match own {
             Side::R => &mut self.counts.r_group,
             Side::S => &mut self.counts.s_group,
         };
-        own_counts[out.store_dest] += 1;
+        own_counts[out.store_dest] += 1; // lint:allow(partitioner contract: store_route() < instances())
         let opp_counts = match opp {
             Side::R => &mut self.counts.r_group,
             Side::S => &mut self.counts.s_group,
         };
         for &d in &out.probe_dests {
-            opp_counts[d] += 1;
+            opp_counts[d] += 1; // lint:allow(partitioner contract: probe_route() yields < instances())
         }
     }
 
@@ -112,6 +113,7 @@ impl Dispatcher {
     /// Grows the group storing `group_side` by `additional` instances.
     /// Returns `false` if the partitioner cannot grow online.
     pub fn grow(&mut self, group_side: Side, additional: usize) -> bool {
+        // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
         if !self.parts[group_side.index()].grow(additional) {
             return false;
         }
@@ -128,15 +130,15 @@ impl Dispatcher {
     /// must then deliver [`crate::protocol::InstanceMsg::RouteUpdated`] to
     /// `req.source`).
     pub fn apply_route(&mut self, group_side: Side, req: &RouteRequest) -> bool {
-        self.parts[group_side.index()].apply_migration(&req.keys, req.target)
+        self.parts[group_side.index()].apply_migration(&req.keys, req.target) // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
     }
 }
 
 impl std::fmt::Debug for Dispatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dispatcher")
-            .field("r_strategy", &self.parts[0].name())
-            .field("s_strategy", &self.parts[1].name())
+            .field("r_strategy", &self.parts[0].name()) // lint:allow(parts is a [_; 2])
+            .field("s_strategy", &self.parts[1].name()) // lint:allow(parts is a [_; 2])
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -148,10 +150,7 @@ mod tests {
     use crate::partition::HashPartitioner;
 
     fn hash_dispatcher(n: usize) -> Dispatcher {
-        Dispatcher::new(
-            Box::new(HashPartitioner::new(n, 0)),
-            Box::new(HashPartitioner::new(n, 1)),
-        )
+        Dispatcher::new(Box::new(HashPartitioner::new(n, 0)), Box::new(HashPartitioner::new(n, 1)))
     }
 
     #[test]
@@ -219,10 +218,8 @@ mod tests {
         for k in 0..100 {
             assert!(d.dispatch(Tuple::r(k, 0, 0)).store_dest < 4);
         }
-        let applied = d.apply_route(
-            Side::R,
-            &RouteRequest { epoch: 1, keys: vec![7], target: 5, source: 0 },
-        );
+        let applied =
+            d.apply_route(Side::R, &RouteRequest { epoch: 1, keys: vec![7], target: 5, source: 0 });
         assert!(applied);
         assert_eq!(d.dispatch(Tuple::r(7, 0, 0)).store_dest, 5);
     }

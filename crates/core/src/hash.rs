@@ -47,7 +47,7 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 #[inline]
 #[must_use]
 pub fn partition(key: Key, n: usize) -> usize {
-    assert!(n > 0, "cannot partition over zero instances");
+    assert!(n > 0, "cannot partition over zero instances"); // lint:allow(constructor-style argument validation)
     (mix64(key) % n as u64) as usize
 }
 
@@ -57,7 +57,7 @@ pub fn partition(key: Key, n: usize) -> usize {
 #[inline]
 #[must_use]
 pub fn partition_salted(key: Key, salt: u64, n: usize) -> usize {
-    assert!(n > 0, "cannot partition over zero instances");
+    assert!(n > 0, "cannot partition over zero instances"); // lint:allow(constructor-style argument validation)
     (mix64(key ^ mix64(salt)) % n as u64) as usize
 }
 
@@ -101,18 +101,14 @@ mod tests {
             counts[partition(key, n)] += 1;
         }
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(
-            *max < 2 * *min,
-            "poor spread: min={min} max={max} counts={counts:?}"
-        );
+        assert!(*max < 2 * *min, "poor spread: min={min} max={max} counts={counts:?}");
     }
 
     #[test]
     fn salted_partition_differs_from_unsalted() {
         let n = 48;
-        let differing = (0..1000u64)
-            .filter(|&k| partition(k, n) != partition_salted(k, 1, n))
-            .count();
+        let differing =
+            (0..1000u64).filter(|&k| partition(k, n) != partition_salted(k, 1, n)).count();
         // With 48 partitions, ~97.9% of keys should move under a new salt.
         assert!(differing > 900, "salt had little effect: {differing}/1000");
     }

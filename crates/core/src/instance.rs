@@ -12,7 +12,9 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::config::{MigrationMode, WindowConfig};
 use crate::load::{InstanceLoad, KeyStat};
-use crate::protocol::{Effects, InstanceMsg, MigrationDone, MigrationState, RouteRequest};
+use crate::protocol::{
+    Effects, InstanceMsg, MigrationDone, MigrationState, ProtocolError, RouteRequest,
+};
 use crate::selection::KeySelector;
 use crate::state::TupleStore;
 use crate::tuple::{JoinedPair, Key, Side, Timestamp, Tuple};
@@ -41,7 +43,7 @@ pub enum Work {
 }
 
 /// A join instance of one group.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JoinInstance {
     /// This instance's index within its group.
     id: usize,
@@ -224,24 +226,46 @@ impl JoinInstance {
 
     /// Handles one incoming message. `selector` is consulted only for
     /// `MigrateCmd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] when the message violates the migration
+    /// protocol (wrong role, wrong epoch, overlapping rounds). The instance
+    /// is left unchanged in that case; the embedding engine decides whether
+    /// a violation is fatal.
     pub fn handle(
         &mut self,
         msg: InstanceMsg,
         selector: &mut dyn KeySelector,
         theta_gap: f64,
         fx: &mut Effects,
-    ) {
+    ) -> Result<(), ProtocolError> {
         match msg {
             InstanceMsg::Data(t) => self.on_data(t),
             InstanceMsg::MigrateCmd { epoch, target, target_load } => {
-                self.on_migrate_cmd(epoch, target, target_load, selector, theta_gap, fx);
+                self.on_migrate_cmd(epoch, target, target_load, selector, theta_gap, fx)?;
             }
             InstanceMsg::MigStart { epoch, from, keys } => {
-                assert!(
-                    self.mig.is_idle(),
-                    "instance {} got MigStart during another migration",
-                    self.id
-                );
+                if !self.mig.is_idle() {
+                    return Err(ProtocolError::AlreadyMigrating {
+                        instance: self.id,
+                        msg: "MigStart",
+                    });
+                }
+                // The *target* requests the route flip, only after it has
+                // entered holding mode. If the source requested it at
+                // selection time instead, the dispatcher could re-route
+                // data here before this MigStart arrived (source→target
+                // and dispatcher→target are independent channels) and an
+                // idle target would probe a store that is still in flight.
+                // The model checker (`cargo xtask check-protocol`) finds
+                // that interleaving in seconds.
+                fx.route_requests.push(RouteRequest {
+                    epoch,
+                    keys: keys.clone(),
+                    target: self.id,
+                    source: from,
+                });
                 self.mig = MigrationState::Target {
                     epoch,
                     from,
@@ -252,9 +276,16 @@ impl JoinInstance {
             }
             InstanceMsg::MigStore { epoch, tuples } => {
                 let MigrationState::Target { epoch: e, received, .. } = &mut self.mig else {
-                    panic!("instance {} got MigStore while not a target", self.id)
+                    return Err(ProtocolError::NotATarget { instance: self.id, msg: "MigStore" });
                 };
-                assert_eq!(*e, epoch, "MigStore epoch mismatch");
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigStore",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
                 let n = tuples.len() as u64;
                 *received += n;
                 let min_ts = self.min_ts(self.watermark);
@@ -262,23 +293,40 @@ impl JoinInstance {
                 self.stats.migrated_in += n;
                 self.stats.expired += n - kept;
             }
-            InstanceMsg::RouteUpdated { epoch } => self.on_route_updated(epoch, fx),
+            InstanceMsg::RouteUpdated { epoch } => self.on_route_updated(epoch, fx)?,
             InstanceMsg::MigForward { epoch, tuples } => {
                 let MigrationState::Target { epoch: e, .. } = &self.mig else {
-                    panic!("instance {} got MigForward while not a target", self.id)
+                    return Err(ProtocolError::NotATarget { instance: self.id, msg: "MigForward" });
                 };
-                assert_eq!(*e, epoch, "MigForward epoch mismatch");
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigForward",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
                 for t in tuples {
                     self.push_pending(t);
                 }
             }
             InstanceMsg::MigEnd { epoch, from: _ } => {
-                let MigrationState::Target { epoch: e, held, keys, received, .. } =
+                let MigrationState::Target { epoch: e, .. } = &self.mig else {
+                    return Err(ProtocolError::NotATarget { instance: self.id, msg: "MigEnd" });
+                };
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigEnd",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
+                let MigrationState::Target { held, keys, received, .. } =
                     std::mem::replace(&mut self.mig, MigrationState::Idle)
                 else {
-                    panic!("instance {} got MigEnd while not a target", self.id)
+                    unreachable!("checked above"); // lint:allow(role verified two lines up)
                 };
-                assert_eq!(e, epoch, "MigEnd epoch mismatch");
                 for t in held {
                     self.push_pending(t);
                 }
@@ -293,6 +341,7 @@ impl JoinInstance {
                 });
             }
         }
+        Ok(())
     }
 
     fn on_data(&mut self, t: Tuple) {
@@ -330,19 +379,19 @@ impl JoinInstance {
         selector: &mut dyn KeySelector,
         theta_gap: f64,
         fx: &mut Effects,
-    ) {
-        assert!(
-            self.mig.is_idle(),
-            "instance {} got MigrateCmd during another migration",
-            self.id
-        );
-        assert_ne!(target, self.id, "cannot migrate to self");
+    ) -> Result<(), ProtocolError> {
+        if !self.mig.is_idle() {
+            return Err(ProtocolError::AlreadyMigrating { instance: self.id, msg: "MigrateCmd" });
+        }
+        if target == self.id {
+            return Err(ProtocolError::SelfMigration { instance: self.id });
+        }
         let stats = self.key_stats();
         let plan = selector.select(self.reported_load(), target_load, &stats, theta_gap);
         if plan.is_empty() {
             // Nothing worth moving; tell the monitor the round is over.
             fx.migration_done.push(MigrationDone { epoch, tuples_moved: 0, keys_moved: 0 });
-            return;
+            return Ok(());
         }
 
         // Extract the stored payload for the selected keys.
@@ -369,32 +418,35 @@ impl JoinInstance {
             InstanceMsg::MigStart { epoch, from: self.id, keys: plan.keys.clone() },
         ));
         fx.sends.push((target, InstanceMsg::MigStore { epoch, tuples: moved }));
-        fx.route_requests.push(RouteRequest {
-            epoch,
-            keys: plan.keys.clone(),
-            target,
-            source: self.id,
-        });
-        self.mig = MigrationState::Source {
-            epoch,
-            target,
-            keys: key_set,
-            buffer,
-            tuples_moved,
-        };
+        // No RouteRequest here: the target issues it on MigStart so the
+        // route never flips before the target is ready to hold re-routed
+        // data. See the MigStart arm in `handle`.
+        self.mig = MigrationState::Source { epoch, target, keys: key_set, buffer, tuples_moved };
+        Ok(())
     }
 
-    fn on_route_updated(&mut self, epoch: u64, fx: &mut Effects) {
-        let MigrationState::Source { epoch: e, target, buffer, .. } =
+    fn on_route_updated(&mut self, epoch: u64, fx: &mut Effects) -> Result<(), ProtocolError> {
+        let MigrationState::Source { epoch: e, .. } = &self.mig else {
+            return Err(ProtocolError::NotASource { instance: self.id });
+        };
+        if *e != epoch {
+            return Err(ProtocolError::EpochMismatch {
+                instance: self.id,
+                msg: "RouteUpdated",
+                expected: *e,
+                got: epoch,
+            });
+        }
+        let MigrationState::Source { target, buffer, .. } =
             std::mem::replace(&mut self.mig, MigrationState::Idle)
         else {
-            panic!("instance {} got RouteUpdated while not a source", self.id)
+            unreachable!("checked above"); // lint:allow(role verified two lines up)
         };
-        assert_eq!(e, epoch, "RouteUpdated epoch mismatch");
         fx.sends.push((target, InstanceMsg::MigForward { epoch, tuples: buffer }));
         fx.sends.push((target, InstanceMsg::MigEnd { epoch, from: self.id }));
         // MigrationDone is reported by the *target* when it processes
         // MigEnd — see `handle`.
+        Ok(())
     }
 
     /// Processes the oldest pending tuple, if any, emitting join results
@@ -451,7 +503,7 @@ mod tests {
         let mut fx = Effects::new();
         let mut sel = GreedyFit::new();
         for m in msgs {
-            inst.handle(m, &mut sel, 0.0, &mut fx);
+            inst.handle(m, &mut sel, 0.0, &mut fx).unwrap();
         }
         while inst.process_next(&mut fx).is_some() {}
         fx
@@ -483,9 +535,9 @@ mod tests {
         let mut inst = JoinInstance::new(0, Side::R, None);
         let mut fx = Effects::new();
         let mut sel = GreedyFit::new();
-        inst.handle(data(Side::R, 1, 0, 1), &mut sel, 0.0, &mut fx);
-        inst.handle(data(Side::S, 1, 1, 2), &mut sel, 0.0, &mut fx);
-        inst.handle(data(Side::S, 2, 2, 3), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::R, 1, 0, 1), &mut sel, 0.0, &mut fx).unwrap();
+        inst.handle(data(Side::S, 1, 1, 2), &mut sel, 0.0, &mut fx).unwrap();
+        inst.handle(data(Side::S, 2, 2, 3), &mut sel, 0.0, &mut fx).unwrap();
         // Nothing processed yet: stored 0, two probe arrivals this period.
         assert_eq!(inst.load(), InstanceLoad::new(0, 2));
         let _ = inst.process_next(&mut fx); // stores the R tuple
@@ -504,10 +556,10 @@ mod tests {
         let mut inst = JoinInstance::new(0, Side::R, None);
         let mut fx = Effects::new();
         let mut sel = GreedyFit::new();
-        inst.handle(data(Side::R, 5, 0, 1), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::R, 5, 0, 1), &mut sel, 0.0, &mut fx).unwrap();
         let _ = inst.process_next(&mut fx); // store key 5
-        inst.handle(data(Side::S, 5, 1, 2), &mut sel, 0.0, &mut fx);
-        inst.handle(data(Side::S, 9, 2, 3), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::S, 5, 1, 2), &mut sel, 0.0, &mut fx).unwrap();
+        inst.handle(data(Side::S, 9, 2, 3), &mut sel, 0.0, &mut fx).unwrap();
         // φ statistics become visible to key selection once the period is
         // frozen by the monitor's report collection.
         let _ = inst.take_load_report();
@@ -539,10 +591,7 @@ mod tests {
     fn collect_expired_reclaims_store() {
         let w = WindowConfig { sub_windows: 2, sub_window_len: 50 };
         let mut inst = JoinInstance::new(0, Side::R, Some(w));
-        let _ = drive(
-            &mut inst,
-            vec![data(Side::R, 1, 0, 1), data(Side::R, 2, 300, 2)],
-        );
+        let _ = drive(&mut inst, vec![data(Side::R, 1, 0, 1), data(Side::R, 2, 300, 2)]);
         assert_eq!(inst.store().len(), 2);
         assert_eq!(inst.collect_expired(), 1);
         assert_eq!(inst.store().len(), 1);
@@ -568,7 +617,8 @@ mod tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
+        )
+        .unwrap();
         assert_eq!(fx.migration_done.len(), 1);
         assert_eq!(fx.migration_done[0].epoch, 7);
         assert_eq!(fx.migration_done[0].tuples_moved, 0);
@@ -582,16 +632,16 @@ mod tests {
         let mut sel = GreedyFit::new();
         // Build skew: hot key 1 (many tuples), cold keys 2, 3.
         for seq in 0..50 {
-            inst.handle(data(Side::R, 1, seq, seq), &mut sel, 0.0, &mut fx);
+            inst.handle(data(Side::R, 1, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
         }
         for seq in 50..54 {
-            inst.handle(data(Side::R, 2, seq, seq), &mut sel, 0.0, &mut fx);
+            inst.handle(data(Side::R, 2, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
         }
         while inst.process_next(&mut fx).is_some() {}
         // Probe pressure on both keys.
         for seq in 60..70 {
-            inst.handle(data(Side::S, 1, seq, seq), &mut sel, 0.0, &mut fx);
-            inst.handle(data(Side::S, 2, seq + 100, seq + 100), &mut sel, 0.0, &mut fx);
+            inst.handle(data(Side::S, 1, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+            inst.handle(data(Side::S, 2, seq + 100, seq + 100), &mut sel, 0.0, &mut fx).unwrap();
         }
         // Freeze the period so selection sees the probe pressure, exactly
         // like a monitor report collection would.
@@ -602,26 +652,37 @@ mod tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
+        )
+        .unwrap();
         // Selection must have picked at least one key and emitted the
         // protocol messages.
         assert!(matches!(inst.migration_state(), MigrationState::Source { .. }));
-        assert!(fx.sends.iter().any(|(to, m)| *to == 3 && matches!(m, InstanceMsg::MigStart { .. })));
-        assert!(fx.sends.iter().any(|(to, m)| *to == 3 && matches!(m, InstanceMsg::MigStore { .. })));
-        assert_eq!(fx.route_requests.len(), 1);
-        let req = fx.route_requests[0].clone();
-        assert_eq!(req.source, 0);
-        assert_eq!(req.target, 3);
+        let started_keys = fx
+            .sends
+            .iter()
+            .find_map(|(to, m)| match m {
+                InstanceMsg::MigStart { keys, .. } if *to == 3 => Some(keys.clone()),
+                _ => None,
+            })
+            .expect("source must send MigStart to the target");
+        assert!(fx
+            .sends
+            .iter()
+            .any(|(to, m)| *to == 3 && matches!(m, InstanceMsg::MigStore { .. })));
+        // The route flip is requested by the *target* when MigStart lands,
+        // never by the source — otherwise re-routed data could reach an
+        // unprepared target.
+        assert!(fx.route_requests.is_empty());
 
         // Data for a migrated key arriving now must be buffered, not queued.
-        let migrated_key = req.keys[0];
+        let migrated_key = started_keys[0];
         let before = inst.pending_len();
-        inst.handle(data(Side::S, migrated_key, 999, 999), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::S, migrated_key, 999, 999), &mut sel, 0.0, &mut fx).unwrap();
         assert_eq!(inst.pending_len(), before, "selected-key data must bypass the queue");
 
         // Routing confirmed: buffer flushes to the target and we are idle.
         fx.clear();
-        inst.handle(InstanceMsg::RouteUpdated { epoch: 1 }, &mut sel, 0.0, &mut fx);
+        inst.handle(InstanceMsg::RouteUpdated { epoch: 1 }, &mut sel, 0.0, &mut fx).unwrap();
         assert!(inst.migration_state().is_idle());
         let fwd = fx
             .sends
@@ -650,17 +711,24 @@ mod tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
+        )
+        .unwrap();
+        // The target asks for the route flip once it is ready to hold.
+        assert_eq!(fx.route_requests.len(), 1);
+        assert_eq!(fx.route_requests[0].keys, vec![42]);
+        assert_eq!(fx.route_requests[0].source, 0);
+        assert_eq!(fx.route_requests[0].target, 3);
         // Store payload installs directly.
         let mut r = Tuple::new(Side::R, 42, 0, 0);
         r.seq = 1;
-        inst.handle(InstanceMsg::MigStore { epoch: 1, tuples: vec![r] }, &mut sel, 0.0, &mut fx);
+        inst.handle(InstanceMsg::MigStore { epoch: 1, tuples: vec![r] }, &mut sel, 0.0, &mut fx)
+            .unwrap();
         assert_eq!(inst.store().len(), 1);
         // Dispatcher-routed data for key 42 is held.
-        inst.handle(data(Side::S, 42, 5, 9), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::S, 42, 5, 9), &mut sel, 0.0, &mut fx).unwrap();
         assert_eq!(inst.pending_len(), 0);
         // Data for other keys flows normally.
-        inst.handle(data(Side::R, 7, 6, 10), &mut sel, 0.0, &mut fx);
+        inst.handle(data(Side::R, 7, 6, 10), &mut sel, 0.0, &mut fx).unwrap();
         assert_eq!(inst.pending_len(), 1);
         // Forwarded buffer lands in the queue before held data.
         let mut fwd = Tuple::new(Side::S, 42, 4, 8);
@@ -670,8 +738,9 @@ mod tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
-        inst.handle(InstanceMsg::MigEnd { epoch: 1, from: 0 }, &mut sel, 0.0, &mut fx);
+        )
+        .unwrap();
+        inst.handle(InstanceMsg::MigEnd { epoch: 1, from: 0 }, &mut sel, 0.0, &mut fx).unwrap();
         assert!(inst.migration_state().is_idle());
         assert_eq!(fx.migration_done.len(), 1, "the target reports completion");
         assert_eq!(fx.migration_done[0].tuples_moved, 1);
@@ -685,17 +754,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot migrate to self")]
     fn rejects_self_migration() {
         let mut inst = JoinInstance::new(2, Side::R, None);
         let mut fx = Effects::new();
         let mut sel = GreedyFit::new();
-        inst.handle(
-            InstanceMsg::MigrateCmd { epoch: 0, target: 2, target_load: InstanceLoad::default() },
-            &mut sel,
-            0.0,
-            &mut fx,
-        );
+        let err = inst
+            .handle(
+                InstanceMsg::MigrateCmd {
+                    epoch: 0,
+                    target: 2,
+                    target_load: InstanceLoad::default(),
+                },
+                &mut sel,
+                0.0,
+                &mut fx,
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::SelfMigration { instance: 2 });
+        assert!(inst.migration_state().is_idle(), "rejected command must not change state");
     }
 }
 
@@ -709,28 +785,33 @@ mod protocol_state_tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a target")]
     fn mig_store_while_idle_is_a_protocol_bug() {
         let (mut inst, mut sel, mut fx) = idle_instance();
-        inst.handle(InstanceMsg::MigStore { epoch: 1, tuples: vec![] }, &mut sel, 0.0, &mut fx);
+        let err = inst
+            .handle(InstanceMsg::MigStore { epoch: 1, tuples: vec![] }, &mut sel, 0.0, &mut fx)
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::NotATarget { instance: 0, msg: "MigStore" });
     }
 
     #[test]
-    #[should_panic(expected = "not a source")]
     fn route_updated_while_idle_is_a_protocol_bug() {
         let (mut inst, mut sel, mut fx) = idle_instance();
-        inst.handle(InstanceMsg::RouteUpdated { epoch: 1 }, &mut sel, 0.0, &mut fx);
+        let err = inst
+            .handle(InstanceMsg::RouteUpdated { epoch: 1 }, &mut sel, 0.0, &mut fx)
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::NotASource { instance: 0 });
     }
 
     #[test]
-    #[should_panic(expected = "not a target")]
     fn mig_end_while_idle_is_a_protocol_bug() {
         let (mut inst, mut sel, mut fx) = idle_instance();
-        inst.handle(InstanceMsg::MigEnd { epoch: 1, from: 2 }, &mut sel, 0.0, &mut fx);
+        let err = inst
+            .handle(InstanceMsg::MigEnd { epoch: 1, from: 2 }, &mut sel, 0.0, &mut fx)
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::NotATarget { instance: 0, msg: "MigEnd" });
     }
 
     #[test]
-    #[should_panic(expected = "during another migration")]
     fn mig_start_while_already_target_is_a_protocol_bug() {
         let (mut inst, mut sel, mut fx) = idle_instance();
         inst.handle(
@@ -738,26 +819,41 @@ mod protocol_state_tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
-        inst.handle(
-            InstanceMsg::MigStart { epoch: 2, from: 2, keys: vec![6] },
-            &mut sel,
-            0.0,
-            &mut fx,
+        )
+        .unwrap();
+        let err = inst
+            .handle(
+                InstanceMsg::MigStart { epoch: 2, from: 2, keys: vec![6] },
+                &mut sel,
+                0.0,
+                &mut fx,
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::AlreadyMigrating { instance: 0, msg: "MigStart" });
+        // The first round is untouched by the rejected second MigStart.
+        assert!(
+            matches!(inst.migration_state(), MigrationState::Target { epoch: 1, .. }),
+            "rejected MigStart must not clobber the in-progress round"
         );
     }
 
     #[test]
-    #[should_panic(expected = "epoch mismatch")]
-    fn mig_store_epoch_mismatch_panics() {
+    fn mig_store_epoch_mismatch_is_a_protocol_bug() {
         let (mut inst, mut sel, mut fx) = idle_instance();
         inst.handle(
             InstanceMsg::MigStart { epoch: 1, from: 1, keys: vec![5] },
             &mut sel,
             0.0,
             &mut fx,
+        )
+        .unwrap();
+        let err = inst
+            .handle(InstanceMsg::MigStore { epoch: 9, tuples: vec![] }, &mut sel, 0.0, &mut fx)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::EpochMismatch { instance: 0, msg: "MigStore", expected: 1, got: 9 }
         );
-        inst.handle(InstanceMsg::MigStore { epoch: 9, tuples: vec![] }, &mut sel, 0.0, &mut fx);
     }
 
     #[test]
@@ -765,14 +861,11 @@ mod protocol_state_tests {
         let (mut inst, mut sel, mut fx) = idle_instance();
         let mut t = Tuple::s(1, 500, 0); // probe side also advances it
         t.seq = 1;
-        inst.handle(InstanceMsg::Data(t), &mut sel, 0.0, &mut fx);
+        inst.handle(InstanceMsg::Data(t), &mut sel, 0.0, &mut fx).unwrap();
         // Full-history: collect_expired is a no-op but must not panic.
         assert_eq!(inst.collect_expired(), 0);
         // The probe processes against an empty store.
-        assert!(matches!(
-            inst.process_next(&mut fx),
-            Some(Work::Probe { matches: 0, .. })
-        ));
+        assert!(matches!(inst.process_next(&mut fx), Some(Work::Probe { matches: 0, .. })));
     }
 
     #[test]
@@ -785,7 +878,7 @@ mod protocol_state_tests {
         // Advance the watermark far ahead.
         let mut fresh = Tuple::r(9, 10_000, 0);
         fresh.seq = 1;
-        inst.handle(InstanceMsg::Data(fresh), &mut sel, 0.0, &mut fx);
+        inst.handle(InstanceMsg::Data(fresh), &mut sel, 0.0, &mut fx).unwrap();
         // Become a migration target and receive a store full of tuples
         // that are already out of the window.
         inst.handle(
@@ -793,7 +886,8 @@ mod protocol_state_tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
+        )
+        .unwrap();
         let mut stale = Tuple::r(5, 10, 0);
         stale.seq = 2;
         inst.handle(
@@ -801,7 +895,8 @@ mod protocol_state_tests {
             &mut sel,
             0.0,
             &mut fx,
-        );
+        )
+        .unwrap();
         assert_eq!(inst.counters().migrated_in, 1);
         assert_eq!(inst.counters().expired, 1, "stale migrated tuple dropped on install");
         assert_eq!(inst.store().len(), 0);

@@ -42,20 +42,35 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+/// Synchronous in-process cluster wiring the full join-biclique (§III-A).
 pub mod biclique;
+/// Tunable parameters: group sizes, θ thresholds, windowing, migration mode.
 pub mod config;
+/// The dispatching component: sequence numbers and two-way routing.
 pub mod dispatcher;
+/// Key hashing and the salted partition function.
 pub mod hash;
+/// One join instance: store, probe, and the migration state machine.
 pub mod instance;
+/// Load accounting: per-instance load reports and per-key statistics.
 pub mod load;
+/// Throughput/latency series and cluster-level imbalance metrics.
 pub mod metrics;
+/// The monitoring component: skew detection and migration round control (§III-C).
 pub mod monitor;
+/// Partitioning strategies implementing the [`partition::Partitioner`] trait.
 pub mod partition;
+/// Control-plane message types and the migration protocol state (§III-D).
 pub mod protocol;
+/// The routing table: consistent home routes plus migration overrides.
 pub mod routing;
+/// Migration key-selection policies (greedy, DP, exact; §III-C).
 pub mod selection;
+/// The per-instance tuple store indexed by key.
 pub mod state;
+/// Tuples, keys, sides, and joined result pairs.
 pub mod tuple;
+/// Sub-window ring for time-based expiry (§III-B).
 pub mod window;
 
 pub use biclique::JoinCluster;

@@ -103,7 +103,7 @@ impl LoadTable {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n > 0, "a join group needs at least one instance");
+        assert!(n > 0, "a join group needs at least one instance"); // lint:allow(constructor argument validation)
         LoadTable { loads: vec![InstanceLoad::default(); n] }
     }
 

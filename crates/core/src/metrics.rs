@@ -124,7 +124,7 @@ impl TimeSeries {
     /// Panics if `period == 0`.
     #[must_use]
     pub fn new(period: u64) -> Self {
-        assert!(period > 0, "time series period must be > 0");
+        assert!(period > 0, "time series period must be > 0"); // lint:allow(constructor argument validation)
         TimeSeries { period, sums: Vec::new(), counts: Vec::new() }
     }
 

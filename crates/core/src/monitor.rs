@@ -63,7 +63,7 @@ impl Monitor {
     /// perfectly balanced group.
     #[must_use]
     pub fn new(n: usize, theta: f64, cooldown: u64) -> Self {
-        assert!(theta > 1.0, "theta must be > 1.0, got {theta}");
+        assert!(theta > 1.0, "theta must be > 1.0, got {theta}"); // lint:allow(constructor argument validation)
         Monitor {
             table: LoadTable::new(n),
             theta,
@@ -85,7 +85,7 @@ impl Monitor {
     /// # Panics
     /// Panics if `depth == 0`.
     pub fn set_history_depth(&mut self, depth: usize) {
-        assert!(depth > 0, "history depth must be at least 1");
+        assert!(depth > 0, "history depth must be at least 1"); // lint:allow(documented panic contract)
         self.history_depth = depth;
         for h in &mut self.history {
             while h.len() > depth {
@@ -169,11 +169,7 @@ impl Monitor {
         self.stats.triggered += 1;
         Some(MigrationTrigger {
             source,
-            msg: InstanceMsg::MigrateCmd {
-                epoch,
-                target,
-                target_load: self.table.get(target),
-            },
+            msg: InstanceMsg::MigrateCmd { epoch, target, target_load: self.table.get(target) },
         })
     }
 
@@ -182,8 +178,8 @@ impl Monitor {
     /// # Panics
     /// Panics on an epoch mismatch — that is a protocol bug.
     pub fn on_migration_done(&mut self, done: MigrationDone, now: u64) {
-        let expected = self.in_flight.take().expect("MigrationDone with no round in flight");
-        assert_eq!(expected, done.epoch, "MigrationDone epoch mismatch");
+        let expected = self.in_flight.take().expect("MigrationDone with no round in flight"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
+        assert_eq!(expected, done.epoch, "MigrationDone epoch mismatch"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
         self.last_round_end = now;
         if done.keys_moved == 0 {
             self.stats.abandoned += 1;
@@ -241,10 +237,7 @@ mod tests {
             InstanceMsg::MigrateCmd { epoch, .. } => epoch,
             _ => unreachable!(),
         };
-        m.on_migration_done(
-            MigrationDone { epoch, tuples_moved: 10, keys_moved: 2 },
-            150,
-        );
+        m.on_migration_done(MigrationDone { epoch, tuples_moved: 10, keys_moved: 2 }, 150);
         assert!(m.maybe_trigger(200).is_none(), "cooldown from round end");
         assert!(m.maybe_trigger(250).is_some());
     }
@@ -303,8 +296,8 @@ mod tests {
             m.on_report(1, InstanceLoad::new(100, 10));
         }
         m.on_report(1, InstanceLoad::new(1_000, 100)); // one spike
-        // Unsmoothed LI would be ~(1001·101)/(101·11) ≈ 91; smoothed mean
-        // of instance 1 is (100·3+1000)/4 = 325, (10·3+100)/4 = 32.
+                                                       // Unsmoothed LI would be ~(1001·101)/(101·11) ≈ 91; smoothed mean
+                                                       // of instance 1 is (100·3+1000)/4 = 325, (10·3+100)/4 = 32.
         let li = m.imbalance();
         assert!(li < 15.0, "spike must be damped, LI = {li}");
         assert!(li > 1.0);

@@ -15,7 +15,7 @@ use crate::routing::RoutingTable;
 use crate::tuple::Key;
 
 /// A placement strategy for one join group.
-pub trait Partitioner {
+pub trait Partitioner: ClonePartitioner {
     /// The instance that stores the next tuple with this key.
     fn store_route(&mut self, key: Key) -> usize;
 
@@ -39,6 +39,26 @@ pub trait Partitioner {
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Object-safe cloning for boxed partitioners, so a [`crate::dispatcher::Dispatcher`]
+/// snapshot can be taken (the `xtask check-protocol` model checker forks
+/// dispatcher state at every explored interleaving).
+pub trait ClonePartitioner {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn Partitioner + Send>;
+}
+
+impl<P: Partitioner + Send + Clone + 'static> ClonePartitioner for P {
+    fn clone_box(&self) -> Box<dyn Partitioner + Send> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Partitioner + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Hash partitioning with migration support — FastJoin's strategy, and,

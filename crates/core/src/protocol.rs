@@ -73,6 +73,81 @@ pub enum InstanceMsg {
     },
 }
 
+/// A violation of the migration protocol detected by a join instance.
+///
+/// These are returned (not panicked) so that embedding engines and the
+/// `xtask check-protocol` model checker can decide how to surface them:
+/// the threaded runtime treats any of these as fatal, while the model
+/// checker reports them as counterexample traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A target-only message (`MigStore`/`MigForward`/`MigEnd`) arrived at
+    /// an instance that is not in the target state.
+    NotATarget {
+        /// Receiving instance.
+        instance: usize,
+        /// Name of the offending message variant.
+        msg: &'static str,
+    },
+    /// `RouteUpdated` arrived at an instance that is not a migration source.
+    NotASource {
+        /// Receiving instance.
+        instance: usize,
+    },
+    /// A migration message carried an epoch different from the round the
+    /// instance is participating in.
+    EpochMismatch {
+        /// Receiving instance.
+        instance: usize,
+        /// Name of the offending message variant.
+        msg: &'static str,
+        /// Epoch of the in-progress round.
+        expected: Epoch,
+        /// Epoch carried by the message.
+        got: Epoch,
+    },
+    /// `MigStart` or `MigrateCmd` arrived while another migration round was
+    /// still in progress at this instance.
+    AlreadyMigrating {
+        /// Receiving instance.
+        instance: usize,
+        /// Name of the offending message variant.
+        msg: &'static str,
+    },
+    /// `MigrateCmd` named the source instance itself as the target.
+    SelfMigration {
+        /// Receiving instance.
+        instance: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NotATarget { instance, msg } => {
+                write!(f, "instance {instance} got {msg} while not a target")
+            }
+            ProtocolError::NotASource { instance } => {
+                write!(f, "instance {instance} got RouteUpdated while not a source")
+            }
+            ProtocolError::EpochMismatch { instance, msg, expected, got } => {
+                write!(
+                    f,
+                    "instance {instance}: {msg} epoch mismatch (expected {expected}, got {got})"
+                )
+            }
+            ProtocolError::AlreadyMigrating { instance, msg } => {
+                write!(f, "instance {instance} got {msg} during another migration")
+            }
+            ProtocolError::SelfMigration { instance } => {
+                write!(f, "instance {instance}: cannot migrate to self")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// A request for the dispatcher to reroute `keys` to `target` and confirm
 /// back to the requesting source instance with [`InstanceMsg::RouteUpdated`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -35,7 +35,7 @@ impl RoutingTable {
     /// Panics if `n == 0`.
     #[must_use]
     pub fn new(n: usize, salt: u64) -> Self {
-        assert!(n > 0, "a join group needs at least one instance");
+        assert!(n > 0, "a join group needs at least one instance"); // lint:allow(constructor argument validation)
         RoutingTable { instances: n, home: n, salt, overrides: HashMap::new() }
     }
 
@@ -79,7 +79,7 @@ impl RoutingTable {
     /// # Panics
     /// Panics if `target` is out of range.
     pub fn apply_migration(&mut self, keys: &[Key], target: usize) {
-        assert!(target < self.instances, "migration target {target} out of range");
+        assert!(target < self.instances, "migration target {target} out of range"); // lint:allow(documented panic contract: target must be in range)
         for &k in keys {
             self.overrides.insert(k, target);
         }

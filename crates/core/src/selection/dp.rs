@@ -48,7 +48,7 @@ impl DpFit {
     /// Panics if `buckets == 0`.
     #[must_use]
     pub fn with_buckets(buckets: usize) -> Self {
-        assert!(buckets > 0, "need at least one capacity bucket");
+        assert!(buckets > 0, "need at least one capacity bucket"); // lint:allow(constructor argument validation)
         DpFit { buckets }
     }
 }
@@ -65,11 +65,8 @@ impl KeySelector for DpFit {
         if gap <= 0.0 || keys.is_empty() {
             return MigrationPlan::empty(gap);
         }
-        let stats: Vec<KeyStat> = keys
-            .iter()
-            .copied()
-            .filter(|k| k.benefit(src, dst) >= theta_gap)
-            .collect();
+        let stats: Vec<KeyStat> =
+            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
         if stats.is_empty() {
             return MigrationPlan::empty(gap);
         }
@@ -102,8 +99,7 @@ impl KeySelector for DpFit {
                 let cand_value = dp_value[c - w] + f;
                 let cand_tuples = dp_tuples[c - w] + stats[k].stored;
                 let better = cand_value > dp_value[c] + 1e-12
-                    || ((cand_value - dp_value[c]).abs() <= 1e-12
-                        && cand_tuples < dp_tuples[c]);
+                    || ((cand_value - dp_value[c]).abs() <= 1e-12 && cand_tuples < dp_tuples[c]);
                 if better {
                     dp_value[c] = cand_value;
                     dp_tuples[c] = cand_tuples;

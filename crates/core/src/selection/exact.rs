@@ -15,7 +15,6 @@ use crate::load::{InstanceLoad, KeyStat};
 /// Maximum key-universe size the exhaustive search accepts (2^20 subsets).
 pub const MAX_EXACT_KEYS: usize = 20;
 
-
 /// Exhaustive-search selector (test oracle; exponential time).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ExhaustiveFit;
@@ -43,11 +42,9 @@ impl KeySelector for ExhaustiveFit {
         if gap <= 0.0 || keys.is_empty() {
             return MigrationPlan::empty(gap);
         }
-        let stats: Vec<KeyStat> = keys
-            .iter()
-            .copied()
-            .filter(|k| k.benefit(src, dst) >= theta_gap)
-            .collect();
+        let stats: Vec<KeyStat> =
+            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
+        // lint:allow(guard against accidental exponential blow-up; selection is control plane)
         assert!(
             stats.len() <= MAX_EXACT_KEYS,
             "ExhaustiveFit is a test oracle; got {} keys (max {MAX_EXACT_KEYS})",
@@ -74,8 +71,8 @@ impl KeySelector for ExhaustiveFit {
             if benefit >= gap {
                 continue; // infeasible: would flip or equalize the pair
             }
-            let better = benefit > best_benefit
-                || (benefit == best_benefit && tuples < best_tuples);
+            let better =
+                benefit > best_benefit || (benefit == best_benefit && tuples < best_tuples);
             if better {
                 best_mask = mask;
                 best_benefit = benefit;

@@ -181,8 +181,7 @@ mod tests {
         // Verify ΔL accounting: L_i - L_j - ΣF_k equals predicted_delta.
         let src = InstanceLoad::new(500, 80);
         let dst = InstanceLoad::new(100, 20);
-        let keys: Vec<KeyStat> =
-            (0..20).map(|i| KeyStat::new(i, 5 + i % 7, 1 + i % 3)).collect();
+        let keys: Vec<KeyStat> = (0..20).map(|i| KeyStat::new(i, 5 + i % 7, 1 + i % 3)).collect();
         let plan = select(src, dst, &keys, 0.0);
         let sum_f: f64 = plan
             .keys

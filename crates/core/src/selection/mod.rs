@@ -44,7 +44,12 @@ impl MigrationPlan {
     /// An empty plan (nothing worth migrating).
     #[must_use]
     pub fn empty(gap: f64) -> Self {
-        MigrationPlan { keys: Vec::new(), total_benefit: 0.0, tuples_to_move: 0, predicted_delta: gap }
+        MigrationPlan {
+            keys: Vec::new(),
+            total_benefit: 0.0,
+            tuples_to_move: 0,
+            predicted_delta: gap,
+        }
     }
 
     /// True if the plan migrates nothing.
@@ -68,7 +73,7 @@ impl MigrationPlan {
             let st = stats
                 .iter()
                 .find(|s| s.key == *k)
-                .expect("plan references a key absent from the stats");
+                .expect("plan references a key absent from the stats"); // lint:allow(from_keys callers draw keys from these very stats)
             total_benefit += st.benefit(src, dst);
             tuples += st.stored;
         }

@@ -103,11 +103,8 @@ impl KeySelector for SaFit {
         // Keys below the benefit floor are never considered (mirrors
         // GreedyFit's θ_gap check so the two selectors face the same
         // universe of keys).
-        let stats: Vec<KeyStat> = keys
-            .iter()
-            .copied()
-            .filter(|k| k.benefit(src, dst) >= theta_gap)
-            .collect();
+        let stats: Vec<KeyStat> =
+            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
         if stats.is_empty() {
             return MigrationPlan::empty(gap);
         }
@@ -220,8 +217,7 @@ mod tests {
     fn result_is_always_feasible() {
         let src = InstanceLoad::new(1000, 300);
         let dst = InstanceLoad::new(50, 20);
-        let keys: Vec<KeyStat> =
-            (0..40).map(|i| KeyStat::new(i, 1 + i % 13, 1 + i % 5)).collect();
+        let keys: Vec<KeyStat> = (0..40).map(|i| KeyStat::new(i, 1 + i % 13, 1 + i % 5)).collect();
         for seed in 0..20 {
             let mut sa = SaFit::new(params(), seed);
             let plan = sa.select(src, dst, &keys, 0.0);
@@ -271,16 +267,15 @@ mod tests {
         // density, otherwise the search is broken.
         let src = InstanceLoad::new(2_000, 400);
         let dst = InstanceLoad::new(100, 30);
-        let keys: Vec<KeyStat> = (0..25).map(|i| KeyStat::new(i, 1 + i, 1 + (i * 7) % 11)).collect();
+        let keys: Vec<KeyStat> =
+            (0..25).map(|i| KeyStat::new(i, 1 + i, 1 + (i * 7) % 11)).collect();
         let mut sa = SaFit::new(params(), 11);
         let plan = sa.select(src, dst, &keys, 0.0);
         assert!(!plan.is_empty());
         let plan_density = plan.total_benefit / plan.tuples_to_move.max(1) as f64;
-        let mean_density: f64 = keys
-            .iter()
-            .map(|k| k.benefit(src, dst) / k.stored.max(1) as f64)
-            .sum::<f64>()
-            / keys.len() as f64;
+        let mean_density: f64 =
+            keys.iter().map(|k| k.benefit(src, dst) / k.stored.max(1) as f64).sum::<f64>()
+                / keys.len() as f64;
         assert!(
             plan_density >= mean_density * 0.9,
             "plan density {plan_density} vs mean singleton {mean_density}"

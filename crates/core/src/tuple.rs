@@ -127,10 +127,8 @@ impl JoinedPair {
     /// a routing bug, not a data condition.
     #[must_use]
     pub fn orient(stored: Tuple, probe: Tuple) -> Self {
-        assert_ne!(
-            stored.side, probe.side,
-            "join matched two tuples from the same stream side"
-        );
+        // lint:allow(caller contract: a pair is one stored + one probe side)
+        assert_ne!(stored.side, probe.side, "join matched two tuples from the same stream side");
         match stored.side {
             Side::R => JoinedPair { left: stored, right: probe },
             Side::S => JoinedPair { left: probe, right: stored },

@@ -31,7 +31,7 @@ impl SubWindowRing {
     /// Panics if the window configuration is degenerate.
     #[must_use]
     pub fn new(cfg: WindowConfig) -> Self {
-        assert!(cfg.sub_windows > 0 && cfg.sub_window_len > 0, "degenerate window");
+        assert!(cfg.sub_windows > 0 && cfg.sub_window_len > 0, "degenerate window"); // lint:allow(constructor argument validation)
         SubWindowRing { cfg, counts: vec![0; cfg.sub_windows], base: 0, total: 0 }
     }
 
@@ -65,7 +65,7 @@ impl SubWindowRing {
             return expired; // the record itself is already expired
         }
         let idx = (sw - self.base) as usize;
-        self.counts[idx] += n;
+        self.counts[idx] += n; // lint:allow(idx < sub_windows: advance() above moved the base)
         self.total += n;
         expired
     }
@@ -82,7 +82,7 @@ impl SubWindowRing {
         let mut expired = 0;
         // Pop `shift` head sub-windows.
         for i in 0..shift as usize {
-            expired += self.counts[i];
+            expired += self.counts[i]; // lint:allow(shift is clamped to the ring length above)
         }
         self.counts.drain(..shift as usize);
         self.counts.extend(std::iter::repeat_n(0, shift as usize));

@@ -109,10 +109,7 @@ mod tests {
         }
         let mean_gap = last as f64 / (n - 1) as f64;
         let expected = MICROS_PER_SEC as f64 / 100.0;
-        assert!(
-            (mean_gap - expected).abs() / expected < 0.02,
-            "mean gap {mean_gap} vs {expected}"
-        );
+        assert!((mean_gap - expected).abs() / expected < 0.02, "mean gap {mean_gap} vs {expected}");
     }
 
     #[test]

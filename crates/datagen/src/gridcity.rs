@@ -111,8 +111,7 @@ impl GridCityGen {
             .collect();
         // Hotspot popularity itself is skewed (downtown ≫ mall): weight
         // 1/rank, the classic rank-size rule for urban activity.
-        let hotspot_weight: Vec<f64> =
-            (1..=cfg.hotspots).map(|r| 1.0 / f64::from(r)).collect();
+        let hotspot_weight: Vec<f64> = (1..=cfg.hotspots).map(|r| 1.0 / f64::from(r)).collect();
         let taxi_xy: Vec<(u32, u32)> = (0..cfg.taxis)
             .map(|_| (rng.gen_range(0..cfg.width), rng.gen_range(0..cfg.height)))
             .collect();
@@ -121,8 +120,16 @@ impl GridCityGen {
             hotspot_xy,
             hotspot_weight,
             taxi_xy,
-            order_arrivals: ArrivalProcess::new(ArrivalKind::Constant, cfg.order_rate, cfg.seed ^ 1),
-            track_arrivals: ArrivalProcess::new(ArrivalKind::Constant, cfg.track_rate, cfg.seed ^ 2),
+            order_arrivals: ArrivalProcess::new(
+                ArrivalKind::Constant,
+                cfg.order_rate,
+                cfg.seed ^ 1,
+            ),
+            track_arrivals: ArrivalProcess::new(
+                ArrivalKind::Constant,
+                cfg.track_rate,
+                cfg.seed ^ 2,
+            ),
             orders_left: cfg.orders,
             tracks_left: cfg.tracks,
             rng,
@@ -250,9 +257,8 @@ mod tests {
     fn orders_are_skewed_toward_hotspots() {
         let cfg = small();
         let tuples: Vec<Tuple> = GridCityGen::new(&cfg).collect();
-        let census = KeyCensus::from_keys(
-            tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key),
-        );
+        let census =
+            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key));
         // Gaussian hotspots on a 1600-cell grid concentrate hard: far
         // fewer than half the cells should carry 80 % of orders.
         let frac = census.fraction_of_keys_for_share(0.8, cfg.cells() as usize);
@@ -288,9 +294,8 @@ mod tests {
         let cold = GridCityConfig { drift: 0.0, ..small() };
         let census = |cfg: &GridCityConfig| {
             let tuples: Vec<Tuple> = GridCityGen::new(cfg).collect();
-            let c = KeyCensus::from_keys(
-                tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key),
-            );
+            let c =
+                KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key));
             c.fraction_of_keys_for_share(0.8, cfg.cells() as usize)
         };
         assert!(

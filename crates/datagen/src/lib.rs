@@ -22,9 +22,9 @@ pub mod gridcity;
 pub mod keyspace;
 pub mod ridehail;
 pub mod stats;
+pub mod synthetic;
 pub mod tiered;
 pub mod trace;
-pub mod synthetic;
 pub mod zipf;
 
 pub use arrival::{ArrivalKind, ArrivalProcess};

@@ -197,10 +197,8 @@ mod tests {
 
     #[test]
     fn order_ids_are_sequential() {
-        let ids: Vec<u64> = RideHailGen::new(&small())
-            .filter(|t| t.side == Side::R)
-            .map(|t| t.payload)
-            .collect();
+        let ids: Vec<u64> =
+            RideHailGen::new(&small()).filter(|t| t.side == Side::R).map(|t| t.payload).collect();
         assert_eq!(ids[0], 1);
         assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
     }
@@ -210,12 +208,10 @@ mod tests {
         // Fig. 1a: ~20 % of locations hold 80 % of orders.
         // Fig. 1b: ~24 % of locations hold 80 % of tracks.
         let tuples: Vec<Tuple> = RideHailGen::new(&small()).collect();
-        let orders = KeyCensus::from_keys(
-            tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key),
-        );
-        let tracks = KeyCensus::from_keys(
-            tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key),
-        );
+        let orders =
+            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::R).map(|t| t.key));
+        let tracks =
+            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == Side::S).map(|t| t.key));
         // Shares are measured over the whole cell universe, including
         // never-hit cells, like the paper's location census.
         let order_frac = orders.fraction_of_keys_for_share(0.8, 2_000);

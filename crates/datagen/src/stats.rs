@@ -66,10 +66,7 @@ impl KeyCensus {
     /// Panics if `universe` is smaller than the number of observed keys.
     #[must_use]
     pub fn top_share(&self, frac: f64, universe: usize) -> f64 {
-        assert!(
-            universe >= self.sorted_counts.len(),
-            "universe smaller than observed key count"
-        );
+        assert!(universe >= self.sorted_counts.len(), "universe smaller than observed key count");
         if self.total == 0 {
             return 0.0;
         }
@@ -84,10 +81,7 @@ impl KeyCensus {
     /// locations occupy 80 percent of all the passenger orders".
     #[must_use]
     pub fn fraction_of_keys_for_share(&self, share: f64, universe: usize) -> f64 {
-        assert!(
-            universe >= self.sorted_counts.len(),
-            "universe smaller than observed key count"
-        );
+        assert!(universe >= self.sorted_counts.len(), "universe smaller than observed key count");
         if self.total == 0 {
             return 0.0;
         }

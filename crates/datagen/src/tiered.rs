@@ -91,8 +91,7 @@ mod tests {
         let s = TieredSampler::new(10_000, 0.2, 0.8);
         let mut rng = StdRng::seed_from_u64(1);
         let draws = 200_000;
-        let hot_hits =
-            (0..draws).filter(|_| s.sample(&mut rng) <= s.hot_keys()).count();
+        let hot_hits = (0..draws).filter(|_| s.sample(&mut rng) <= s.hot_keys()).count();
         let share = hot_hits as f64 / draws as f64;
         assert!((share - 0.8).abs() < 0.01, "hot share {share}");
     }

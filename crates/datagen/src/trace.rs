@@ -12,10 +12,7 @@ use fastjoin_core::tuple::{Side, Tuple};
 ///
 /// # Errors
 /// Propagates I/O errors from the writer.
-pub fn write_trace<W: Write>(
-    out: W,
-    tuples: impl IntoIterator<Item = Tuple>,
-) -> io::Result<u64> {
+pub fn write_trace<W: Write>(out: W, tuples: impl IntoIterator<Item = Tuple>) -> io::Result<u64> {
     let mut w = BufWriter::new(out);
     writeln!(w, "# fastjoin trace v1: side,key,ts,payload")?;
     let mut n = 0;

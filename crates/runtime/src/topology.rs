@@ -21,11 +21,11 @@ use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
 use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
 use fastjoin_core::instance::JoinInstance;
+use fastjoin_core::instance::Work;
 use fastjoin_core::metrics::{LogHistogram, TimeSeries};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg};
 use fastjoin_core::selection::make_selector;
-use fastjoin_core::instance::Work;
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 
 use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg};
@@ -96,7 +96,7 @@ fn run_topology_inner(
     workload: impl IntoIterator<Item = Tuple>,
     results: Option<Sender<JoinedPair>>,
 ) -> RuntimeReport {
-    cfg.fastjoin.validate().expect("invalid configuration");
+    cfg.fastjoin.validate().expect("invalid configuration"); // lint:allow(startup config validation, before any data flows)
     let n = cfg.fastjoin.instances_per_group;
     let (r_part, s_part, dynamic) = build_partitioners(cfg.system, &cfg.fastjoin);
     let start = Instant::now();
@@ -110,8 +110,8 @@ fn run_topology_inner(
     for g in 0..2 {
         for _ in 0..n {
             let (tx, rx) = bounded::<RtMsg>(cfg.queue_cap);
-            inst_txs[g].push(tx);
-            inst_rxs[g].push(rx);
+            inst_txs[g].push(tx); // lint:allow(g ranges over the two fixed groups)
+            inst_rxs[g].push(rx); // lint:allow(g ranges over the two fixed groups)
         }
     }
     let (collector_tx, collector_rx) = unbounded::<CollectorMsg>();
@@ -120,15 +120,15 @@ fn run_topology_inner(
     if dynamic {
         for g in 0..2 {
             let (tx, rx) = unbounded::<MonitorMsg>();
-            mon_txs[g] = Some(tx);
-            mon_rxs[g] = Some(rx);
+            mon_txs[g] = Some(tx); // lint:allow(g ranges over the two fixed groups)
+            mon_rxs[g] = Some(rx); // lint:allow(g ranges over the two fixed groups)
         }
     }
     let mut handles = Vec::new();
 
     // --- Dispatcher executor ------------------------------------------
     {
-        let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()];
+        let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
         let data_rx = disp_data_rx;
         let ctrl_rx = disp_ctrl_rx;
         handles.push(
@@ -171,17 +171,17 @@ fn run_topology_inner(
                                 let own = t.side.index();
                                 let opp = t.side.opposite().index();
                                 let fanout = scratch.probe_dests.len() as u32;
-                                let _ = inst_txs[own][scratch.store_dest]
+                                let _ = inst_txs[own][scratch.store_dest] // lint:allow(partitioner contract: routes are < instances())
                                     .send(RtMsg::Inst(InstanceMsg::Data(t)));
                                 for &d in &scratch.probe_dests {
-                                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout));
+                                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout)); // lint:allow(partitioner contract: routes are < instances())
                                 }
                             }
                             DispatcherMsg::Route { group, req } => {
                                 let ok = dispatcher
                                     .apply_route(if group == 0 { Side::R } else { Side::S }, &req);
-                                assert!(ok, "route update on non-migratable partitioner");
-                                let _ = inst_txs[group][req.source]
+                                assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
+                                let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
                                     .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
                             }
                             DispatcherMsg::Eos => {
@@ -195,18 +195,19 @@ fn run_topology_inner(
                         }
                     }
                 })
-                .expect("spawn dispatcher"),
+                .expect("spawn dispatcher"), // lint:allow(thread spawn at startup)
         );
     }
 
     // --- Instance executors -------------------------------------------
     for g in 0..2 {
         let side = if g == 0 { Side::R } else { Side::S };
+        // lint:allow(g ranges over the two fixed groups)
         for (i, rx) in inst_rxs[g].iter().enumerate() {
             let rx = rx.clone();
             let wiring = GroupWiring {
-                to_instances: inst_txs[g].clone(),
-                to_monitor: mon_txs[g].clone(),
+                to_instances: inst_txs[g].clone(), // lint:allow(g ranges over the two fixed groups)
+                to_monitor: mon_txs[g].clone(),    // lint:allow(g ranges over the two fixed groups)
             };
             let disp_ctrl = disp_ctrl_tx.clone();
             let collector = collector_tx.clone();
@@ -217,11 +218,10 @@ fn run_topology_inner(
                     .name(format!("join-{side}-{i}"))
                     .spawn(move || {
                         instance_loop(
-                            g, i, side, &fj, &rx, &wiring, &disp_ctrl, &collector, &now_us,
-                            results,
+                            g, i, side, &fj, &rx, &wiring, &disp_ctrl, &collector, &now_us, results,
                         );
                     })
-                    .expect("spawn instance"),
+                    .expect("spawn instance"), // lint:allow(thread spawn at startup)
             );
         }
     }
@@ -230,19 +230,19 @@ fn run_topology_inner(
     let (quiesce_ack_tx, quiesce_ack_rx) = unbounded::<usize>();
     if dynamic {
         for g in 0..2 {
-            let rx = mon_rxs[g].take().expect("dynamic groups have monitors");
-            let to_instances = inst_txs[g].clone();
+            let rx = mon_rxs[g].take().expect("dynamic groups have monitors"); // lint:allow(dynamic branch: monitors were just built for both groups)
+            let to_instances = inst_txs[g].clone(); // lint:allow(g ranges over the two fixed groups)
             let fj = cfg.fastjoin.clone();
             let period = Duration::from_millis(cfg.monitor_period_ms);
             let collector = collector_tx.clone();
             let ack = quiesce_ack_tx.clone();
-                handles.push(
+            handles.push(
                 thread::Builder::new()
                     .name(format!("monitor-{g}"))
                     .spawn(move || {
                         monitor_loop(g, &fj, period, &rx, &to_instances, &collector, &ack, &now_us);
                     })
-                    .expect("spawn monitor"),
+                    .expect("spawn monitor"), // lint:allow(thread spawn at startup)
             );
         }
     }
@@ -265,7 +265,7 @@ fn run_topology_inner(
             }
             next_send += gap;
         }
-        disp_data_tx.send(DispatcherMsg::Ingest(t)).expect("dispatcher alive");
+        disp_data_tx.send(DispatcherMsg::Ingest(t)).expect("dispatcher alive"); // lint:allow(dispatcher outlives ingest; a dead dispatcher already panicked)
         ingested += 1;
     }
 
@@ -279,13 +279,13 @@ fn run_topology_inner(
         while acked < 2 {
             match quiesce_ack_rx.recv_timeout(Duration::from_secs(60)) {
                 Ok(_) => acked += 1,
-                Err(e) => panic!("monitor quiesce timed out: {e}"),
+                Err(e) => panic!("monitor quiesce timed out: {e}"), // lint:allow(shutdown watchdog: a stuck monitor must fail the run loudly)
             }
         }
     }
     mon_txs = [None, None];
     let _ = &mon_txs;
-    disp_data_tx.send(DispatcherMsg::Eos).expect("dispatcher alive");
+    disp_data_tx.send(DispatcherMsg::Eos).expect("dispatcher alive"); // lint:allow(dispatcher outlives ingest; a dead dispatcher already panicked)
     drop(disp_data_tx);
 
     // --- Collect -------------------------------------------------------
@@ -293,8 +293,7 @@ fn run_topology_inner(
     let mut throughput = TimeSeries::new(1_000_000);
     let mut results_total = 0u64;
     let mut probes_total = 0u64;
-    let mut counters: [Vec<_>; 2] =
-        [vec![Default::default(); n], vec![Default::default(); n]];
+    let mut counters: [Vec<_>; 2] = [vec![Default::default(); n], vec![Default::default(); n]];
     let mut done = 0;
     let mut monitor_stats: [Option<MonitorStats>; 2] = [None, None];
     // seq → (fan-out parts left, max latency seen so far).
@@ -308,22 +307,22 @@ fn run_topology_inner(
                 let entry = fanout_left.entry(seq).or_insert((fanout, 0));
                 entry.0 -= 1;
                 entry.1 = entry.1.max(record.latency_us);
-                let done_probe = entry.0 == 0;
-                if done_probe {
-                    let (_, max_lat) = fanout_left.remove(&seq).expect("entry exists");
+                if entry.0 == 0 {
+                    let max_lat = entry.1;
+                    fanout_left.remove(&seq);
                     probes_total += 1;
                     latency.record(max_lat);
                 }
             }
             CollectorMsg::InstanceDone { group, id, counters: c } => {
-                counters[group][id] = c;
+                counters[group][id] = c; // lint:allow(group and id come from our own spawned executors)
                 done += 1;
                 if done == 2 * n {
                     break;
                 }
             }
             CollectorMsg::MonitorDone { group, stats } => {
-                monitor_stats[group] = Some(stats);
+                monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
             }
         }
     }
@@ -332,16 +331,16 @@ fn run_topology_inner(
         while monitor_stats.iter().any(Option::is_none) {
             match collector_rx.recv_timeout(Duration::from_secs(10)) {
                 Ok(CollectorMsg::MonitorDone { group, stats }) => {
-                    monitor_stats[group] = Some(stats);
+                    monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                 }
                 Ok(_) => {}
-                Err(e) => panic!("monitor stats never arrived: {e}"),
+                Err(e) => panic!("monitor stats never arrived: {e}"), // lint:allow(shutdown watchdog: missing stats must fail the run loudly)
             }
         }
     }
 
     for h in handles {
-        h.join().expect("worker thread panicked");
+        h.join().expect("worker thread panicked"); // lint:allow(propagates a worker panic at shutdown)
     }
 
     RuntimeReport {
@@ -358,20 +357,9 @@ fn run_topology_inner(
 
 /// Messages into the collector.
 enum CollectorMsg {
-    Probe {
-        seq: u64,
-        fanout: u32,
-        record: ProbeRecord,
-    },
-    InstanceDone {
-        group: usize,
-        id: usize,
-        counters: fastjoin_core::instance::InstanceCounters,
-    },
-    MonitorDone {
-        group: usize,
-        stats: MonitorStats,
-    },
+    Probe { seq: u64, fanout: u32, record: ProbeRecord },
+    InstanceDone { group: usize, id: usize, counters: fastjoin_core::instance::InstanceCounters },
+    MonitorDone { group: usize, stats: MonitorStats },
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -398,15 +386,20 @@ fn instance_loop(
     let mut fx = Effects::new();
     let mut eos = false;
     // Fan-out of the probe currently being processed, keyed by seq.
-    let mut probe_fanout: std::collections::HashMap<u64, u32> =
-        std::collections::HashMap::new();
+    let mut probe_fanout: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            RtMsg::Inst(m) => inst.handle(m, selector.as_mut(), fj.theta_gap, &mut fx),
+            RtMsg::Inst(m) => {
+                inst.handle(m, selector.as_mut(), fj.theta_gap, &mut fx)
+                    // lint:allow(a protocol violation in the threaded runtime is unrecoverable)
+                    .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+            }
             RtMsg::Probe(t, fanout) => {
                 probe_fanout.insert(t.seq, fanout);
-                inst.handle(InstanceMsg::Data(t), selector.as_mut(), fj.theta_gap, &mut fx);
+                inst.handle(InstanceMsg::Data(t), selector.as_mut(), fj.theta_gap, &mut fx)
+                    // lint:allow(Data never returns a protocol error)
+                    .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             }
             RtMsg::ReportRequest => {
                 inst.collect_expired();
@@ -422,20 +415,14 @@ fn instance_loop(
         while let Some(work) = inst.process_next(&mut fx) {
             if let Work::Probe { tuple, matches, .. } = work {
                 let fanout = probe_fanout.remove(&tuple.seq).unwrap_or(1);
-                let record = ProbeRecord {
-                    matches,
-                    latency_us: now_us().saturating_sub(tuple.ts),
-                };
+                let record = ProbeRecord { matches, latency_us: now_us().saturating_sub(tuple.ts) };
                 let _ = collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
             }
             flush_instance_effects(group, id, &mut fx, wiring, disp_ctrl, collector, &results);
         }
         if eos && inst.migration_state().is_idle() {
-            let _ = collector.send(CollectorMsg::InstanceDone {
-                group,
-                id,
-                counters: inst.counters(),
-            });
+            let _ =
+                collector.send(CollectorMsg::InstanceDone { group, id, counters: inst.counters() });
             break;
         }
     }
@@ -459,7 +446,7 @@ fn flush_instance_effects(
         fx.joined.clear(); // pairs are not materialized without a consumer
     }
     for (to, msg) in fx.sends.drain(..) {
-        let _ = wiring.to_instances[to].send(RtMsg::Inst(msg));
+        let _ = wiring.to_instances[to].send(RtMsg::Inst(msg)); // lint:allow(protocol contract: peer ids are valid instance indices)
     }
     for req in fx.route_requests.drain(..) {
         let _ = disp_ctrl.send(DispatcherMsg::Route { group, req });
@@ -505,6 +492,7 @@ fn monitor_loop(
                 }
                 if !quiescing {
                     if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
+                        // lint:allow(monitor only triggers sources it was built to watch)
                         let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
                     }
                 }

@@ -51,12 +51,7 @@ fn every_system_is_complete_under_concurrency() {
         SystemKind::Broadcast,
     ] {
         let report = run_topology(&cfg(system, 8), uniform_workload(7, 30));
-        assert_eq!(
-            report.results_total,
-            7 * 30 * 30,
-            "{:?} lost or duplicated results",
-            system
-        );
+        assert_eq!(report.results_total, 7 * 30 * 30, "{:?} lost or duplicated results", system);
         assert_eq!(report.probes_total, 420, "{system:?} probe completions");
     }
 }

@@ -1,42 +1,80 @@
 use fastjoin_baselines::SystemKind;
-use fastjoin_sim::experiment::*;
 use fastjoin_core::config::SelectorKind;
+use fastjoin_sim::experiment::*;
 use fastjoin_sim::CostModel;
 
 fn main() {
     let params = ExperimentParams {
-        instances: 48, gb: 30, max_secs: 45, theta: 2.2,
-        selector: SelectorKind::GreedyFit, cost: CostModel::default(), seed: 0xD1D1,
+        instances: 48,
+        gb: 30,
+        max_secs: 45,
+        theta: 2.2,
+        selector: SelectorKind::GreedyFit,
+        cost: CostModel::default(),
+        seed: 0xD1D1,
     };
     for sys in [SystemKind::FastJoin, SystemKind::BiStreamContRand, SystemKind::BiStream] {
         let report = run_ridehail(sys, &params);
         let s = summarize(sys, &report);
-        println!("{}: thpt={:.0}/s lat={:.2}ms li_avg={:.2} mig={} results={} dur={}s ingested={}",
-            s.system, s.throughput, s.latency_ms, s.imbalance, s.migrations, s.results_total,
-            report.duration/1_000_000, report.tuples_ingested);
-        let li: Vec<String> = report.metrics.imbalance.means().iter()
-            .map(|m| m.map_or("-".into(), |v| format!("{v:.2}"))).collect();
+        println!(
+            "{}: thpt={:.0}/s lat={:.2}ms li_avg={:.2} mig={} results={} dur={}s ingested={}",
+            s.system,
+            s.throughput,
+            s.latency_ms,
+            s.imbalance,
+            s.migrations,
+            s.results_total,
+            report.duration / 1_000_000,
+            report.tuples_ingested
+        );
+        let li: Vec<String> = report
+            .metrics
+            .imbalance
+            .means()
+            .iter()
+            .map(|m| m.map_or("-".into(), |v| format!("{v:.2}")))
+            .collect();
         println!("  LI: {}", li.join(" "));
-        let th: Vec<String> = report.metrics.throughput.sums().iter().map(|v| format!("{:.0}", v/1000.0)).collect();
+        let th: Vec<String> =
+            report.metrics.throughput.sums().iter().map(|v| format!("{:.0}", v / 1000.0)).collect();
         println!("  thpt(k/s): {}", th.join(" "));
-        let ing: Vec<String> = report.ingest_series.sums().iter().map(|v| format!("{:.0}", v/1000.0)).collect();
+        let ing: Vec<String> =
+            report.ingest_series.sums().iter().map(|v| format!("{:.0}", v / 1000.0)).collect();
         println!("  ingest(k/s): {}", ing.join(" "));
-        let st: Vec<String> = report.stored_series.means().iter().map(|m| m.map_or("-".into(), |v| format!("{:.0}", v/1000.0))).collect();
+        let st: Vec<String> = report
+            .stored_series
+            .means()
+            .iter()
+            .map(|m| m.map_or("-".into(), |v| format!("{:.0}", v / 1000.0)))
+            .collect();
         println!("  storedR(k): {}", st.join(" "));
         for st in report.monitor_stats.iter().flatten() {
-            println!("  monitor: triggered={} effective={} abandoned={} keys={} tuples={}",
-                st.triggered, st.effective, st.abandoned, st.keys_moved, st.tuples_moved);
+            println!(
+                "  monitor: triggered={} effective={} abandoned={} keys={} tuples={}",
+                st.triggered, st.effective, st.abandoned, st.keys_moved, st.tuples_moved
+            );
         }
-        let lat: Vec<String> = report.metrics.latency.means().iter()
-            .map(|m| m.map_or("-".into(), |v| format!("{:.1}", v/1000.0))).collect();
+        let lat: Vec<String> = report
+            .metrics
+            .latency
+            .means()
+            .iter()
+            .map(|m| m.map_or("-".into(), |v| format!("{:.1}", v / 1000.0)))
+            .collect();
         println!("  lat(ms): {}", lat.join(" "));
         for (g, name) in [(0, "R"), (1, "S")] {
             let mut b = report.busy_us[g].clone();
             b.sort_unstable();
             let sum: u64 = b.iter().sum();
-            println!("  busy{} (s): min={:.1} med={:.1} max={:.1} mean={:.1} util_max={:.2}",
-                name, b[0] as f64/1e6, b[b.len()/2] as f64/1e6, b[b.len()-1] as f64/1e6,
-                sum as f64/1e6/b.len() as f64, b[b.len()-1] as f64 / report.duration as f64);
+            println!(
+                "  busy{} (s): min={:.1} med={:.1} max={:.1} mean={:.1} util_max={:.2}",
+                name,
+                b[0] as f64 / 1e6,
+                b[b.len() / 2] as f64 / 1e6,
+                b[b.len() - 1] as f64 / 1e6,
+                sum as f64 / 1e6 / b.len() as f64,
+                b[b.len() - 1] as f64 / report.duration as f64
+            );
         }
     }
 }

@@ -23,6 +23,7 @@
 //!
 //! The simulation is fully deterministic for a given workload and seed.
 
+use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
 use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
 use fastjoin_core::instance::{JoinInstance, Work};
@@ -31,7 +32,6 @@ use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg};
 use fastjoin_core::selection::{make_selector, KeySelector};
 use fastjoin_core::tuple::{Side, Tuple};
-use fastjoin_baselines::{build_partitioners, SystemKind};
 
 use crate::cost::CostModel;
 use crate::event::{ChannelClock, Endpoint, Event, EventQueue, SimTime};
@@ -198,13 +198,14 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                     inst.set_emit_pairs(false);
                     inst.set_migration_mode(cfg.fastjoin.migration_mode);
                     Server {
-                    inst,
-                    busy: false,
-                    busy_us: 0,
-                    pause_until: 0,
-                    in_service_matches: 0,
-                    in_service_probe: None,
-                }})
+                        inst,
+                        busy: false,
+                        busy_us: 0,
+                        pause_until: 0,
+                        in_service_matches: 0,
+                        in_service_probe: None,
+                    }
+                })
                 .collect(),
             monitor: dynamic
                 .then(|| Monitor::new(n, cfg.fastjoin.theta, cfg.fastjoin.migration_cooldown)),
@@ -335,7 +336,10 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             Endpoint::Instance(own, store_dest),
             self.now + latency,
         );
-        self.queue.push(delivery, Event::Delivery { group: own, dest: store_dest, msg: InstanceMsg::Data(t) });
+        self.queue.push(
+            delivery,
+            Event::Delivery { group: own, dest: store_dest, msg: InstanceMsg::Data(t) },
+        );
         let probe_dests = std::mem::take(&mut self.scratch.probe_dests);
         self.probe_fanout.insert(t.seq, probe_dests.len() as u32);
         for &dest in &probe_dests {
@@ -344,7 +348,8 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 Endpoint::Instance(opp, dest),
                 self.now + latency,
             );
-            self.queue.push(delivery, Event::Delivery { group: opp, dest, msg: InstanceMsg::Data(t) });
+            self.queue
+                .push(delivery, Event::Delivery { group: opp, dest, msg: InstanceMsg::Data(t) });
         }
         self.scratch.probe_dests = probe_dests;
 
@@ -371,12 +376,13 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
         };
         {
             let g = &mut self.groups[group];
-            g.servers[dest].inst.handle(
-                msg,
-                g.selector.as_mut(),
-                self.cfg.fastjoin.theta_gap,
-                &mut self.fx,
-            );
+            // The simulator delivers in event-time order per channel, so a
+            // protocol violation means the protocol itself is broken.
+            #[allow(clippy::panic)]
+            g.servers[dest]
+                .inst
+                .handle(msg, g.selector.as_mut(), self.cfg.fastjoin.theta_gap, &mut self.fx)
+                .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             if selection_pause > 0 {
                 let server = &mut g.servers[dest];
                 server.pause_until = server.pause_until.max(self.now + selection_pause);
@@ -437,10 +443,7 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             self.queue.push(server.pause_until, Event::Wake { group, dest });
             return;
         }
-        let work = server
-            .inst
-            .process_next(&mut self.fx)
-            .expect("pending_len > 0 implies work");
+        let work = server.inst.process_next(&mut self.fx).expect("pending_len > 0 implies work");
         let cost = self.cfg.cost.service_us(&work).max(0.01) as SimTime;
         match work {
             Work::Store { .. } => {
@@ -550,9 +553,7 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
 
     fn is_congested(&self) -> bool {
         let cap = self.cfg.queue_cap;
-        self.groups
-            .iter()
-            .any(|g| g.servers.iter().any(|s| s.inst.pending_len() > cap))
+        self.groups.iter().any(|g| g.servers.iter().any(|s| s.inst.pending_len() > cap))
     }
 
     /// Imbalance of the R group computed directly from instance state (for
@@ -629,8 +630,7 @@ mod tests {
 
     #[test]
     fn latency_is_recorded_for_probes() {
-        let report =
-            Simulation::new(base_cfg(2), uniform_workload(200, 5, 2000).into_iter()).run();
+        let report = Simulation::new(base_cfg(2), uniform_workload(200, 5, 2000).into_iter()).run();
         assert!(report.metrics.latency_hist.count() > 0);
         assert!(report.metrics.latency_hist.mean().unwrap() > 0.0);
     }
@@ -667,8 +667,7 @@ mod tests {
     fn bistream_never_migrates() {
         let mut cfg = base_cfg(4);
         cfg.system = SystemKind::BiStream;
-        let report =
-            Simulation::new(cfg, uniform_workload(500, 3, 2000).into_iter()).run();
+        let report = Simulation::new(cfg, uniform_workload(500, 3, 2000).into_iter()).run();
         assert_eq!(report.migrations(), 0);
         assert!(report.monitor_stats[0].is_none());
         assert!(!report.metrics.imbalance.is_empty(), "shadow LI must be recorded");
@@ -688,8 +687,7 @@ mod tests {
     fn instance_load_series_recorded_when_enabled() {
         let mut cfg = base_cfg(3);
         cfg.record_instance_loads = true;
-        let report =
-            Simulation::new(cfg, uniform_workload(500, 9, 1000).into_iter()).run();
+        let report = Simulation::new(cfg, uniform_workload(500, 9, 1000).into_iter()).run();
         assert_eq!(report.instance_loads.len(), 3);
         assert!(report.instance_loads.iter().any(|s| !s.is_empty()));
     }

@@ -170,8 +170,14 @@ mod tests {
     #[test]
     fn simultaneous_events_keep_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(5, Event::Delivery { group: 0, dest: 1, msg: InstanceMsg::RouteUpdated { epoch: 1 } });
-        q.push(5, Event::Delivery { group: 0, dest: 1, msg: InstanceMsg::RouteUpdated { epoch: 2 } });
+        q.push(
+            5,
+            Event::Delivery { group: 0, dest: 1, msg: InstanceMsg::RouteUpdated { epoch: 1 } },
+        );
+        q.push(
+            5,
+            Event::Delivery { group: 0, dest: 1, msg: InstanceMsg::RouteUpdated { epoch: 2 } },
+        );
         let first = q.pop().unwrap().1;
         let second = q.pop().unwrap().1;
         let epoch_of = |e: Event| match e {

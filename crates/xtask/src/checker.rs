@@ -1,0 +1,771 @@
+//! Exhaustive model checker for the migration protocol (§III-D).
+//!
+//! `fastjoin-core` is engine-agnostic — a [`JoinInstance`] consumes
+//! [`InstanceMsg`]s and emits [`Effects`] — so the whole protocol can be
+//! driven by a tiny explorer that enumerates **every FIFO-respecting
+//! delivery interleaving** of a bounded scenario and checks join
+//! completeness and epoch monotonicity on each one.
+//!
+//! ## The model
+//!
+//! Four nodes: the dispatcher, two R-group join instances, and a scripted
+//! monitor. Directed FIFO channels connect them exactly as the threaded
+//! runtime does (crucially, `RouteUpdated` travels in the *same*
+//! dispatcher→instance queue as data, which is the ordering assumption the
+//! protocol's correctness rests on). A state transition is either
+//!
+//! * the spout handing the next tuple to the dispatcher (which routes it
+//!   atomically), or
+//! * the head message of one non-empty channel being delivered.
+//!
+//! After a delivery, the receiving instance drains its pending queue
+//! (processing order relative to other nodes' deliveries does not affect
+//! which pairs join — the pending queue itself is FIFO — so exploring it
+//! would only multiply schedules without adding behaviors).
+//!
+//! ## State deduplication
+//!
+//! Every node is a deterministic function of the *sequence of events it
+//! has consumed* (messages delivered to it; dispatches, for the
+//! dispatcher). Channel contents are the sender's emitted-prefix minus the
+//! receiver's consumed-prefix. Hence the tuple of per-node histories is a
+//! complete state fingerprint: two interleavings with equal per-node
+//! histories converge to the same global state. The explorer interns each
+//! (node, event) pair as a small integer and keys its visited-set on the
+//! concatenated histories.
+//!
+//! BFS order means the first violation found has a minimal-length trace.
+//! The number of distinct schedules (maximal paths in the deduplicated
+//! state DAG) is counted exactly by reverse-order dynamic programming.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use fastjoin_core::config::MigrationMode;
+use fastjoin_core::dispatcher::Dispatcher;
+use fastjoin_core::instance::JoinInstance;
+use fastjoin_core::load::{InstanceLoad, KeyStat};
+use fastjoin_core::partition::{HashPartitioner, Partitioner};
+use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationDone, RouteRequest};
+use fastjoin_core::selection::{KeySelector, MigrationPlan};
+use fastjoin_core::tuple::{Key, Side, Tuple};
+
+/// Number of join instances in the modeled R group.
+const INSTANCES: usize = 2;
+/// Migration rounds the scripted monitor runs: `(epoch, source, target)`.
+/// Round `e+1` starts only after `MigrationDone(e)` arrives, which also
+/// exercises monotone epoch handling.
+const ROUNDS: &[(u64, usize, usize)] = &[(1, 0, 1), (2, 1, 0)];
+/// The key every migration round moves (the "hot" key).
+const HOT_KEY: Key = 0;
+
+/// Protocol implementation variant under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The shipped protocol (Algorithm 2, `MigrationMode::Safe`).
+    Safe,
+    /// Known-bad: the target does not hold newly routed data until
+    /// `MigEnd`, so probes race the store transfer (the paper's warning).
+    NaiveNotifyFirst,
+    /// Known-bad: the source sends `MigForward` (in-flight data) before
+    /// `MigStore` (the stored payload), so forwarded probes reach the
+    /// target before the store they must match against.
+    ForwardBeforeStore,
+}
+
+impl Variant {
+    /// Parses a CLI variant name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "safe" => Some(Variant::Safe),
+            "naive-notify-first" => Some(Variant::NaiveNotifyFirst),
+            "forward-before-store" => Some(Variant::ForwardBeforeStore),
+            _ => None,
+        }
+    }
+}
+
+/// Result of exploring every schedule of the bounded scenario.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// Every schedule satisfied every invariant.
+    Pass {
+        /// Distinct global states explored.
+        states: usize,
+        /// Distinct complete delivery schedules (maximal DAG paths).
+        schedules: u128,
+        /// Join pairs each schedule must produce.
+        expected_pairs: usize,
+    },
+    /// Some schedule violated an invariant.
+    Violation {
+        /// Why the schedule is wrong.
+        reason: String,
+        /// The shortest offending schedule, one action per line.
+        trace: Vec<String>,
+        /// States explored before the violation was found.
+        states: usize,
+    },
+}
+
+/// Node indices for history bookkeeping.
+const NODE_DISP: usize = 0;
+const NODE_I0: usize = 1;
+const NODE_I1: usize = 2;
+const NODE_MON: usize = 3;
+const NODES: usize = 4;
+
+/// FIFO channel endpoints, in a fixed order so transition enumeration is
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Channel {
+    from: usize,
+    to: usize,
+}
+
+/// All channels in the model. Dispatcher→instance carries data *and*
+/// `RouteUpdated` (one queue — the FIFO ordering the protocol needs).
+const CHANNELS: &[Channel] = &[
+    Channel { from: NODE_DISP, to: NODE_I0 },
+    Channel { from: NODE_DISP, to: NODE_I1 },
+    Channel { from: NODE_I0, to: NODE_I1 },
+    Channel { from: NODE_I1, to: NODE_I0 },
+    Channel { from: NODE_I0, to: NODE_DISP },
+    Channel { from: NODE_I1, to: NODE_DISP },
+    Channel { from: NODE_MON, to: NODE_I0 },
+    Channel { from: NODE_MON, to: NODE_I1 },
+    Channel { from: NODE_I0, to: NODE_MON },
+    Channel { from: NODE_I1, to: NODE_MON },
+];
+
+#[allow(clippy::panic)] // model-internal invariant: the topology is static
+fn channel_id(from: usize, to: usize) -> usize {
+    CHANNELS
+        .iter()
+        .position(|c| c.from == from && c.to == to)
+        .unwrap_or_else(|| panic!("no channel {from}->{to}"))
+}
+
+fn instance_node(i: usize) -> usize {
+    NODE_I0 + i
+}
+
+/// Messages carried by the model's channels.
+#[derive(Debug, Clone, PartialEq)]
+enum ChanMsg {
+    /// Dispatcher/monitor/peer → instance.
+    Inst(InstanceMsg),
+    /// Instance → dispatcher.
+    Route(RouteRequest),
+    /// Target instance → monitor.
+    Done(MigrationDone),
+}
+
+/// Scripted selector: always proposes moving the hot key, so every
+/// exploration is deterministic given the delivery schedule.
+struct FixedSelector;
+
+impl KeySelector for FixedSelector {
+    fn select(
+        &mut self,
+        _src: InstanceLoad,
+        _dst: InstanceLoad,
+        _keys: &[KeyStat],
+        _theta_gap: f64,
+    ) -> MigrationPlan {
+        MigrationPlan {
+            keys: vec![HOT_KEY],
+            total_benefit: 0.0,
+            tuples_to_move: 0,
+            predicted_delta: 0.0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// One global state of the model.
+#[derive(Clone)]
+struct State {
+    spout_pos: usize,
+    dispatcher: Dispatcher,
+    instances: Vec<JoinInstance>,
+    channels: Vec<VecDeque<ChanMsg>>,
+    /// `MigrationDone`s the monitor has consumed (also the last finished
+    /// epoch, since epochs are 1-based and sequential).
+    mon_dones: usize,
+    /// Joined `(r_seq, s_seq)` pairs in emission order.
+    joined: Vec<(u64, u64)>,
+    /// Per-source stashed `MigStore` for [`Variant::ForwardBeforeStore`].
+    deferred_store: Vec<Option<(usize, InstanceMsg)>>,
+    /// Per-node consumed-event histories (interned ids) — the state
+    /// fingerprint.
+    histories: [Vec<u16>; NODES],
+}
+
+/// A transition out of a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// The spout hands the next tuple to the dispatcher.
+    Dispatch,
+    /// Deliver the head of channel `CHANNELS[i]`.
+    Deliver(usize),
+}
+
+/// Why a schedule is invalid, raised during or at the end of exploration.
+enum Bad {
+    Protocol(String),
+    DuplicatePair(u64, u64),
+    UnexpectedPair(u64, u64),
+    EpochOrder { expected: u64, got: u64 },
+    RouteRejected,
+}
+
+impl Bad {
+    fn describe(&self) -> String {
+        match self {
+            Bad::Protocol(e) => format!("protocol violation: {e}"),
+            Bad::DuplicatePair(r, s) => {
+                format!("pair (r_seq={r}, s_seq={s}) joined twice — not exactly-once")
+            }
+            Bad::UnexpectedPair(r, s) => {
+                format!("pair (r_seq={r}, s_seq={s}) joined but is not an expected match")
+            }
+            Bad::EpochOrder { expected, got } => format!(
+                "monitor saw MigrationDone epoch {got}, expected {expected} — epochs must be \
+                 strictly sequential"
+            ),
+            Bad::RouteRejected => "dispatcher rejected a route update".to_string(),
+        }
+    }
+}
+
+/// The bounded scenario plus exploration bookkeeping.
+struct Explorer {
+    variant: Variant,
+    /// Input stream in dispatch order (seqs are assigned 1..=n).
+    spout: Vec<Tuple>,
+    /// `(r_seq, s_seq)` pairs every complete schedule must join.
+    expected: Vec<(u64, u64)>,
+    /// Interning table: (node, event description) → compact id.
+    intern: HashMap<(usize, String), u16>,
+}
+
+impl Explorer {
+    fn new(variant: Variant) -> Self {
+        // Keys: HOT_KEY (0) is migrated back and forth; key 1 stays on
+        // instance 1. Store tuples race probes race migration control.
+        let spout = vec![
+            Tuple::r(HOT_KEY, 0, 0),
+            Tuple::s(HOT_KEY, 1, 0),
+            Tuple::r(1, 2, 0),
+            Tuple::s(HOT_KEY, 3, 0),
+            Tuple::r(HOT_KEY, 4, 0),
+            Tuple::s(1, 5, 0),
+        ];
+        // Expected pairs: every same-key (R, S) pair where the R tuple is
+        // dispatched before the S tuple (the R group stores only R).
+        let mut expected = Vec::new();
+        for (ri, r) in spout.iter().enumerate() {
+            if r.side != Side::R {
+                continue;
+            }
+            for (si, s) in spout.iter().enumerate() {
+                if s.side == Side::S && s.key == r.key && si > ri {
+                    expected.push((ri as u64 + 1, si as u64 + 1));
+                }
+            }
+        }
+        expected.sort_unstable();
+        Explorer { variant, spout, expected, intern: HashMap::new() }
+    }
+
+    fn initial_state(&mut self) -> State {
+        // Pre-place the keys deterministically: HOT_KEY on instance 0,
+        // key 1 on instance 1 (overriding the hash default).
+        let mut r_part = HashPartitioner::new(INSTANCES, 0);
+        assert!(r_part.apply_migration(&[HOT_KEY], 0));
+        assert!(r_part.apply_migration(&[1], 1));
+        // The S-group partitioner only routes the (unmodeled) S stores.
+        let s_part = HashPartitioner::new(INSTANCES, 1);
+        let dispatcher = Dispatcher::new(Box::new(r_part), Box::new(s_part));
+
+        let mut instances: Vec<JoinInstance> =
+            (0..INSTANCES).map(|i| JoinInstance::new(i, Side::R, None)).collect();
+        if self.variant == Variant::NaiveNotifyFirst {
+            for inst in &mut instances {
+                inst.set_migration_mode(MigrationMode::NaiveNotifyFirst);
+            }
+        }
+
+        let mut state = State {
+            spout_pos: 0,
+            dispatcher,
+            instances,
+            channels: vec![VecDeque::new(); CHANNELS.len()],
+            mon_dones: 0,
+            joined: Vec::new(),
+            deferred_store: vec![None; INSTANCES],
+            histories: std::array::from_fn(|_| Vec::new()),
+        };
+        // The monitor's first command is ready at time zero.
+        let (epoch, source, target) = ROUNDS[0];
+        state.channels[channel_id(NODE_MON, instance_node(source))].push_back(ChanMsg::Inst(
+            InstanceMsg::MigrateCmd { epoch, target, target_load: InstanceLoad::default() },
+        ));
+        state
+    }
+
+    fn intern_event(&mut self, node: usize, desc: &str) -> u16 {
+        if let Some(&id) = self.intern.get(&(node, desc.to_string())) {
+            return id;
+        }
+        let id = u16::try_from(self.intern.len() + 1).expect("event table overflow");
+        self.intern.insert((node, desc.to_string()), id);
+        id
+    }
+
+    fn enabled(&self, s: &State) -> Vec<Action> {
+        let mut acts = Vec::new();
+        if s.spout_pos < self.spout.len() {
+            acts.push(Action::Dispatch);
+        }
+        for (i, ch) in s.channels.iter().enumerate() {
+            if !ch.is_empty() {
+                acts.push(Action::Deliver(i));
+            }
+        }
+        acts
+    }
+
+    /// Applies `action` to a copy of `s`. Returns the successor state, a
+    /// human-readable action description, or the invariant violation hit.
+    fn apply(&mut self, s: &State, action: Action) -> Result<(State, String), Bad> {
+        let mut n = s.clone();
+        let desc = match action {
+            Action::Dispatch => {
+                let tuple = self.spout[n.spout_pos];
+                n.spout_pos += 1;
+                let d = n.dispatcher.dispatch(tuple);
+                let desc = format!(
+                    "spout → dispatcher: {:?} key={} (seq {})",
+                    d.tuple.side, d.tuple.key, d.tuple.seq
+                );
+                match d.tuple.side {
+                    // R tuples store in the modeled R group.
+                    Side::R => {
+                        n.channels[channel_id(NODE_DISP, instance_node(d.store_dest))]
+                            .push_back(ChanMsg::Inst(InstanceMsg::Data(d.tuple)));
+                    }
+                    // S tuples probe the R group; their own store side is
+                    // the unmodeled S group.
+                    Side::S => {
+                        for dest in &d.probe_dests {
+                            n.channels[channel_id(NODE_DISP, instance_node(*dest))]
+                                .push_back(ChanMsg::Inst(InstanceMsg::Data(d.tuple)));
+                        }
+                    }
+                }
+                let id = self.intern_event(NODE_DISP, &desc);
+                n.histories[NODE_DISP].push(id);
+                desc
+            }
+            Action::Deliver(ci) => {
+                let ch = CHANNELS[ci];
+                let msg = n.channels[ci].pop_front().expect("enabled ⇒ non-empty");
+                let desc =
+                    format!("{} → {}: {}", node_name(ch.from), node_name(ch.to), msg_summary(&msg));
+                let id = self.intern_event(ch.to, &desc);
+                n.histories[ch.to].push(id);
+                match msg {
+                    ChanMsg::Inst(m) => self.deliver_to_instance(&mut n, ch.to - NODE_I0, m)?,
+                    ChanMsg::Route(req) => {
+                        if !n.dispatcher.apply_route(Side::R, &req) {
+                            return Err(Bad::RouteRejected);
+                        }
+                        n.channels[channel_id(NODE_DISP, instance_node(req.source))].push_back(
+                            ChanMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }),
+                        );
+                    }
+                    ChanMsg::Done(done) => {
+                        let expected = n.mon_dones as u64 + 1;
+                        if done.epoch != expected {
+                            return Err(Bad::EpochOrder { expected, got: done.epoch });
+                        }
+                        n.mon_dones += 1;
+                        if let Some(&(epoch, source, target)) = ROUNDS.get(n.mon_dones) {
+                            n.channels[channel_id(NODE_MON, instance_node(source))].push_back(
+                                ChanMsg::Inst(InstanceMsg::MigrateCmd {
+                                    epoch,
+                                    target,
+                                    target_load: InstanceLoad::default(),
+                                }),
+                            );
+                        }
+                    }
+                }
+                desc
+            }
+        };
+        Ok((n, desc))
+    }
+
+    /// Delivers one message to instance `i`, drains its pending queue, and
+    /// routes the produced effects onto the model's channels.
+    fn deliver_to_instance(
+        &mut self,
+        n: &mut State,
+        i: usize,
+        msg: InstanceMsg,
+    ) -> Result<(), Bad> {
+        let mut fx = Effects::new();
+        let mut sel = FixedSelector;
+        n.instances[i]
+            .handle(msg, &mut sel, 0.0, &mut fx)
+            .map_err(|e| Bad::Protocol(e.to_string()))?;
+        while n.instances[i].process_next(&mut fx).is_some() {}
+
+        for pair in fx.joined.drain(..) {
+            let key = (pair.left.seq, pair.right.seq);
+            if n.joined.contains(&key) {
+                return Err(Bad::DuplicatePair(key.0, key.1));
+            }
+            if !self.expected.contains(&key) {
+                return Err(Bad::UnexpectedPair(key.0, key.1));
+            }
+            n.joined.push(key);
+        }
+        for (to, m) in fx.sends.drain(..) {
+            self.route_send(n, i, to, m);
+        }
+        for req in fx.route_requests.drain(..) {
+            n.channels[channel_id(instance_node(i), NODE_DISP)].push_back(ChanMsg::Route(req));
+        }
+        for done in fx.migration_done.drain(..) {
+            n.channels[channel_id(instance_node(i), NODE_MON)].push_back(ChanMsg::Done(done));
+        }
+        Ok(())
+    }
+
+    /// Enqueues one instance→instance send, applying the
+    /// [`Variant::ForwardBeforeStore`] reordering when selected.
+    fn route_send(&mut self, n: &mut State, from: usize, to: usize, m: InstanceMsg) {
+        if self.variant == Variant::ForwardBeforeStore {
+            if matches!(m, InstanceMsg::MigStore { .. }) {
+                // Hold the store payload back until after MigForward —
+                // the bug under test.
+                n.deferred_store[from] = Some((to, m));
+                return;
+            }
+            let is_forward = matches!(m, InstanceMsg::MigForward { .. });
+            n.channels[channel_id(instance_node(from), instance_node(to))]
+                .push_back(ChanMsg::Inst(m));
+            if is_forward {
+                if let Some((to2, store)) = n.deferred_store[from].take() {
+                    n.channels[channel_id(instance_node(from), instance_node(to2))]
+                        .push_back(ChanMsg::Inst(store));
+                }
+            }
+            return;
+        }
+        n.channels[channel_id(instance_node(from), instance_node(to))].push_back(ChanMsg::Inst(m));
+    }
+
+    /// Checks the invariants that must hold once no transition is enabled.
+    fn check_terminal(&self, s: &State) -> Result<(), Bad> {
+        for inst in &s.instances {
+            if !inst.migration_state().is_idle() {
+                return Err(Bad::Protocol(format!(
+                    "instance {} not idle at quiescence: {:?}",
+                    inst.id(),
+                    inst.migration_state()
+                )));
+            }
+        }
+        if s.mon_dones != ROUNDS.len() {
+            return Err(Bad::Protocol(format!(
+                "only {}/{} migration rounds completed at quiescence",
+                s.mon_dones,
+                ROUNDS.len()
+            )));
+        }
+        let mut joined = s.joined.clone();
+        joined.sort_unstable();
+        if joined != self.expected {
+            let missing: Vec<_> = self.expected.iter().filter(|p| !joined.contains(p)).collect();
+            return Err(Bad::Protocol(format!(
+                "join incomplete: joined {joined:?}, missing {missing:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// State fingerprint: concatenated per-node histories.
+    fn fingerprint(s: &State) -> Box<[u16]> {
+        let total: usize = s.histories.iter().map(Vec::len).sum();
+        let mut key = Vec::with_capacity(total + NODES);
+        for h in &s.histories {
+            key.extend_from_slice(h);
+            key.push(u16::MAX); // separator — never a valid event id
+        }
+        key.into_boxed_slice()
+    }
+}
+
+fn node_name(n: usize) -> &'static str {
+    match n {
+        NODE_DISP => "dispatcher",
+        NODE_I0 => "inst0",
+        NODE_I1 => "inst1",
+        _ => "monitor",
+    }
+}
+
+fn msg_summary(m: &ChanMsg) -> String {
+    match m {
+        ChanMsg::Inst(InstanceMsg::Data(t)) => {
+            format!("Data {:?} key={} (seq {})", t.side, t.key, t.seq)
+        }
+        ChanMsg::Inst(InstanceMsg::MigrateCmd { epoch, target, .. }) => {
+            format!("MigrateCmd epoch={epoch} target={target}")
+        }
+        ChanMsg::Inst(InstanceMsg::MigStart { epoch, from, keys }) => {
+            format!("MigStart epoch={epoch} from={from} keys={keys:?}")
+        }
+        ChanMsg::Inst(InstanceMsg::MigStore { epoch, tuples }) => {
+            format!("MigStore epoch={epoch} ({} tuples)", tuples.len())
+        }
+        ChanMsg::Inst(InstanceMsg::RouteUpdated { epoch }) => {
+            format!("RouteUpdated epoch={epoch}")
+        }
+        ChanMsg::Inst(InstanceMsg::MigForward { epoch, tuples }) => {
+            format!("MigForward epoch={epoch} ({} tuples)", tuples.len())
+        }
+        ChanMsg::Inst(InstanceMsg::MigEnd { epoch, from }) => {
+            format!("MigEnd epoch={epoch} from={from}")
+        }
+        ChanMsg::Route(req) => {
+            format!("RouteRequest epoch={} keys={:?} -> target {}", req.epoch, req.keys, req.target)
+        }
+        ChanMsg::Done(d) => format!(
+            "MigrationDone epoch={} ({} tuples, {} keys)",
+            d.epoch, d.tuples_moved, d.keys_moved
+        ),
+    }
+}
+
+/// Reconstructs the action descriptions along the parent chain ending at
+/// `node`, by replaying from the initial state.
+fn rebuild_trace(
+    explorer: &mut Explorer,
+    parents: &[(u32, Action)],
+    node: usize,
+    last_action: Option<Action>,
+) -> Vec<String> {
+    // Collect the action path root → node.
+    let mut actions = Vec::new();
+    if let Some(a) = last_action {
+        actions.push(a);
+    }
+    let mut cur = node;
+    while cur != 0 {
+        let (parent, act) = parents[cur];
+        actions.push(act);
+        cur = parent as usize;
+    }
+    actions.reverse();
+
+    let mut state = explorer.initial_state();
+    let mut out = Vec::with_capacity(actions.len());
+    for (step, act) in actions.iter().enumerate() {
+        match explorer.apply(&state, *act) {
+            Ok((next, desc)) => {
+                out.push(format!("{:>3}. {desc}", step + 1));
+                state = next;
+            }
+            Err(bad) => {
+                // The final step is the violating one.
+                let ch = match act {
+                    Action::Deliver(ci) => CHANNELS[*ci],
+                    Action::Dispatch => Channel { from: NODE_DISP, to: NODE_DISP },
+                };
+                out.push(format!(
+                    "{:>3}. {} → {}: <violating delivery> — {}",
+                    step + 1,
+                    node_name(ch.from),
+                    node_name(ch.to),
+                    bad.describe()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Explores every FIFO-respecting schedule of the bounded scenario under
+/// `variant` and checks the protocol invariants on each.
+#[must_use]
+pub fn check(variant: Variant) -> CheckOutcome {
+    let mut explorer = Explorer::new(variant);
+    let initial = explorer.initial_state();
+
+    // BFS over deduplicated states.
+    let mut visited: HashMap<Box<[u16]>, u32> = HashMap::new();
+    let mut parents: Vec<(u32, Action)> = vec![(0, Action::Dispatch)]; // [0] unused
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut terminal: Vec<bool> = vec![false];
+    let mut frontier: Vec<(u32, State)> = vec![(0, initial)];
+    visited.insert(Explorer::fingerprint(&frontier[0].1), 0);
+
+    while !frontier.is_empty() {
+        let mut next_frontier: Vec<(u32, State)> = Vec::new();
+        for (idx, state) in frontier.drain(..) {
+            let acts = explorer.enabled(&state);
+            if acts.is_empty() {
+                if let Err(bad) = explorer.check_terminal(&state) {
+                    let trace = rebuild_trace(&mut explorer, &parents, idx as usize, None);
+                    return CheckOutcome::Violation {
+                        reason: bad.describe(),
+                        trace,
+                        states: visited.len(),
+                    };
+                }
+                terminal[idx as usize] = true;
+                continue;
+            }
+            for act in acts {
+                match explorer.apply(&state, act) {
+                    Ok((next, _desc)) => {
+                        let fp = Explorer::fingerprint(&next);
+                        if let Some(&existing) = visited.get(&fp) {
+                            succs[idx as usize].push(existing);
+                            continue;
+                        }
+                        let new_idx = u32::try_from(parents.len()).expect("state index overflow");
+                        visited.insert(fp, new_idx);
+                        parents.push((idx, act));
+                        succs.push(Vec::new());
+                        terminal.push(false);
+                        succs[idx as usize].push(new_idx);
+                        next_frontier.push((new_idx, next));
+                    }
+                    Err(bad) => {
+                        let trace = rebuild_trace(&mut explorer, &parents, idx as usize, Some(act));
+                        return CheckOutcome::Violation {
+                            reason: bad.describe(),
+                            trace,
+                            states: visited.len(),
+                        };
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Schedule count: number of root→terminal paths. Every action advances
+    // total progress by one, so discovery (BFS) order is topological and a
+    // single reverse sweep suffices.
+    let mut paths: Vec<u128> = vec![0; parents.len()];
+    for i in (0..parents.len()).rev() {
+        paths[i] = if terminal[i] {
+            1
+        } else {
+            succs[i].iter().map(|&s| paths[s as usize]).fold(0u128, u128::saturating_add)
+        };
+    }
+
+    CheckOutcome::Pass {
+        states: visited.len(),
+        schedules: paths[0],
+        expected_pairs: explorer.expected.len(),
+    }
+}
+
+/// Renders an outcome for the CLI; returns the process exit code.
+#[must_use]
+pub fn report(outcome: &CheckOutcome, variant: Variant) -> i32 {
+    match outcome {
+        CheckOutcome::Pass { states, schedules, expected_pairs } => {
+            println!(
+                "check-protocol [{variant:?}]: OK — {schedules} FIFO schedules over {states} \
+                 distinct states; every schedule joined all {expected_pairs} expected pairs \
+                 exactly once with monotone epochs"
+            );
+            0
+        }
+        CheckOutcome::Violation { reason, trace, states } => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "check-protocol [{variant:?}]: FAILED after {states} states — {reason}"
+            );
+            let _ = writeln!(out, "shortest counterexample schedule ({} steps):", trace.len());
+            for line in trace {
+                let _ = writeln!(out, "{line}");
+            }
+            eprint!("{out}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_protocol_passes_exhaustively() {
+        match check(Variant::Safe) {
+            CheckOutcome::Pass { states, schedules, expected_pairs } => {
+                assert!(states > 100, "scenario too small to be meaningful: {states} states");
+                assert!(schedules > 1_000, "expected many schedules, got {schedules}");
+                assert_eq!(expected_pairs, 3);
+            }
+            CheckOutcome::Violation { reason, trace, .. } => {
+                panic!("safe protocol must pass, got: {reason}\n{}", trace.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_notify_first_is_caught() {
+        match check(Variant::NaiveNotifyFirst) {
+            CheckOutcome::Violation { trace, .. } => {
+                assert!(!trace.is_empty(), "counterexample trace must not be empty");
+            }
+            CheckOutcome::Pass { .. } => {
+                panic!("the naive variant must violate completeness")
+            }
+        }
+    }
+
+    #[test]
+    fn forward_before_store_is_caught() {
+        match check(Variant::ForwardBeforeStore) {
+            CheckOutcome::Violation { reason, trace, .. } => {
+                assert!(!trace.is_empty());
+                // The reorder loses forwarded probes' matches (or trips a
+                // protocol error) — either way it must be reported.
+                assert!(!reason.is_empty());
+            }
+            CheckOutcome::Pass { .. } => {
+                panic!("forwarding before the store transfer must be caught")
+            }
+        }
+    }
+
+    #[test]
+    fn violation_traces_are_minimal_enough_to_read() {
+        if let CheckOutcome::Violation { trace, .. } = check(Variant::NaiveNotifyFirst) {
+            assert!(
+                trace.len() <= 40,
+                "BFS should find a short counterexample, got {} steps",
+                trace.len()
+            );
+        }
+    }
+}

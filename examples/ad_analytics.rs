@@ -76,10 +76,7 @@ fn main() {
     for (text, n) in ranked.iter().take(5) {
         println!("  {n:>6}  {text}");
     }
-    assert_eq!(
-        ranked[0].0, "cheap flights",
-        "the viral query must dominate the joined results"
-    );
+    assert_eq!(ranked[0].0, "cheap flights", "the viral query must dominate the joined results");
 
     // Window semantics check: every joined click happened within 1 s of
     // its query.

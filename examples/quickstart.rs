@@ -28,13 +28,13 @@ fn main() {
     let suburb = 5555u64;
 
     let stream = vec![
-        Tuple::r(airport, 1_000, 1), // order #1 at the airport
+        Tuple::r(airport, 1_000, 1),  // order #1 at the airport
         Tuple::s(airport, 1_500, 77), // taxi 77 at the airport → match
         Tuple::r(downtown, 2_000, 2),
-        Tuple::s(suburb, 2_500, 12), // wrong cell → no match
+        Tuple::s(suburb, 2_500, 12),   // wrong cell → no match
         Tuple::s(downtown, 3_000, 34), // taxi 34 downtown → match
-        Tuple::r(airport, 3_500, 3), // second airport order
-        Tuple::s(airport, 4_000, 81), // taxi 81 → matches orders #1 and #3
+        Tuple::r(airport, 3_500, 3),   // second airport order
+        Tuple::s(airport, 4_000, 81),  // taxi 81 → matches orders #1 and #3
     ];
     // Full-history join: orders match taxis that are at the cell now OR
     // once passed by (order #3 also joins taxi 77, stored earlier).

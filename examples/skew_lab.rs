@@ -11,19 +11,13 @@
 
 use fastjoin::baselines::SystemKind;
 use fastjoin::datagen::synthetic::{SyntheticConfig, ALL_GROUPS};
-use fastjoin::sim::experiment::{run_with, summarize, ExperimentParams};
 use fastjoin::datagen::SyntheticGen;
+use fastjoin::sim::experiment::{run_with, summarize, ExperimentParams};
 
 fn main() {
-    let tuples_per_stream: u64 = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150_000);
-    let params = ExperimentParams {
-        instances: 16,
-        max_secs: 20,
-        ..ExperimentParams::default()
-    };
+    let tuples_per_stream: u64 =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150_000);
+    let params = ExperimentParams { instances: 16, max_secs: 20, ..ExperimentParams::default() };
     println!(
         "{} tuples/stream, {} instances, Θ = {}",
         tuples_per_stream, params.instances, params.theta

@@ -1,0 +1,416 @@
+//! Offline drop-in shim for the `crossbeam::channel` subset used by the
+//! runtime: MPMC `bounded`/`unbounded` channels with cloneable receivers,
+//! disconnect detection, `recv_timeout`, and a two-arm `select!` macro.
+//!
+//! Built on `Mutex` + `Condvar`; slower than real crossbeam but
+//! semantically equivalent for the patterns the runtime uses (each
+//! channel's sends are FIFO per sender, receivers compete for messages).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// The sending half of a channel; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel; cloneable (receivers compete).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a bounded MPMC channel; `send` blocks while `cap` messages
+    /// are queued. `cap = 0` is rounded up to 1 (the shim does not model
+    /// rendezvous channels; the runtime never requests them).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while the channel is full. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = self.shared.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = match self.shared.not_full.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.senders += 1;
+            drop(st);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives. Fails only when
+        /// the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.shared.not_empty.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if let Some(msg) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Receives with a deadline of `timeout` from now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = match self.shared.not_empty.wait_timeout(st, deadline - now) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                st = guard;
+            }
+        }
+
+        /// Iterates over received messages until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over a receiver; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.receivers += 1;
+            drop(st);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+/// Two-arm `recv` selection, polled with a short backoff.
+///
+/// Supports exactly the shape the runtime uses:
+/// `select! { recv(a) -> m => ..., recv(b) -> m => ... }`. An arm becomes
+/// ready when its channel has a message (`Ok`) or is disconnected (`Err`),
+/// matching crossbeam's semantics; the first arm is checked first, which
+/// gives control messages priority over data.
+#[macro_export]
+macro_rules! select {
+    (recv($rx1:expr) -> $m1:pat => $e1:expr, recv($rx2:expr) -> $m2:pat => $e2:expr $(,)?) => {{
+        // Poll in an inner loop, but evaluate the user arms *outside* it so
+        // `break`/`continue` in an arm bind to the user's enclosing loop
+        // (as with real crossbeam, whose select! is not a loop).
+        let mut __spins: u32 = 0;
+        let __ready = loop {
+            match $rx1.try_recv() {
+                Ok(v) => break $crate::SelectArm2::First(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break $crate::SelectArm2::First(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx2.try_recv() {
+                Ok(v) => break $crate::SelectArm2::Second(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break $crate::SelectArm2::Second(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            __spins += 1;
+            if __spins < 64 {
+                ::std::hint::spin_loop();
+            } else {
+                ::std::thread::sleep(::std::time::Duration::from_micros(50));
+            }
+        };
+        match __ready {
+            $crate::SelectArm2::First($m1) => $e1,
+            $crate::SelectArm2::Second($m2) => $e2,
+        }
+    }};
+}
+
+/// Which arm of a two-arm [`select!`] became ready, with its recv result.
+#[doc(hidden)]
+pub enum SelectArm2<A, B> {
+    /// The first `recv` arm.
+    First(Result<A, channel::RecvError>),
+    /// The second `recv` arm.
+    Second(Result<B, channel::RecvError>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the main thread drains one
+            drop(tx);
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_recv_reports_empty_vs_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn select_prefers_first_arm_and_sees_disconnect() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (tx2, rx2) = unbounded::<u8>();
+        tx2.send(20).unwrap();
+        tx1.send(10).unwrap();
+        let got = select! {
+            recv(rx1) -> m => m.unwrap(),
+            recv(rx2) -> m => m.unwrap(),
+        };
+        assert_eq!(got, 10, "control arm wins when both are ready");
+        drop(tx1);
+        let got = select! {
+            recv(rx1) -> m => match m { Ok(_) => 0, Err(_) => 99 },
+            recv(rx2) -> m => m.unwrap(),
+        };
+        assert_eq!(got, 99, "disconnected arm fires with Err");
+    }
+
+    #[test]
+    fn cloned_receivers_compete_without_duplication() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = thread::spawn(move || rx2.iter().count());
+        let mine = rx.iter().count();
+        let theirs = h.join().unwrap();
+        assert_eq!(mine + theirs, 100);
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline drop-in shim for the `proptest` subset used by this workspace:
+//! the `proptest!`/`prop_assert!`/`prop_assert_eq!` macros, `Strategy`
+//! with `prop_map`, range/tuple/`collection::vec`/`ANY` strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Each test case samples its inputs from a deterministic per-case RNG and
+//! runs the body; a failing case reports its case index (re-runnable —
+//! case `i` always sees the same inputs). There is no shrinking: the shim
+//! trades minimal counterexamples for zero dependencies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Per-case input generator handed to [`Strategy::generate`].
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for case number `case`.
+    #[must_use]
+    pub fn for_case(case: u64) -> Self {
+        // Distinct stream per case; the constant is an arbitrary salt so
+        // case 0 differs from `StdRng::seed_from_u64(0)` used in tests.
+        TestRng(StdRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A source of generated values (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy modules mirroring proptest's `prop::*` hierarchy.
+pub mod strategies {
+    use super::{Strategy, TestRng};
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length drawn
+        /// from `sizes`.
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: core::ops::Range<usize>,
+        }
+
+        /// `vec(element, sizes)`: a `Vec` of `sizes`-many elements.
+        pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = if self.sizes.start + 1 >= self.sizes.end {
+                    self.sizes.start
+                } else {
+                    rng.rng().gen_range(self.sizes.clone())
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Uniform `bool` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform `bool`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.rng().gen()
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `u64` strategies.
+        pub mod u64 {
+            use super::super::{Strategy, TestRng};
+            use rand::Rng;
+
+            /// Uniform `u64` strategy over the whole domain.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Uniform `u64`.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = u64;
+                fn generate(&self, rng: &mut TestRng) -> u64 {
+                    rng.rng().gen()
+                }
+            }
+        }
+    }
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::strategies as prop;
+    pub use super::{ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled instances of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..u64::from(cfg.cases) {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {case}/{total} failed: {msg}",
+                            total = cfg.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the current case with
+/// a message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}: {:?} != {:?} ({}:{})",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {:?} != {:?}: {} ({}:{})",
+                a, b, format!($($fmt)+), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}: both {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            x in 3u64..10,
+            pair in (0usize..4, 0.0f64..1.0),
+            v in prop::collection::vec((prop::bool::ANY, 0u64..6), 2..9),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            prop_assert!((2..9).contains(&v.len()));
+            for (_, k) in &v {
+                prop_assert!(*k < 6);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Doc comments and config headers both parse.
+        #[test]
+        fn prop_map_applies(n in 1u64..5) {
+            let doubled = (1u64..5).prop_map(|v| v * 2);
+            let mut rng = TestRng::for_case(n);
+            let d = doubled.generate(&mut rng);
+            prop_assert!(d % 2 == 0);
+            prop_assert_eq!(d % 2, 0);
+            prop_assert_ne!(d, 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_index() {
+        let a = (0u64..1000).generate(&mut TestRng::for_case(5));
+        let b = (0u64..1000).generate(&mut TestRng::for_case(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_case() {
+        // Reuse the expansion through a directly-invoked inner function.
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(_x in 0u64..10) {
+                prop_assert!(false, "intentional");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline drop-in shim for the serde trait names used by this workspace.
+//!
+//! Types here derive `Serialize`/`Deserialize` for forward compatibility
+//! with external tooling, but nothing in the offline build actually
+//! serializes. The shim supplies the trait names and no-op derives so the
+//! annotations compile without crates.io access.
+
+/// Marker stand-in for `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never implemented or
+/// required.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

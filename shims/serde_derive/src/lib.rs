@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only *annotates* types with these derives (wire formats
+//! are not exercised anywhere offline), so expanding to nothing keeps the
+//! annotations compiling without crates.io access. If a future PR starts
+//! serializing for real, replace the shim with the actual serde crates.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same `#[serde(...)]` helper attributes
+/// as the real derive so annotated types keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

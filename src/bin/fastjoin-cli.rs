@@ -44,8 +44,7 @@ impl Args {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument {a:?} (flags are --name value)"));
             };
-            let value =
-                it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
+            let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
             flags.insert(name.to_string(), value);
         }
         Ok(Args { flags })
@@ -222,8 +221,7 @@ fn cmd_census(args: &Args) -> Result<(), String> {
     };
     let tuples: Vec<Tuple> = RideHailGen::new(&cfg).collect();
     for (name, side) in [("orders", Side::R), ("tracks", Side::S)] {
-        let census =
-            KeyCensus::from_keys(tuples.iter().filter(|t| t.side == side).map(|t| t.key));
+        let census = KeyCensus::from_keys(tuples.iter().filter(|t| t.side == side).map(|t| t.key));
         println!(
             "{name}: {} tuples, {} keys, c = {:.1}, 80% of tuples in {:.1}% of locations",
             census.total(),
@@ -236,10 +234,7 @@ fn cmd_census(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
-    let path = args
-        .flags
-        .get("out")
-        .ok_or_else(|| "gen requires --out PATH".to_string())?;
+    let path = args.flags.get("out").ok_or_else(|| "gen requires --out PATH".to_string())?;
     let workload = build_workload(args)?;
     let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     let n = write_trace(file, workload).map_err(|e| e.to_string())?;

@@ -18,7 +18,8 @@ fn run(args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn census_reports_the_fig1_skew() {
-    let (ok, stdout, _) = run(&["census", "--locations", "2000", "--orders", "40000", "--tracks", "160000"]);
+    let (ok, stdout, _) =
+        run(&["census", "--locations", "2000", "--orders", "40000", "--tracks", "160000"]);
     assert!(ok);
     assert!(stdout.contains("orders:"), "{stdout}");
     assert!(stdout.contains("tracks:"), "{stdout}");
@@ -31,8 +32,15 @@ fn simulate_runs_and_writes_csv() {
     std::fs::create_dir_all(&dir).unwrap();
     let csv = dir.join("series.csv");
     let (ok, stdout, stderr) = run(&[
-        "simulate", "--gb", "1", "--secs", "6", "--instances", "4",
-        "--csv", csv.to_str().unwrap(),
+        "simulate",
+        "--gb",
+        "1",
+        "--secs",
+        "6",
+        "--instances",
+        "4",
+        "--csv",
+        csv.to_str().unwrap(),
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("avg throughput"), "{stdout}");
@@ -48,13 +56,20 @@ fn gen_then_replay_trace_round_trips() {
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("t.csv");
     let (ok, stdout, _) = run(&[
-        "gen", "--out", trace.to_str().unwrap(), "--workload", "gxy", "--x", "0", "--y", "1",
+        "gen",
+        "--out",
+        trace.to_str().unwrap(),
+        "--workload",
+        "gxy",
+        "--x",
+        "0",
+        "--y",
+        "1",
     ]);
     assert!(ok);
     assert!(stdout.contains("wrote"), "{stdout}");
-    let (ok, stdout, stderr) = run(&[
-        "simulate", "--trace", trace.to_str().unwrap(), "--instances", "4", "--secs", "5",
-    ]);
+    let (ok, stdout, stderr) =
+        run(&["simulate", "--trace", trace.to_str().unwrap(), "--instances", "4", "--secs", "5"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("results"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();

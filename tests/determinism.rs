@@ -42,8 +42,7 @@ fn workload() -> Vec<Tuple> {
 fn simulator_runs_are_bit_stable() {
     let run = |selector| {
         let report =
-            Simulation::new(sim_cfg(SystemKind::FastJoin, selector), workload().into_iter())
-                .run();
+            Simulation::new(sim_cfg(SystemKind::FastJoin, selector), workload().into_iter()).run();
         (
             report.results_total,
             report.duration,
@@ -59,9 +58,11 @@ fn simulator_runs_are_bit_stable() {
 
 #[test]
 fn greedy_and_safit_agree_on_result_counts() {
-    let greedy =
-        Simulation::new(sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit), workload().into_iter())
-            .run();
+    let greedy = Simulation::new(
+        sim_cfg(SystemKind::FastJoin, SelectorKind::GreedyFit),
+        workload().into_iter(),
+    )
+    .run();
     let sa =
         Simulation::new(sim_cfg(SystemKind::FastJoin, SelectorKind::SaFit), workload().into_iter())
             .run();

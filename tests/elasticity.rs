@@ -55,10 +55,7 @@ fn scale_out_attracts_load_via_migration() {
     cluster.pump();
 
     let newcomer_stored = cluster.instance(Side::R, 2).store().len();
-    assert!(
-        newcomer_stored > 0,
-        "migration must have moved keys to the new instance"
-    );
+    assert!(newcomer_stored > 0, "migration must have moved keys to the new instance");
     let migs = cluster.monitor(Side::R).unwrap().stats().effective;
     assert!(migs > 0, "effective migrations expected");
 }
@@ -96,8 +93,7 @@ fn scale_out_preserves_exactly_once() {
     cluster.pump();
     results.append(&mut cluster.drain_results());
 
-    let expected: u64 =
-        r_count.iter().map(|(k, r)| r * s_count.get(k).copied().unwrap_or(0)).sum();
+    let expected: u64 = r_count.iter().map(|(k, r)| r * s_count.get(k).copied().unwrap_or(0)).sum();
     assert_eq!(results.len() as u64, expected);
     let mut ids: Vec<_> = results.iter().map(JoinedPair::identity).collect();
     ids.sort_unstable();

@@ -49,9 +49,8 @@ fn gridcity_joins_identically_across_engines() {
     let expected = expected_pairs(&tuples);
     assert!(expected > 10_000, "city workload must join richly, got {expected}");
 
-    let sync = build_cluster(SystemKind::FastJoin, cfg())
-        .run_to_completion(tuples.clone())
-        .len() as u64;
+    let sync =
+        build_cluster(SystemKind::FastJoin, cfg()).run_to_completion(tuples.clone()).len() as u64;
     assert_eq!(sync, expected, "synchronous cluster");
 
     let sim = Simulation::new(

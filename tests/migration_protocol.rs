@@ -65,20 +65,13 @@ impl Harness {
         t.seq = self.next_seq;
         self.next_seq += 1;
         let dest = Node::Inst(self.route_of(key));
-        self.channels
-            .entry((Node::Dispatcher, dest))
-            .or_default()
-            .push_back(InstanceMsg::Data(t));
+        self.channels.entry((Node::Dispatcher, dest)).or_default().push_back(InstanceMsg::Data(t));
     }
 
     /// Non-empty channels, in a deterministic order.
     fn live_channels(&self) -> Vec<(Node, Node)> {
-        let mut v: Vec<(Node, Node)> = self
-            .channels
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(c, _)| *c)
-            .collect();
+        let mut v: Vec<(Node, Node)> =
+            self.channels.iter().filter(|(_, q)| !q.is_empty()).map(|(c, _)| *c).collect();
         v.sort_by_key(|c| format!("{c:?}"));
         v
     }
@@ -101,7 +94,9 @@ impl Harness {
 
     fn handle_at(&mut self, i: usize, msg: InstanceMsg) {
         let mut fx = Effects::new();
-        self.instances[i].handle(msg, &mut self.selector, 0.0, &mut fx);
+        self.instances[i]
+            .handle(msg, &mut self.selector, 0.0, &mut fx)
+            .expect("FIFO schedules must never produce a protocol violation");
         // Process everything pending right away (processing order relative
         // to deliveries does not matter for completeness; interleaving is
         // already covered by the delivery schedule).

@@ -104,19 +104,12 @@ fn stores_are_garbage_collected_as_the_window_slides() {
     cluster.pump();
     cluster.tick();
     let stored_after: u64 = (0..4).map(|i| cluster.instance(Side::R, i).store().len()).sum();
-    assert!(
-        stored_after <= 5,
-        "expired tuples must be collected, still stored: {stored_after}"
-    );
+    assert!(stored_after <= 5, "expired tuples must be collected, still stored: {stored_after}");
 }
 
 #[test]
 fn full_history_join_never_expires() {
-    let cfg = FastJoinConfig {
-        instances_per_group: 2,
-        window: None,
-        ..FastJoinConfig::default()
-    };
+    let cfg = FastJoinConfig { instances_per_group: 2, window: None, ..FastJoinConfig::default() };
     let mut cluster = build_cluster(SystemKind::BiStream, cfg);
     cluster.ingest(Tuple::r(1, 0, 0));
     cluster.pump();
