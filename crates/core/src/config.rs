@@ -111,9 +111,16 @@ pub struct FastJoinConfig {
     pub theta_gap: f64,
     /// Monitor sampling period in event-time units.
     pub monitor_period: u64,
-    /// Minimum event-time spacing between consecutive migrations, so the
-    /// system settles before re-evaluating (the paper: "the migration can
-    /// never take place frequently").
+    /// Minimum spacing between consecutive migrations in **microseconds**,
+    /// so the system settles before re-evaluating (the paper: "the
+    /// migration can never take place frequently"). `0` disables the
+    /// cooldown. Engines whose monitor clock is coarser than a microsecond
+    /// must convert through [`FastJoinConfig::migration_cooldown_ms`] —
+    /// never with an inline division, which silently truncated
+    /// sub-millisecond cooldowns to "no cooldown" before that helper
+    /// existed. [`FastJoinConfig::validate`] rejects values in `(0, 1000)`
+    /// because they are almost always a milliseconds-vs-microseconds
+    /// mix-up.
     pub migration_cooldown: u64,
     /// Key-selection algorithm.
     pub selector: SelectorKind,
@@ -146,6 +153,15 @@ impl Default for FastJoinConfig {
 }
 
 impl FastJoinConfig {
+    /// The migration cooldown converted to whole milliseconds, rounding
+    /// *up* so a non-zero microsecond cooldown can never truncate to
+    /// "no cooldown" on an engine with a millisecond monitor clock (the
+    /// threaded runtime). This is the single sanctioned conversion point.
+    #[must_use]
+    pub fn migration_cooldown_ms(&self) -> u64 {
+        self.migration_cooldown.div_ceil(1_000)
+    }
+
     /// Validates invariants; returns a human-readable error for the first
     /// violated one.
     pub fn validate(&self) -> Result<(), String> {
@@ -161,6 +177,13 @@ impl FastJoinConfig {
         }
         if self.monitor_period == 0 {
             return Err("monitor_period must be > 0".into());
+        }
+        if self.migration_cooldown > 0 && self.migration_cooldown < 1_000 {
+            return Err(format!(
+                "migration_cooldown is in microseconds; {} µs (< 1 ms) looks like a \
+                 milliseconds value — use 0 to disable or >= 1000",
+                self.migration_cooldown
+            ));
         }
         if let Some(w) = &self.window {
             if w.sub_windows == 0 || w.sub_window_len == 0 {
@@ -198,6 +221,8 @@ mod tests {
             FastJoinConfig { theta: f64::NAN, ..Default::default() },
             FastJoinConfig { theta_gap: -1.0, ..Default::default() },
             FastJoinConfig { monitor_period: 0, ..Default::default() },
+            // Sub-millisecond cooldowns are a µs/ms unit mix-up.
+            FastJoinConfig { migration_cooldown: 500, ..Default::default() },
             FastJoinConfig {
                 window: Some(WindowConfig { sub_windows: 0, sub_window_len: 5 }),
                 ..Default::default()
@@ -210,6 +235,34 @@ mod tests {
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn cooldown_ms_conversion_rounds_up_and_never_truncates_to_zero() {
+        // The default 2 s cooldown is exactly 2000 ms.
+        assert_eq!(FastJoinConfig::default().migration_cooldown_ms(), 2_000);
+        // 50 ms (the value the runtime tests use) survives intact.
+        let c = FastJoinConfig { migration_cooldown: 50_000, ..Default::default() };
+        assert_eq!(c.migration_cooldown_ms(), 50);
+        // Zero stays zero (cooldown disabled)…
+        let off = FastJoinConfig { migration_cooldown: 0, ..Default::default() };
+        assert_eq!(off.migration_cooldown_ms(), 0);
+        // …but any non-zero µs value rounds UP, never down to 0. This is
+        // the regression the old inline `/ 1000` had.
+        let sub_ms = FastJoinConfig { migration_cooldown: 1, ..Default::default() };
+        assert_eq!(sub_ms.migration_cooldown_ms(), 1);
+        let ms_and_a_half = FastJoinConfig { migration_cooldown: 1_500, ..Default::default() };
+        assert_eq!(ms_and_a_half.migration_cooldown_ms(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_disabled_and_millisecond_cooldowns() {
+        FastJoinConfig { migration_cooldown: 0, ..Default::default() }
+            .validate()
+            .expect("0 disables the cooldown");
+        FastJoinConfig { migration_cooldown: 1_000, ..Default::default() }
+            .validate()
+            .expect("1 ms is the smallest honest cooldown");
     }
 
     #[test]

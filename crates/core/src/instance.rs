@@ -388,8 +388,11 @@ impl JoinInstance {
         }
         let stats = self.key_stats();
         let plan = selector.select(self.reported_load(), target_load, &stats, theta_gap);
-        if plan.is_empty() {
-            // Nothing worth moving; tell the monitor the round is over.
+        if plan.is_empty() || plan.total_benefit <= 0.0 {
+            // Nothing worth moving — either no keys fit the gap, or every
+            // candidate has F_k = 0 and migrating them would rebalance
+            // nothing. Report {0, 0} so the monitor books the round as
+            // abandoned rather than effective.
             fx.migration_done.push(MigrationDone { epoch, tuples_moved: 0, keys_moved: 0 });
             return Ok(());
         }

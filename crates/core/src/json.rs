@@ -1,0 +1,271 @@
+//! A minimal JSON value tree and writer.
+//!
+//! The offline build environment ships no real `serde`/`serde_json` (the
+//! vendored `serde` is a no-op marker shim), so every machine-readable
+//! report in this workspace — `RuntimeReport::to_json`, the
+//! `fastjoin-cli bench` emitter, the simulator's report dump — serializes
+//! through this module instead. It is deliberately tiny: construct a
+//! [`Json`] tree, `Display` it. Object keys keep insertion order so report
+//! schemas are stable and diffable.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number. Non-finite floats serialize as `null` (JSON has no
+    /// NaN/Infinity), mirroring what `serde_json` does with
+    /// `arbitrary_precision` off and `null` fallback on.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<I, K>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (K, Json)>,
+        K: Into<String>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    #[must_use]
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// A string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value. `u64` counters above 2^53 would lose precision in
+    /// an `f64`; report counters never get near that, but the conversion
+    /// saturates the mantissa rather than wrapping if one ever does.
+    #[must_use]
+    pub fn uint(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Serializes to a compact JSON string.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        self.to_string()
+    }
+
+    /// Serializes with two-space indentation (human-diffable bench files).
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, depth + 1);
+                    push_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                push_indent(out, depth);
+                out.push('}');
+            }
+            other => {
+                // Scalars and empty containers render compactly.
+                use fmt::Write;
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if !v.is_finite() {
+        return write!(f, "null");
+    }
+    // Integers within f64's exact range print without a fraction so
+    // counters stay counters in the output.
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => write_num(f, *v),
+            Json::Str(s) => {
+                let mut buf = String::new();
+                push_escaped(&mut buf, s);
+                write!(f, "{buf}")
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut key = String::new();
+                    push_escaped(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::uint(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::uint(v as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::uint(42).to_string(), "42");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn integers_have_no_fraction() {
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(-7.0).to_string(), "-7");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = Json::obj([
+            ("xs", Json::arr([Json::uint(1), Json::uint(2)])),
+            ("name", Json::str("run")),
+        ]);
+        assert_eq!(v.to_string(), "{\"xs\":[1,2],\"name\":\"run\"}");
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let v = Json::obj([("z", Json::uint(1)), ("a", Json::uint(2))]);
+        assert_eq!(v.to_string(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parsable_shape() {
+        let v = Json::obj([("a", Json::arr([Json::uint(1)])), ("b", Json::Obj(Vec::new()))]);
+        let s = v.to_string_pretty();
+        assert!(s.contains("\n  \"a\": [\n    1\n  ]"), "{s}");
+        assert!(s.contains("\"b\": {}"), "{s}");
+    }
+}

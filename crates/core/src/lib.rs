@@ -52,6 +52,8 @@ pub mod dispatcher;
 pub mod hash;
 /// One join instance: store, probe, and the migration state machine.
 pub mod instance;
+/// Minimal JSON tree/writer backing every machine-readable report.
+pub mod json;
 /// Load accounting: per-instance load reports and per-key statistics.
 pub mod load;
 /// Throughput/latency series and cluster-level imbalance metrics.

@@ -6,7 +6,11 @@
 //! real-time degree of load imbalance `LI`. These helpers collect all three
 //! without heap allocation on the hot path.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
 
 /// A latency histogram with logarithmic buckets (powers of two), covering
 /// `[0, 2^63)` time units in 64 buckets. Recording is O(1) and allocation
@@ -104,6 +108,20 @@ impl LogHistogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// Summary as a JSON object: count, mean, max, and the p50/p90/p99
+    /// bucket-edge quantiles the evaluation reports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::uint(self.count)),
+            ("mean", self.mean().into()),
+            ("max", Json::uint(self.max)),
+            ("p50", self.quantile(0.50).into()),
+            ("p90", self.quantile(0.90).into()),
+            ("p99", self.quantile(0.99).into()),
+        ])
+    }
 }
 
 /// A time series that buckets observations into fixed periods of event
@@ -163,6 +181,42 @@ impl TimeSeries {
         &self.sums
     }
 
+    /// Per-period observation counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another series into this one. Each of `other`'s buckets is
+    /// re-recorded at its own period's start time, so merging series with
+    /// different periods re-buckets rather than corrupting indices.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for (idx, (&sum, &count)) in other.sums.iter().zip(&other.counts).enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let ts = idx as u64 * other.period;
+            let bucket = (ts / self.period) as usize;
+            if bucket >= self.sums.len() {
+                self.sums.resize(bucket + 1, 0.0);
+                self.counts.resize(bucket + 1, 0);
+            }
+            self.sums[bucket] += sum;
+            self.counts[bucket] += count;
+        }
+    }
+
+    /// The series as a JSON object: period plus parallel `sums`/`counts`
+    /// arrays indexed by period number.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("period", Json::uint(self.period)),
+            ("sums", Json::arr(self.sums.iter().map(|&s| Json::Num(s)))),
+            ("counts", Json::arr(self.counts.iter().map(|&c| Json::uint(c)))),
+        ])
+    }
+
     /// Per-period means (e.g. average latency per second); `None` for
     /// periods with no observations.
     #[must_use]
@@ -199,6 +253,222 @@ impl TimeSeries {
         } else {
             total / n as f64
         }
+    }
+}
+
+/// A per-round migration trace: when the monitor triggered the round, what
+/// selection produced, how much actually moved, and when the round
+/// completed. Timestamps are in the owning engine's monitor-clock units
+/// (milliseconds for the threaded runtime, microseconds for the
+/// simulator); `route_flip_us` is always wall-clock microseconds and is
+/// filled in by engines that can observe the source's
+/// `MigrateCmd → RouteUpdated` interval (`None` otherwise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationSpan {
+    /// Migration round id (monotone per monitor).
+    pub epoch: u64,
+    /// Source instance (the heaviest at trigger time).
+    pub source: usize,
+    /// Target instance (the lightest at trigger time).
+    pub target: usize,
+    /// Degree of load imbalance `LI` observed at trigger time.
+    pub imbalance_at_trigger: f64,
+    /// Monitor-clock time the round was triggered.
+    pub triggered_at: u64,
+    /// Monitor-clock time `MigrationDone` arrived (0 while open).
+    pub completed_at: u64,
+    /// Keys the selection output actually migrated.
+    pub keys_moved: u64,
+    /// Stored tuples physically moved.
+    pub tuples_moved: u64,
+    /// Whether the round moved anything (`false` = abandoned: selection
+    /// found nothing with positive benefit `F_k`).
+    pub effective: bool,
+    /// Source-side route-flip latency in microseconds, when the engine
+    /// measured it.
+    pub route_flip_us: Option<u64>,
+}
+
+impl MigrationSpan {
+    /// Monitor-clock duration of the round (`completed_at - triggered_at`).
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.completed_at.saturating_sub(self.triggered_at)
+    }
+
+    /// The span as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("epoch", Json::uint(self.epoch)),
+            ("source", self.source.into()),
+            ("target", self.target.into()),
+            ("imbalance_at_trigger", Json::Num(self.imbalance_at_trigger)),
+            ("triggered_at", Json::uint(self.triggered_at)),
+            ("completed_at", Json::uint(self.completed_at)),
+            ("duration", Json::uint(self.duration())),
+            ("keys_moved", Json::uint(self.keys_moved)),
+            ("tuples_moved", Json::uint(self.tuples_moved)),
+            ("effective", Json::Bool(self.effective)),
+            ("route_flip_us", self.route_flip_us.into()),
+        ])
+    }
+}
+
+/// One named metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotone counter.
+    Counter(u64),
+    /// A last-write-wins gauge.
+    Gauge(f64),
+    /// A latency-style log histogram.
+    Histogram(LogHistogram),
+    /// A fixed-period time series.
+    Series(TimeSeries),
+}
+
+impl MetricValue {
+    fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Counter(v) => Json::uint(*v),
+            MetricValue::Gauge(v) => Json::Num(*v),
+            MetricValue::Histogram(h) => h.to_json(),
+            MetricValue::Series(s) => s.to_json(),
+        }
+    }
+}
+
+/// A small named-metric registry each executor (instance, dispatcher,
+/// monitor) publishes into locally — no locks, no global state. Engines
+/// collect the per-executor registries at shutdown and fold them into one
+/// report-level registry via [`MetricsRegistry::merge_prefixed`], which
+/// namespaces every metric by its executor (`inst.r3.queue_depth`,
+/// `dispatcher.tuples_ingested`, …).
+///
+/// Same-name writes must keep the same metric kind; a kind mismatch
+/// replaces the value rather than panicking (the registry is telemetry,
+/// never control flow).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Counter(v)) => *v += delta,
+            _ => {
+                self.metrics.insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Records `value` into the histogram `name` (creating it if needed).
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record(value),
+            _ => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                self.metrics.insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Records `value` at time `ts` into the series `name`, creating it
+    /// with bucket `period` if needed (an existing series keeps its own
+    /// period).
+    pub fn series_record(&mut self, name: &str, period: u64, ts: u64, value: f64) {
+        match self.metrics.get_mut(name) {
+            Some(MetricValue::Series(s)) => s.record(ts, value),
+            _ => {
+                let mut s = TimeSeries::new(period.max(1));
+                s.record(ts, value);
+                self.metrics.insert(name.to_string(), MetricValue::Series(s));
+            }
+        }
+    }
+
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// The counter `name`, or 0 when absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sum of every counter whose name ends with `suffix` — the aggregate
+    /// view over per-executor namespaced counters.
+    #[must_use]
+    pub fn counter_sum(&self, suffix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of metrics registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into this registry with every name prefixed by
+    /// `prefix` (counters add, gauges overwrite, histograms and series
+    /// merge).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (name, value) in &other.metrics {
+            let full = format!("{prefix}{name}");
+            match (self.metrics.get_mut(&full), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(MetricValue::Series(a)), MetricValue::Series(b)) => a.merge(b),
+                _ => {
+                    self.metrics.insert(full, value.clone());
+                }
+            }
+        }
+    }
+
+    /// The registry as one JSON object, keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
     }
 }
 
@@ -334,5 +604,89 @@ mod tests {
     #[should_panic(expected = "period must be > 0")]
     fn timeseries_rejects_zero_period() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn timeseries_merge_rebuckets_by_time() {
+        let mut a = TimeSeries::new(1000);
+        a.record(0, 1.0);
+        let mut b = TimeSeries::new(500); // finer period
+        b.record(400, 2.0); // bucket 0 of b → t=0 → bucket 0 of a
+        b.record(2600, 3.0); // bucket 5 of b → t=2500 → bucket 2 of a
+        a.merge(&b);
+        assert_eq!(a.sums(), &[3.0, 0.0, 3.0]);
+        assert_eq!(a.counts(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn registry_counters_gauges_series() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("probes", 2);
+        r.counter_add("probes", 3);
+        r.gauge_set("buffered", 7.0);
+        r.series_record("depth", 100, 50, 4.0);
+        r.series_record("depth", 100, 150, 6.0);
+        r.histogram_record("lat", 10);
+        assert_eq!(r.counter("probes"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(matches!(r.get("buffered"), Some(MetricValue::Gauge(v)) if *v == 7.0));
+        assert!(matches!(r.get("depth"), Some(MetricValue::Series(s)) if s.len() == 2));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn registry_merge_prefixed_namespaces_and_adds() {
+        let mut inst = MetricsRegistry::new();
+        inst.counter_add("handoffs", 2);
+        let mut inst2 = MetricsRegistry::new();
+        inst2.counter_add("handoffs", 3);
+        let mut all = MetricsRegistry::new();
+        all.merge_prefixed("inst.r0.", &inst);
+        all.merge_prefixed("inst.r1.", &inst2);
+        all.merge_prefixed("inst.r1.", &inst2); // counters add on re-merge
+        assert_eq!(all.counter("inst.r0.handoffs"), 2);
+        assert_eq!(all.counter("inst.r1.handoffs"), 6);
+        assert_eq!(all.counter_sum(".handoffs"), 8);
+    }
+
+    #[test]
+    fn registry_json_is_keyed_by_name() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", 1);
+        r.gauge_set("b", 2.5);
+        assert_eq!(r.to_json().to_string(), "{\"a\":1,\"b\":2.5}");
+    }
+
+    #[test]
+    fn span_duration_and_json() {
+        let span = MigrationSpan {
+            epoch: 3,
+            source: 1,
+            target: 0,
+            imbalance_at_trigger: 2.5,
+            triggered_at: 100,
+            completed_at: 130,
+            keys_moved: 2,
+            tuples_moved: 40,
+            effective: true,
+            route_flip_us: Some(250),
+        };
+        assert_eq!(span.duration(), 30);
+        let s = span.to_json().to_string();
+        assert!(s.contains("\"epoch\":3"));
+        assert!(s.contains("\"duration\":30"));
+        assert!(s.contains("\"route_flip_us\":250"));
+    }
+
+    #[test]
+    fn histogram_json_has_percentiles() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.to_json().to_string();
+        assert!(s.contains("\"count\":100"));
+        assert!(s.contains("\"p50\":"));
+        assert!(s.contains("\"p99\":"));
     }
 }

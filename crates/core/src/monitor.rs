@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::load::{InstanceLoad, LoadTable};
+use crate::metrics::MigrationSpan;
 use crate::protocol::{Epoch, InstanceMsg, MigrationDone};
 
 /// Migration command produced by the monitor: deliver `msg` to instance
@@ -48,6 +49,10 @@ pub struct Monitor {
     in_flight: Option<Epoch>,
     next_epoch: Epoch,
     stats: MonitorStats,
+    /// The span of the in-flight round, opened at trigger time.
+    open_span: Option<MigrationSpan>,
+    /// Completed round spans, oldest first (observability trace).
+    spans: Vec<MigrationSpan>,
     /// Reports kept per instance for smoothing (§III-E's fixed-size
     /// vector of recent sub-window statistics). Depth 1 = no smoothing.
     history_depth: usize,
@@ -72,6 +77,8 @@ impl Monitor {
             in_flight: None,
             next_epoch: 1,
             stats: MonitorStats::default(),
+            open_span: None,
+            spans: Vec::new(),
             history_depth: 1,
             history: vec![VecDeque::new(); n],
         }
@@ -104,6 +111,13 @@ impl Monitor {
     #[must_use]
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Completed migration-round spans, oldest first. A round still in
+    /// flight has no span here until its `MigrationDone` arrives.
+    #[must_use]
+    pub fn spans(&self) -> &[MigrationSpan] {
+        &self.spans
     }
 
     /// True while a migration round is in flight.
@@ -167,6 +181,18 @@ impl Monitor {
         self.next_epoch += 1;
         self.in_flight = Some(epoch);
         self.stats.triggered += 1;
+        self.open_span = Some(MigrationSpan {
+            epoch,
+            source,
+            target,
+            imbalance_at_trigger: self.table.imbalance(),
+            triggered_at: now,
+            completed_at: 0,
+            keys_moved: 0,
+            tuples_moved: 0,
+            effective: false,
+            route_flip_us: None,
+        });
         Some(MigrationTrigger {
             source,
             msg: InstanceMsg::MigrateCmd { epoch, target, target_load: self.table.get(target) },
@@ -175,18 +201,33 @@ impl Monitor {
 
     /// Records the completion (or abandonment) of the in-flight round.
     ///
+    /// A round is *effective* only when it actually moved keys. Selection
+    /// and the source instance guarantee every completed (non-abandoned)
+    /// round had strictly positive total benefit — zero-benefit plans
+    /// (`F_k = 0` keys under `θ_gap = 0`) are abandoned at the source and
+    /// report `keys_moved == 0`, so they land in the `abandoned` bucket
+    /// here rather than inflating `effective`.
+    ///
     /// # Panics
     /// Panics on an epoch mismatch — that is a protocol bug.
     pub fn on_migration_done(&mut self, done: MigrationDone, now: u64) {
         let expected = self.in_flight.take().expect("MigrationDone with no round in flight"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
         assert_eq!(expected, done.epoch, "MigrationDone epoch mismatch"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
         self.last_round_end = now;
-        if done.keys_moved == 0 {
-            self.stats.abandoned += 1;
-        } else {
+        let effective = done.keys_moved > 0;
+        if effective {
             self.stats.effective += 1;
             self.stats.tuples_moved += done.tuples_moved;
             self.stats.keys_moved += done.keys_moved as u64;
+        } else {
+            self.stats.abandoned += 1;
+        }
+        if let Some(mut span) = self.open_span.take() {
+            span.completed_at = now;
+            span.keys_moved = done.keys_moved as u64;
+            span.tuples_moved = done.tuples_moved;
+            span.effective = effective;
+            self.spans.push(span);
         }
     }
 }
@@ -331,6 +372,54 @@ mod tests {
             InstanceMsg::MigrateCmd { target, .. } => assert_eq!(target, 4),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_trace_each_round() {
+        let mut m = loaded_monitor();
+        let li = m.imbalance();
+        let t1 = m.maybe_trigger(100).unwrap();
+        assert!(m.spans().is_empty(), "open round has no completed span yet");
+        let e1 = match t1.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(MigrationDone { epoch: e1, tuples_moved: 42, keys_moved: 3 }, 180);
+        let t2 = m.maybe_trigger(300).unwrap();
+        let e2 = match t2.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(MigrationDone { epoch: e2, tuples_moved: 0, keys_moved: 0 }, 350);
+        let spans = m.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].epoch, e1);
+        assert_eq!(spans[0].source, 0);
+        assert_eq!(spans[0].target, 2);
+        assert_eq!(spans[0].triggered_at, 100);
+        assert_eq!(spans[0].completed_at, 180);
+        assert_eq!(spans[0].duration(), 80);
+        assert_eq!(spans[0].tuples_moved, 42);
+        assert!(spans[0].effective);
+        assert!((spans[0].imbalance_at_trigger - li).abs() < 1e-9);
+        assert!(!spans[1].effective, "zero-key round is abandoned");
+        assert_eq!(spans[1].keys_moved, 0);
+    }
+
+    #[test]
+    fn zero_key_rounds_are_abandoned_even_with_tuples_field_zero() {
+        // The F_k = 0 pathology: selection admitted nothing of value, the
+        // source abandoned, and the completion reports {0, 0}. That round
+        // must never count as effective.
+        let mut m = loaded_monitor();
+        let t = m.maybe_trigger(100).unwrap();
+        let e = match t.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 0, keys_moved: 0 }, 150);
+        assert_eq!(m.stats().effective, 0);
+        assert_eq!(m.stats().abandoned, 1);
     }
 
     #[test]

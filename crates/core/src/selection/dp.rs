@@ -12,7 +12,7 @@
 //! bounded, tunable cost — a useful middle point between GreedyFit and
 //! the exponential oracle, and an ablation for Fig. 14.
 
-use super::{KeySelector, MigrationPlan};
+use super::{positive_benefit, KeySelector, MigrationPlan};
 use crate::load::{InstanceLoad, KeyStat};
 
 /// Default number of capacity buckets.
@@ -66,7 +66,7 @@ impl KeySelector for DpFit {
             return MigrationPlan::empty(gap);
         }
         let stats: Vec<KeyStat> =
-            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
+            keys.iter().copied().filter(|k| positive_benefit(k, src, dst, theta_gap)).collect();
         if stats.is_empty() {
             return MigrationPlan::empty(gap);
         }

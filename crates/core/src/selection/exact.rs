@@ -9,7 +9,7 @@
 //! tie-broken by fewest migrated tuples. Property tests compare GreedyFit
 //! and SAFit against it.
 
-use super::{KeySelector, MigrationPlan};
+use super::{positive_benefit, KeySelector, MigrationPlan};
 use crate::load::{InstanceLoad, KeyStat};
 
 /// Maximum key-universe size the exhaustive search accepts (2^20 subsets).
@@ -43,7 +43,7 @@ impl KeySelector for ExhaustiveFit {
             return MigrationPlan::empty(gap);
         }
         let stats: Vec<KeyStat> =
-            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
+            keys.iter().copied().filter(|k| positive_benefit(k, src, dst, theta_gap)).collect();
         // lint:allow(guard against accidental exponential blow-up; selection is control plane)
         assert!(
             stats.len() <= MAX_EXACT_KEYS,

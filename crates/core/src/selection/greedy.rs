@@ -57,7 +57,11 @@ impl KeySelector for GreedyFit {
         let mut total_benefit = 0.0;
         let mut tuples = 0u64;
         for (stat, f, _) in &farray {
-            if remaining > *f && *f >= theta_gap {
+            // `*f > 0.0` is the F_k floor: a key with no stored tuples and
+            // no probe arrivals has zero benefit, and moving it would make
+            // the round look effective while rebalancing nothing — under
+            // θ_gap = 0 the `>= theta_gap` test alone admits it.
+            if remaining > *f && *f > 0.0 && *f >= theta_gap {
                 remaining -= f;
                 total_benefit += f;
                 tuples += stat.stored;
@@ -141,6 +145,22 @@ mod tests {
         assert!(with_floor.is_empty(), "benefit 220 is below θ_gap 500");
         let without = select(src, dst, &keys, 0.0);
         assert_eq!(without.keys, vec![1]);
+    }
+
+    #[test]
+    fn zero_benefit_keys_are_never_selected() {
+        // A key with stored == 0 && queue == 0 has F_k = 0: moving it
+        // rebalances nothing. Under θ_gap = 0 it must still be skipped.
+        let src = InstanceLoad::new(100, 100);
+        let dst = InstanceLoad::new(10, 10);
+        let keys = [KeyStat::new(1, 0, 0), KeyStat::new(2, 0, 0)];
+        let plan = select(src, dst, &keys, 0.0);
+        assert!(plan.is_empty(), "F_k = 0 keys selected: {plan:?}");
+        // Mixed with a real key, only the real key is taken.
+        let keys = [KeyStat::new(1, 0, 0), KeyStat::new(2, 3, 3)];
+        let plan = select(src, dst, &keys, 0.0);
+        assert_eq!(plan.keys, vec![2]);
+        assert!(plan.total_benefit > 0.0);
     }
 
     #[test]

@@ -124,6 +124,22 @@ pub fn plan_is_feasible(plan: &MigrationPlan) -> bool {
     plan.is_empty() || plan.predicted_delta > 0.0
 }
 
+/// The shared candidate filter every selector applies before considering a
+/// key: its migration benefit `F_k` must be strictly positive *and* clear
+/// the configured floor `θ_gap`. The strict-positive half is the F_k floor —
+/// under `θ_gap = 0` the `>= theta_gap` test alone admits keys with no
+/// stored tuples and no probe arrivals, whose migration rebalances nothing
+/// yet makes the round look effective.
+pub(crate) fn positive_benefit(
+    k: &KeyStat,
+    src: InstanceLoad,
+    dst: InstanceLoad,
+    theta_gap: f64,
+) -> bool {
+    let b = k.benefit(src, dst);
+    b > 0.0 && b >= theta_gap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

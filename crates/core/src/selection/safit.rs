@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use super::{KeySelector, MigrationPlan};
+use super::{positive_benefit, KeySelector, MigrationPlan};
 use crate::config::SaFitParams;
 use crate::load::{InstanceLoad, KeyStat};
 
@@ -104,7 +104,7 @@ impl KeySelector for SaFit {
         // GreedyFit's θ_gap check so the two selectors face the same
         // universe of keys).
         let stats: Vec<KeyStat> =
-            keys.iter().copied().filter(|k| k.benefit(src, dst) >= theta_gap).collect();
+            keys.iter().copied().filter(|k| positive_benefit(k, src, dst, theta_gap)).collect();
         if stats.is_empty() {
             return MigrationPlan::empty(gap);
         }

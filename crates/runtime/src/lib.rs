@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod accounting;
 pub mod msg;
 pub mod report;
 pub mod topology;
 
+pub use accounting::{AccountingError, ProbeAccountant};
 pub use report::RuntimeReport;
 pub use topology::{run_topology, run_topology_with_results, RuntimeConfig};

@@ -18,6 +18,14 @@ pub enum RtMsg {
     /// fan-out parts complete — the straggler penalty of broadcast-style
     /// strategies.
     Probe(fastjoin_core::tuple::Tuple, u32),
+    /// Fan-out entries `(seq, fanout)` for probe tuples a migration source
+    /// is about to forward in a `MigForward`. Sent on the same
+    /// source → target channel *immediately before* the `MigForward`, so
+    /// FIFO ordering guarantees the target owns each probe's fan-out
+    /// before the probe itself arrives. Without this hand-off the source
+    /// leaked the entries and the target had to guess a fan-out of 1 —
+    /// the accounting bug this variant fixes.
+    ProbeHandoff(Vec<(u64, u32)>),
     /// Monitor request: report the period's load statistics.
     ReportRequest,
     /// End of stream: process everything pending, then acknowledge and

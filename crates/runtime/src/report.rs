@@ -1,7 +1,8 @@
 //! Run reports for the threaded runtime.
 
 use fastjoin_core::instance::InstanceCounters;
-use fastjoin_core::metrics::{LogHistogram, TimeSeries};
+use fastjoin_core::json::Json;
+use fastjoin_core::metrics::{LogHistogram, MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::MonitorStats;
 
 /// Everything measured during a topology run.
@@ -23,6 +24,14 @@ pub struct RuntimeReport {
     pub counters: [Vec<InstanceCounters>; 2],
     /// Monitor statistics per group (`None` for static systems).
     pub monitor_stats: [Option<MonitorStats>; 2],
+    /// Live load-imbalance (`LI`, Eq. 2) series per group, sampled every
+    /// monitor tick (`None` for static systems) — the paper's Fig. 11 view.
+    pub imbalance: [Option<TimeSeries>; 2],
+    /// Completed migration-round spans per group, oldest first.
+    pub migration_spans: [Vec<MigrationSpan>; 2],
+    /// Merged executor metrics, namespaced `dispatcher.*` / `inst.r3.*` /
+    /// `inst.s0.*` (see `docs/ARCHITECTURE.md`, "Observability").
+    pub registry: MetricsRegistry,
 }
 
 impl RuntimeReport {
@@ -53,15 +62,52 @@ impl RuntimeReport {
     pub fn stored_total(&self, group: usize) -> u64 {
         self.counters[group].iter().map(|c| c.stored).sum()
     }
+
+    /// The report as a JSON tree — the stable machine-readable schema the
+    /// bench suite emits (`BENCH_smoke.json`) and CI checks. Field names
+    /// are documented in `docs/ARCHITECTURE.md`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let group = |g: usize| -> Json {
+            let stats = self.monitor_stats[g].as_ref().map(|s| {
+                Json::obj(vec![
+                    ("triggered", Json::uint(s.triggered)),
+                    ("effective", Json::uint(s.effective)),
+                    ("abandoned", Json::uint(s.abandoned)),
+                    ("tuples_moved", Json::uint(s.tuples_moved)),
+                    ("keys_moved", Json::uint(s.keys_moved)),
+                ])
+            });
+            Json::obj(vec![
+                ("monitor", stats.into()),
+                ("imbalance", self.imbalance[g].as_ref().map(TimeSeries::to_json).into()),
+                (
+                    "migration_spans",
+                    Json::arr(self.migration_spans[g].iter().map(MigrationSpan::to_json)),
+                ),
+                ("stored_total", Json::uint(self.stored_total(g))),
+            ])
+        };
+        Json::obj(vec![
+            ("duration_us", Json::uint(self.duration_us)),
+            ("tuples_ingested", Json::uint(self.tuples_ingested)),
+            ("results_total", Json::uint(self.results_total)),
+            ("probes_total", Json::uint(self.probes_total)),
+            ("results_per_sec", self.results_per_sec().into()),
+            ("latency_us", self.latency.to_json()),
+            ("throughput", self.throughput.to_json()),
+            ("groups", Json::arr(vec![group(0), group(1)])),
+            ("registry", self.registry.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn derived_rates_handle_zero_duration() {
-        let r = RuntimeReport {
+    fn empty_report() -> RuntimeReport {
+        RuntimeReport {
             duration_us: 0,
             tuples_ingested: 0,
             results_total: 0,
@@ -70,9 +116,40 @@ mod tests {
             throughput: TimeSeries::new(1_000_000),
             counters: [Vec::new(), Vec::new()],
             monitor_stats: [None, None],
-        };
+            imbalance: [None, None],
+            migration_spans: [Vec::new(), Vec::new()],
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    #[test]
+    fn derived_rates_handle_zero_duration() {
+        let r = empty_report();
         assert_eq!(r.results_per_sec(), 0.0);
         assert_eq!(r.mean_latency_us(), 0.0);
         assert_eq!(r.migrations(), 0);
+    }
+
+    #[test]
+    fn json_schema_has_the_required_top_level_keys() {
+        let mut r = empty_report();
+        r.duration_us = 2_000_000;
+        r.results_total = 10;
+        r.imbalance[0] = Some(TimeSeries::new(1_000));
+        let rendered = r.to_json().to_string_compact();
+        for key in [
+            "\"duration_us\"",
+            "\"probes_total\"",
+            "\"results_per_sec\"",
+            "\"latency_us\"",
+            "\"throughput\"",
+            "\"groups\"",
+            "\"imbalance\"",
+            "\"migration_spans\"",
+            "\"registry\"",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+        assert!(rendered.contains("\"results_per_sec\":5"), "10 results / 2 s: {rendered}");
     }
 }

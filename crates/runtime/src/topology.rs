@@ -22,12 +22,13 @@ use fastjoin_core::config::FastJoinConfig;
 use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
 use fastjoin_core::instance::JoinInstance;
 use fastjoin_core::instance::Work;
-use fastjoin_core::metrics::{LogHistogram, TimeSeries};
+use fastjoin_core::metrics::{MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
-use fastjoin_core::protocol::{Effects, InstanceMsg};
+use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationState};
 use fastjoin_core::selection::make_selector;
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 
+use crate::accounting::ProbeAccountant;
 use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg};
 use crate::report::RuntimeReport;
 
@@ -131,12 +132,14 @@ fn run_topology_inner(
         let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
         let data_rx = disp_data_rx;
         let ctrl_rx = disp_ctrl_rx;
+        let collector = collector_tx.clone();
         handles.push(
             thread::Builder::new()
                 .name("dispatcher".into())
                 .spawn(move || {
                     let mut dispatcher = Dispatcher::new(r_part, s_part);
                     let mut scratch = Dispatch::default();
+                    let mut reg = MetricsRegistry::new();
                     loop {
                         // Select across data and control; whichever order
                         // they are served in, an instance's buffer catches
@@ -171,6 +174,8 @@ fn run_topology_inner(
                                 let own = t.side.index();
                                 let opp = t.side.opposite().index();
                                 let fanout = scratch.probe_dests.len() as u32;
+                                reg.counter_add("tuples_ingested", 1);
+                                reg.counter_add("probe_copies", u64::from(fanout));
                                 let _ = inst_txs[own][scratch.store_dest] // lint:allow(partitioner contract: routes are < instances())
                                     .send(RtMsg::Inst(InstanceMsg::Data(t)));
                                 for &d in &scratch.probe_dests {
@@ -181,10 +186,18 @@ fn run_topology_inner(
                                 let ok = dispatcher
                                     .apply_route(if group == 0 { Side::R } else { Side::S }, &req);
                                 assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
+                                reg.counter_add("route_updates", 1);
                                 let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
                                     .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
                             }
                             DispatcherMsg::Eos => {
+                                // Ship the dispatcher's metrics before any
+                                // instance can see EOS: enqueuing first
+                                // guarantees DispatcherDone precedes the
+                                // final InstanceDone in the collector.
+                                let _ = collector.send(CollectorMsg::DispatcherDone {
+                                    registry: Box::new(std::mem::take(&mut reg)),
+                                });
                                 for group in &inst_txs {
                                     for tx in group {
                                         let _ = tx.send(RtMsg::Eos);
@@ -213,13 +226,20 @@ fn run_topology_inner(
             let collector = collector_tx.clone();
             let fj = cfg.fastjoin.clone();
             let results = results.clone();
+            let sample_period_us = cfg.monitor_period_ms.max(1) * 1_000;
             handles.push(
                 thread::Builder::new()
                     .name(format!("join-{side}-{i}"))
                     .spawn(move || {
-                        instance_loop(
-                            g, i, side, &fj, &rx, &wiring, &disp_ctrl, &collector, &now_us, results,
-                        );
+                        let ctx = InstanceCtx {
+                            group: g,
+                            id: i,
+                            side,
+                            fj: &fj,
+                            sample_period_us,
+                            now_us: &now_us,
+                        };
+                        instance_loop(&ctx, &rx, &wiring, &disp_ctrl, &collector, results);
                     })
                     .expect("spawn instance"), // lint:allow(thread spawn at startup)
             );
@@ -255,13 +275,26 @@ fn run_topology_inner(
     debug_assert!(inst_txs.iter().all(Vec::is_empty));
 
     // --- Spout (this thread) ------------------------------------------
+    // Pacing is hybrid: sleep off the bulk of the inter-tuple gap, then
+    // spin only the last stretch (the scheduler cannot be trusted below
+    // ~100 µs, but a pure busy-wait burned a full core at low rates).
+    const SPIN_WINDOW: Duration = Duration::from_micros(150);
     let mut ingested = 0u64;
     let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
     let mut next_send = Instant::now();
     for t in workload {
         if let Some(gap) = gap {
-            while Instant::now() < next_send {
-                std::hint::spin_loop();
+            loop {
+                let now = Instant::now();
+                if now >= next_send {
+                    break;
+                }
+                let remaining = next_send - now;
+                if remaining > SPIN_WINDOW {
+                    thread::sleep(remaining - SPIN_WINDOW);
+                } else {
+                    std::hint::spin_loop();
+                }
             }
             next_send += gap;
         }
@@ -289,40 +322,47 @@ fn run_topology_inner(
     drop(disp_data_tx);
 
     // --- Collect -------------------------------------------------------
-    let mut latency = LogHistogram::new();
+    let mut accountant = ProbeAccountant::new();
     let mut throughput = TimeSeries::new(1_000_000);
     let mut results_total = 0u64;
-    let mut probes_total = 0u64;
     let mut counters: [Vec<_>; 2] = [vec![Default::default(); n], vec![Default::default(); n]];
     let mut done = 0;
     let mut monitor_stats: [Option<MonitorStats>; 2] = [None, None];
-    // seq → (fan-out parts left, max latency seen so far).
-    let mut fanout_left: std::collections::HashMap<u64, (u32, u64)> =
-        std::collections::HashMap::new();
+    let mut imbalance: [Option<TimeSeries>; 2] = [None, None];
+    let mut migration_spans: [Vec<MigrationSpan>; 2] = [Vec::new(), Vec::new()];
+    let mut registry = MetricsRegistry::new();
+    // Route-flip latencies arrive from instances keyed by (group, epoch)
+    // and are patched into the matching monitor span after MonitorDone.
+    let mut route_flips: Vec<(usize, u64, u64)> = Vec::new();
     while let Ok(msg) = collector_rx.recv() {
         match msg {
             CollectorMsg::Probe { seq, fanout, record } => {
                 results_total += record.matches;
                 throughput.record(now_us(), record.matches as f64);
-                let entry = fanout_left.entry(seq).or_insert((fanout, 0));
-                entry.0 -= 1;
-                entry.1 = entry.1.max(record.latency_us);
-                if entry.0 == 0 {
-                    let max_lat = entry.1;
-                    fanout_left.remove(&seq);
-                    probes_total += 1;
-                    latency.record(max_lat);
-                }
+                accountant
+                    .on_probe(seq, fanout, record.latency_us)
+                    // lint:allow(accounting corruption means every later count is garbage; fail the run loudly)
+                    .unwrap_or_else(|e| panic!("probe accounting violated: {e}"));
             }
-            CollectorMsg::InstanceDone { group, id, counters: c } => {
+            CollectorMsg::RouteFlip { group, epoch, us } => {
+                route_flips.push((group, epoch, us));
+            }
+            CollectorMsg::InstanceDone { group, id, counters: c, registry: r } => {
                 counters[group][id] = c; // lint:allow(group and id come from our own spawned executors)
+                let prefix = format!("inst.{}{id}.", if group == 0 { 'r' } else { 's' });
+                registry.merge_prefixed(&prefix, &r);
                 done += 1;
                 if done == 2 * n {
                     break;
                 }
             }
-            CollectorMsg::MonitorDone { group, stats } => {
+            CollectorMsg::MonitorDone { group, stats, spans, li } => {
                 monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
+                migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
+                imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
+            }
+            CollectorMsg::DispatcherDone { registry: r } => {
+                registry.merge_prefixed("dispatcher.", &r);
             }
         }
     }
@@ -330,8 +370,13 @@ fn run_topology_inner(
     if dynamic {
         while monitor_stats.iter().any(Option::is_none) {
             match collector_rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(CollectorMsg::MonitorDone { group, stats }) => {
+                Ok(CollectorMsg::MonitorDone { group, stats, spans, li }) => {
                     monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
+                    migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
+                    imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
+                }
+                Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
+                    route_flips.push((group, epoch, us));
                 }
                 Ok(_) => {}
                 Err(e) => panic!("monitor stats never arrived: {e}"), // lint:allow(shutdown watchdog: missing stats must fail the run loudly)
@@ -343,6 +388,25 @@ fn run_topology_inner(
         h.join().expect("worker thread panicked"); // lint:allow(propagates a worker panic at shutdown)
     }
 
+    // Shutdown invariant: every probe's fan-out parts drained to zero.
+    let (probes_total, latency) = accountant
+        .finish()
+        // lint:allow(shutdown invariant: leaked fan-out entries mean lost latency samples; fail loudly)
+        .unwrap_or_else(|e| panic!("probe accounting corrupted at shutdown: {e}"));
+    // And no instance abandoned fan-out entries on its side either.
+    let leaked = registry.counter_sum("probe_fanout_leaked");
+    // lint:allow(shutdown invariant: a leak here is the exact bug the hand-off protocol fixes)
+    assert_eq!(leaked, 0, "{leaked} probe fan-out entrie(s) leaked in instances");
+
+    for (group, epoch, us) in route_flips {
+        if let Some(span) = migration_spans[group] // lint:allow(group is 0 or 1 by construction)
+            .iter_mut()
+            .find(|s| s.epoch == epoch)
+        {
+            span.route_flip_us = Some(us);
+        }
+    }
+
     RuntimeReport {
         duration_us: now_us(),
         tuples_ingested: ingested,
@@ -352,30 +416,65 @@ fn run_topology_inner(
         throughput,
         counters,
         monitor_stats,
+        imbalance,
+        migration_spans,
+        registry,
     }
 }
 
 /// Messages into the collector.
 enum CollectorMsg {
-    Probe { seq: u64, fanout: u32, record: ProbeRecord },
-    InstanceDone { group: usize, id: usize, counters: fastjoin_core::instance::InstanceCounters },
-    MonitorDone { group: usize, stats: MonitorStats },
+    Probe {
+        seq: u64,
+        fanout: u32,
+        record: ProbeRecord,
+    },
+    /// Routing-update round trip measured at the migration source:
+    /// `MigrateCmd` receipt → `RouteUpdated` receipt, in microseconds.
+    RouteFlip {
+        group: usize,
+        epoch: u64,
+        us: u64,
+    },
+    InstanceDone {
+        group: usize,
+        id: usize,
+        counters: fastjoin_core::instance::InstanceCounters,
+        registry: MetricsRegistry,
+    },
+    MonitorDone {
+        group: usize,
+        stats: MonitorStats,
+        spans: Vec<MigrationSpan>,
+        li: Box<TimeSeries>,
+    },
+    DispatcherDone {
+        registry: Box<MetricsRegistry>,
+    },
 }
 
-#[allow(clippy::too_many_arguments)]
-fn instance_loop(
+/// Immutable per-instance-executor context (identity, config, clock).
+struct InstanceCtx<'a> {
     group: usize,
     id: usize,
     side: Side,
-    fj: &FastJoinConfig,
+    fj: &'a FastJoinConfig,
+    /// Bucket width of the executor's sampled time series (µs); one
+    /// monitor period, so samples align with load reports.
+    sample_period_us: u64,
+    now_us: &'a dyn Fn() -> u64,
+}
+
+fn instance_loop(
+    ctx: &InstanceCtx<'_>,
     rx: &Receiver<RtMsg>,
     wiring: &GroupWiring,
     disp_ctrl: &Sender<DispatcherMsg>,
     collector: &Sender<CollectorMsg>,
-    now_us: &dyn Fn() -> u64,
     results: Option<Sender<JoinedPair>>,
 ) {
-    let mut inst = JoinInstance::new(id, side, fj.window);
+    let (group, id, fj, now_us) = (ctx.group, ctx.id, ctx.fj, ctx.now_us);
+    let mut inst = JoinInstance::new(id, ctx.side, fj.window);
     // Pairs are only materialized when a consumer wants them.
     inst.set_emit_pairs(results.is_some());
     inst.set_migration_mode(fj.migration_mode);
@@ -385,12 +484,31 @@ fn instance_loop(
     });
     let mut fx = Effects::new();
     let mut eos = false;
-    // Fan-out of the probe currently being processed, keyed by seq.
+    // Fan-out of every probe received but not yet completed, keyed by seq.
+    // Entries for probes forwarded to a migration target are handed off
+    // with the tuples (see `RtMsg::ProbeHandoff`); at exit the map must be
+    // empty — leaks are counted and asserted on by the collector.
     let mut probe_fanout: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    // `MigrateCmd` receipt time by epoch, closed out by `RouteUpdated` —
+    // the route-flip latency of a migration round this instance sourced.
+    let mut flip_started: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut reg = MetricsRegistry::new();
 
     while let Ok(msg) = rx.recv() {
         match msg {
             RtMsg::Inst(m) => {
+                if let InstanceMsg::MigrateCmd { epoch, .. } = &m {
+                    flip_started.insert(*epoch, now_us());
+                }
+                if let InstanceMsg::RouteUpdated { epoch } = &m {
+                    if let Some(t0) = flip_started.remove(epoch) {
+                        let _ = collector.send(CollectorMsg::RouteFlip {
+                            group,
+                            epoch: *epoch,
+                            us: now_us().saturating_sub(t0),
+                        });
+                    }
+                }
                 inst.handle(m, selector.as_mut(), fj.theta_gap, &mut fx)
                     // lint:allow(a protocol violation in the threaded runtime is unrecoverable)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
@@ -401,41 +519,81 @@ fn instance_loop(
                     // lint:allow(Data never returns a protocol error)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             }
+            RtMsg::ProbeHandoff(entries) => {
+                // Fan-outs of probes a migration source is about to forward
+                // to us; FIFO guarantees they precede the MigForward.
+                reg.counter_add("probe_handoffs_in", entries.len() as u64);
+                probe_fanout.extend(entries);
+            }
             RtMsg::ReportRequest => {
                 inst.collect_expired();
                 let load = inst.take_load_report();
+                let now = now_us();
+                reg.series_record("queue_depth", ctx.sample_period_us, now, rx.len() as f64);
+                let buffered = match inst.migration_state() {
+                    MigrationState::Idle => 0,
+                    MigrationState::Source { buffer, .. } => buffer.len(),
+                    MigrationState::Target { held, .. } => held.len(),
+                };
+                reg.gauge_set("mig_buffered_tuples", buffered as f64);
+                reg.series_record("mig_buffered", ctx.sample_period_us, now, buffered as f64);
                 if let Some(mon) = &wiring.to_monitor {
                     let _ = mon.send(MonitorMsg::Report { id, load });
                 }
             }
             RtMsg::Eos => eos = true,
         }
-        flush_instance_effects(group, id, &mut fx, wiring, disp_ctrl, collector, &results);
+        flush_instance_effects(
+            group,
+            &mut fx,
+            &mut probe_fanout,
+            &mut reg,
+            wiring,
+            disp_ctrl,
+            &results,
+        );
         // Process everything currently pending before taking new input.
         while let Some(work) = inst.process_next(&mut fx) {
             if let Work::Probe { tuple, matches, .. } = work {
-                let fanout = probe_fanout.remove(&tuple.seq).unwrap_or(1);
+                let fanout = probe_fanout
+                    .remove(&tuple.seq)
+                    // lint:allow(accounting invariant: the fan-out arrived with the probe or its hand-off; absence is the bug this layer fixes)
+                    .unwrap_or_else(|| panic!("probe {} has no fan-out entry", tuple.seq));
                 let record = ProbeRecord { matches, latency_us: now_us().saturating_sub(tuple.ts) };
                 let _ = collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
             }
-            flush_instance_effects(group, id, &mut fx, wiring, disp_ctrl, collector, &results);
+            flush_instance_effects(
+                group,
+                &mut fx,
+                &mut probe_fanout,
+                &mut reg,
+                wiring,
+                disp_ctrl,
+                &results,
+            );
         }
         if eos && inst.migration_state().is_idle() {
-            let _ =
-                collector.send(CollectorMsg::InstanceDone { group, id, counters: inst.counters() });
+            // All probes this instance received must have completed here or
+            // been handed off; the collector asserts the sum stays zero.
+            reg.counter_add("probe_fanout_leaked", probe_fanout.len() as u64);
+            let _ = collector.send(CollectorMsg::InstanceDone {
+                group,
+                id,
+                counters: inst.counters(),
+                registry: reg,
+            });
             break;
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn flush_instance_effects(
     group: usize,
-    _id: usize,
     fx: &mut Effects,
+    probe_fanout: &mut std::collections::HashMap<u64, u32>,
+    reg: &mut MetricsRegistry,
     wiring: &GroupWiring,
     disp_ctrl: &Sender<DispatcherMsg>,
-    _collector: &Sender<CollectorMsg>,
     results: &Option<Sender<JoinedPair>>,
 ) {
     if let Some(tx) = results {
@@ -446,6 +604,23 @@ fn flush_instance_effects(
         fx.joined.clear(); // pairs are not materialized without a consumer
     }
     for (to, msg) in fx.sends.drain(..) {
+        if let InstanceMsg::MigForward { tuples, .. } = &msg {
+            // Probe-side tuples in the forwarded buffer take their fan-out
+            // entries with them; sending the hand-off on the same channel
+            // first means the target owns the entries before the tuples
+            // arrive (per-channel FIFO). Store-side tuples have no entry
+            // and are skipped by the lookup.
+            let entries: Vec<(u64, u32)> = tuples
+                .iter()
+                .filter_map(|t| probe_fanout.remove(&t.seq).map(|f| (t.seq, f)))
+                .collect();
+            if !entries.is_empty() {
+                reg.counter_add("probe_handoffs_out", entries.len() as u64);
+                if let Some(ch) = wiring.to_instances.get(to) {
+                    let _ = ch.send(RtMsg::ProbeHandoff(entries));
+                }
+            }
+        }
         let _ = wiring.to_instances[to].send(RtMsg::Inst(msg)); // lint:allow(protocol contract: peer ids are valid instance indices)
     }
     for req in fx.route_requests.drain(..) {
@@ -470,8 +645,12 @@ fn monitor_loop(
     now_us: &dyn Fn() -> u64,
 ) {
     let n = to_instances.len();
-    // The runtime's monitor clock is wall-clock milliseconds.
-    let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown / 1000);
+    // The runtime's monitor clock is wall-clock milliseconds; the µs
+    // cooldown goes through the one sanctioned conversion (rounds up, so
+    // a sub-millisecond cooldown can never truncate to "disabled").
+    let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown_ms());
+    // Live LI trace (the paper's Fig. 11), one bucket per monitor tick.
+    let mut li = TimeSeries::new((period.as_micros() as u64).max(1));
     let mut quiescing = false;
     let mut acked = false;
     let mut next_tick = Instant::now() + period;
@@ -487,6 +666,7 @@ fn monitor_loop(
             Ok(MonitorMsg::Quiesce) => quiescing = true,
             Err(RecvTimeoutError::Timeout) => {
                 next_tick += period;
+                li.record(now_us(), monitor.imbalance());
                 for tx in to_instances {
                     let _ = tx.send(RtMsg::ReportRequest);
                 }
@@ -504,5 +684,13 @@ fn monitor_loop(
             acked = true;
         }
     }
-    let _ = collector.send(CollectorMsg::MonitorDone { group, stats: monitor.stats() });
+    // Close the LI trace with a final sample so even runs shorter than one
+    // monitor period report a (possibly single-point) series.
+    li.record(now_us(), monitor.imbalance());
+    let _ = collector.send(CollectorMsg::MonitorDone {
+        group,
+        stats: monitor.stats(),
+        spans: monitor.spans().to_vec(),
+        li: Box::new(li),
+    });
 }

@@ -93,6 +93,71 @@ fn skewed_workload_triggers_real_migrations() {
 }
 
 #[test]
+fn migrated_probes_account_exactly_once() {
+    // Regression for the probe fan-out accounting bug: probes buffered at a
+    // migration source used to lose their fan-out entries when forwarded
+    // (the source leaked them; the target guessed a fan-out of 1). The
+    // collector now keeps a checked ledger and the source hands the
+    // entries off with the tuples, so every probe — migrated or not —
+    // yields exactly one latency sample and the maps drain to empty.
+    //
+    // Migration timing is scheduler-dependent, so the hand-off-observed
+    // assertion retries; the exact-count invariants must hold on EVERY run
+    // (and the topology itself panics on any ledger violation or leak).
+    //
+    // Workload shape matters: GreedyFit's strict `Gap > F_k` test never
+    // moves a single ultra-hot key, so the skew is spread over twelve
+    // medium-hot keys — each carries enough probe traffic that a probe is
+    // regularly in flight when its key migrates. An aggressive monitor
+    // cadence (2 ms period, 2 ms cooldown, θ = 1.2) yields hundreds of
+    // rounds per run, so virtually every run observes a hand-off.
+    let mut tuples = Vec::new();
+    for i in 0..30_000u64 {
+        let key = if i % 4 != 0 { 1000 + (i % 12) } else { i % 97 };
+        if i % 5 == 0 {
+            tuples.push(Tuple::r(key, 0, i));
+        } else {
+            tuples.push(Tuple::s(key, 0, i));
+        }
+    }
+    let mut c = cfg(SystemKind::FastJoin, 4);
+    c.fastjoin.theta = 1.2;
+    c.fastjoin.migration_cooldown = 2_000; // 2 ms
+    c.monitor_period_ms = 2;
+    c.rate_limit = Some(60_000.0); // ~500 ms run, ~250 monitor periods
+    let mut saw_handoff = false;
+    for attempt in 0..5 {
+        let report = run_topology(&c, tuples.clone());
+        // Exactly one completion and one latency sample per probe.
+        assert_eq!(report.probes_total, 30_000, "attempt {attempt}: every tuple probes once");
+        assert_eq!(
+            report.latency.count(),
+            30_000,
+            "attempt {attempt}: exactly one latency sample per probe"
+        );
+        // No instance may exit with fan-out entries still in its map.
+        assert_eq!(report.registry.counter_sum("probe_fanout_leaked"), 0);
+        let out = report.registry.counter_sum("probe_handoffs_out");
+        let inn = report.registry.counter_sum("probe_handoffs_in");
+        assert_eq!(out, inn, "attempt {attempt}: handed-off entries must all arrive");
+        if report.migrations() > 0 && out > 0 {
+            // At least one probe crossed a migration and was still counted
+            // exactly once — the scenario the old accounting corrupted.
+            saw_handoff = true;
+            // Observability: the effective rounds left complete spans.
+            let spans: Vec<_> = report.migration_spans.iter().flatten().collect();
+            assert!(!spans.is_empty(), "migrations ran but no spans were traced");
+            for s in spans {
+                assert!(s.completed_at >= s.triggered_at, "span clock went backwards: {s:?}");
+                assert_eq!(s.effective, s.keys_moved > 0);
+            }
+            break;
+        }
+    }
+    assert!(saw_handoff, "no run migrated a key with probes in flight; tune the workload");
+}
+
+#[test]
 fn windowed_topology_respects_the_window() {
     // All R tuples are ingested (and thus timestamped) well before the S
     // probes; with a tiny window nothing matches, with a huge one all do.

@@ -100,6 +100,9 @@ pub struct SimReport {
     pub final_stored_r: Vec<u64>,
     /// Per-instance total busy time, µs: `[R group, S group]`.
     pub busy_us: [Vec<u64>; 2],
+    /// Completed migration-round spans per group, oldest first (empty for
+    /// static systems). Clock fields are simulated microseconds.
+    pub migration_spans: [Vec<fastjoin_core::metrics::MigrationSpan>; 2],
 }
 
 impl SimReport {
@@ -132,6 +135,46 @@ impl SimReport {
     #[must_use]
     pub fn migrations(&self) -> u64 {
         self.monitor_stats.iter().flatten().map(|s| s.triggered).sum()
+    }
+
+    /// The report as a JSON tree, sharing the runtime report's key names
+    /// (`duration_us`, `latency_us`, `throughput`, `groups[*].monitor`,
+    /// `groups[*].imbalance`, `groups[*].migration_spans`) so downstream
+    /// tooling can read either engine's output. Clock fields are simulated
+    /// microseconds; the LI series covers the R group only (Fig. 11), so
+    /// it appears under `groups[0]`.
+    #[must_use]
+    pub fn to_json(&self) -> fastjoin_core::json::Json {
+        use fastjoin_core::json::Json;
+        use fastjoin_core::metrics::MigrationSpan;
+        let group = |g: usize| -> Json {
+            let stats = self.monitor_stats[g].as_ref().map(|s| {
+                Json::obj(vec![
+                    ("triggered", Json::uint(s.triggered)),
+                    ("effective", Json::uint(s.effective)),
+                    ("abandoned", Json::uint(s.abandoned)),
+                    ("tuples_moved", Json::uint(s.tuples_moved)),
+                    ("keys_moved", Json::uint(s.keys_moved)),
+                ])
+            });
+            let li = (g == 0).then(|| self.metrics.imbalance.to_json());
+            Json::obj(vec![
+                ("monitor", stats.into()),
+                ("imbalance", li.into()),
+                (
+                    "migration_spans",
+                    Json::arr(self.migration_spans[g].iter().map(MigrationSpan::to_json)),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            ("duration_us", Json::uint(self.duration)),
+            ("tuples_ingested", Json::uint(self.tuples_ingested)),
+            ("results_total", Json::uint(self.results_total)),
+            ("latency_us", self.metrics.latency_hist.to_json()),
+            ("throughput", self.metrics.throughput.to_json()),
+            ("groups", Json::arr(vec![group(0), group(1)])),
+        ])
     }
 }
 
@@ -305,6 +348,10 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             busy_us: [
                 self.groups[0].servers.iter().map(|s| s.busy_us).collect(),
                 self.groups[1].servers.iter().map(|s| s.busy_us).collect(),
+            ],
+            migration_spans: [
+                self.groups[0].monitor.as_ref().map(|m| m.spans().to_vec()).unwrap_or_default(),
+                self.groups[1].monitor.as_ref().map(|m| m.spans().to_vec()).unwrap_or_default(),
             ],
         }
     }
@@ -661,6 +708,33 @@ mod tests {
             expected += c * c;
         }
         assert_eq!(report.results_total, expected);
+    }
+
+    #[test]
+    fn spans_and_json_cover_migrated_runs() {
+        let mut cfg = base_cfg(4);
+        cfg.fastjoin.theta = 1.5;
+        let mut tuples = Vec::new();
+        let mut ts = 0u64;
+        for i in 0..4000u64 {
+            ts += 100;
+            let key = if i % 2 == 0 { 999 } else { i % 37 };
+            tuples.push(Tuple::r(key, ts, 0));
+            tuples.push(Tuple::s(key, ts, 0));
+        }
+        let report = Simulation::new(cfg, tuples.into_iter()).run();
+        assert!(report.migrations() > 0);
+        let spans: Vec<_> = report.migration_spans.iter().flatten().collect();
+        assert_eq!(spans.len() as u64, report.migrations(), "one span per completed round");
+        for s in &spans {
+            assert!(s.completed_at >= s.triggered_at);
+            assert!(s.imbalance_at_trigger > 1.5, "rounds only trigger above theta");
+            assert_eq!(s.effective, s.keys_moved > 0);
+        }
+        let rendered = report.to_json().to_string_compact();
+        for key in ["\"duration_us\"", "\"latency_us\"", "\"migration_spans\"", "\"imbalance\""] {
+            assert!(rendered.contains(key), "missing {key}");
+        }
     }
 
     #[test]

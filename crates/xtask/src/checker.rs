@@ -174,9 +174,12 @@ impl KeySelector for FixedSelector {
         _keys: &[KeyStat],
         _theta_gap: f64,
     ) -> MigrationPlan {
+        // The benefit must be positive: instances abandon zero-benefit
+        // plans (they rebalance nothing), and an abandoned round would
+        // make every exploration migration-free and the check vacuous.
         MigrationPlan {
             keys: vec![HOT_KEY],
-            total_benefit: 0.0,
+            total_benefit: 1.0,
             tuples_to_move: 0,
             predicted_delta: 0.0,
         }

@@ -228,6 +228,24 @@ pub mod channel {
             }
         }
 
+        /// Number of messages currently queued (racy by nature — by the
+        /// time the caller looks at it the queue may have changed; fine
+        /// for monitoring, wrong for synchronization). Matches real
+        /// crossbeam's `Receiver::len`.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            match self.shared.state.lock() {
+                Ok(g) => g.queue.len(),
+                Err(p) => p.into_inner().queue.len(),
+            }
+        }
+
+        /// True when no messages are queued; see [`Receiver::len`].
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Iterates over received messages until the channel disconnects.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }

@@ -12,6 +12,7 @@
 //!                       [--rate N] [--theta F]
 //! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
 //! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
+//! fastjoin-cli bench    [--out PATH]   # observability smoke suite → BENCH_smoke.json
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
@@ -242,8 +243,143 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The observability smoke suite: three short threaded-topology runs
+/// (skewed, uniform, windowed) whose reports are written as one JSON file
+/// and validated for the series CI depends on. A missing required series
+/// (throughput, latency percentiles, LI, or — on the skewed run — at least
+/// one migration span) is an error, so the CI job fails rather than
+/// silently uploading a hollow artifact.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use fastjoin::core::config::{FastJoinConfig, WindowConfig};
+    use fastjoin::core::json::Json;
+    use fastjoin::runtime::RuntimeReport;
+
+    let out = args.get_str("out", "BENCH_smoke.json");
+    let base = |n: usize| RuntimeConfig {
+        system: SystemKind::FastJoin,
+        fastjoin: FastJoinConfig {
+            instances_per_group: n,
+            theta: 1.5,
+            migration_cooldown: 50_000,
+            ..FastJoinConfig::default()
+        },
+        queue_cap: 256,
+        monitor_period_ms: 20,
+        rate_limit: None,
+    };
+
+    // Skewed: one hot key carries 3/4 of the traffic; throttled so the run
+    // spans many monitor ticks and real migration rounds happen. Retried a
+    // few times because migration timing is scheduler-dependent.
+    let skewed_workload = || {
+        (0..30_000u64)
+            .map(|i| {
+                let key = if i % 4 != 0 { 999 } else { i % 97 };
+                if i % 5 == 0 {
+                    Tuple::r(key, 0, i)
+                } else {
+                    Tuple::s(key, 0, i)
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut skewed = None;
+    for _ in 0..3 {
+        let mut cfg = base(4);
+        cfg.rate_limit = Some(60_000.0);
+        let report = run_topology(&cfg, skewed_workload());
+        let has_span = report.migration_spans.iter().any(|s| !s.is_empty());
+        let keep = skewed.is_none() || has_span;
+        if keep {
+            skewed = Some(report);
+        }
+        if has_span {
+            break;
+        }
+    }
+    let skewed = skewed.expect("at least one skewed run completed");
+
+    // Uniform: every key equally hot; exercises the static happy path.
+    let uniform: Vec<Tuple> = (0..20u64)
+        .flat_map(|i| (0..10u64).flat_map(move |k| [Tuple::r(k, 0, i), Tuple::s(k, 0, i)]))
+        .collect();
+    let uniform = run_topology(&base(4), uniform);
+
+    // Windowed: a sliding window over a throttled stream (expiry path).
+    let mut wcfg = base(2);
+    wcfg.fastjoin.window = Some(WindowConfig { sub_windows: 4, sub_window_len: 50_000 });
+    wcfg.rate_limit = Some(20_000.0);
+    let windowed_workload: Vec<Tuple> = (0..2_000u64)
+        .map(|i| if i % 2 == 0 { Tuple::r(i % 13, 0, i) } else { Tuple::s(i % 13, 0, i) })
+        .collect();
+    let windowed = run_topology(&wcfg, windowed_workload);
+
+    // Validate before writing: the suite's contract with CI.
+    let mut failures = Vec::new();
+    let mut check = |name: &str, r: &RuntimeReport, expect_migration: bool| {
+        if r.probes_total == 0 {
+            failures.push(format!("{name}: no probes completed"));
+        }
+        if r.throughput.is_empty() {
+            failures.push(format!("{name}: throughput series is empty"));
+        }
+        if r.latency.count() == 0
+            || r.latency.quantile(0.5).is_none()
+            || r.latency.quantile(0.99).is_none()
+        {
+            failures.push(format!("{name}: latency percentiles missing"));
+        }
+        if r.imbalance
+            .iter()
+            .all(|s| s.as_ref().is_none_or(fastjoin::core::metrics::TimeSeries::is_empty))
+        {
+            failures.push(format!("{name}: no LI (imbalance) series recorded"));
+        }
+        if expect_migration {
+            if r.migrations() == 0 {
+                failures.push(format!("{name}: skewed run triggered no migrations"));
+            }
+            if r.migration_spans.iter().all(Vec::is_empty) {
+                failures.push(format!("{name}: no migration spans traced"));
+            }
+        }
+    };
+    check("skewed", &skewed, true);
+    check("uniform", &uniform, false);
+    check("windowed", &windowed, false);
+
+    let doc = Json::obj(vec![
+        ("schema_version", Json::uint(1)),
+        ("suite", Json::str("fastjoin bench smoke")),
+        (
+            "workloads",
+            Json::obj(vec![
+                ("skewed", skewed.to_json()),
+                ("uniform", uniform.to_json()),
+                ("windowed", windowed.to_json()),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    println!(
+        "skewed : {} results, {} migrations, {} spans, p99 latency {} µs",
+        skewed.results_total,
+        skewed.migrations(),
+        skewed.migration_spans.iter().map(Vec::len).sum::<usize>(),
+        skewed.latency.quantile(0.99).unwrap_or(0)
+    );
+    println!("uniform: {} results", uniform.results_total);
+    println!("windowed: {} results", windowed.results_total);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("bench report incomplete:\n  {}", failures.join("\n  ")))
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: fastjoin-cli <simulate|compare|topology|census|gen> [--flag value]...\n\
+    "usage: fastjoin-cli <simulate|compare|topology|census|gen|bench> [--flag value]...\n\
      see the module docs (cargo doc) or the README for the full flag list"
 }
 
@@ -259,6 +395,7 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&args),
         "census" => cmd_census(&args),
         "gen" => cmd_gen(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     });
     match result {
