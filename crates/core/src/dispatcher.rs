@@ -132,6 +132,36 @@ impl Dispatcher {
     pub fn apply_route(&mut self, group_side: Side, req: &RouteRequest) -> bool {
         self.parts[group_side.index()].apply_migration(&req.keys, req.target) // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
     }
+
+    /// Stages a routing update for the group storing `group_side`: routes
+    /// flip immediately, but [`Dispatcher::revert_route`] can still roll
+    /// them back until [`Dispatcher::commit_route`] (or a later stage)
+    /// makes them permanent. Returns `true` if the partitioner supports
+    /// migration.
+    pub fn stage_route(&mut self, group_side: Side, req: &RouteRequest) -> bool {
+        // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+        self.parts[group_side.index()].stage_migration(req.epoch, &req.keys, req.target)
+    }
+
+    /// Commits the staged routing update for `epoch` in the group storing
+    /// `group_side`. Returns whether a stage was committed.
+    pub fn commit_route(&mut self, group_side: Side, epoch: u64) -> bool {
+        self.parts[group_side.index()].commit_migration(epoch) // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+    }
+
+    /// Rolls back the staged routing update for `epoch` in the group
+    /// storing `group_side`, restoring the last committed routes. Returns
+    /// whether anything was reverted.
+    pub fn revert_route(&mut self, group_side: Side, epoch: u64) -> bool {
+        self.parts[group_side.index()].revert_migration(epoch) // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+    }
+
+    /// Monotonic routing version of the group storing `group_side`
+    /// (0 when the strategy is unversioned).
+    #[must_use]
+    pub fn route_version(&self, group_side: Side) -> u64 {
+        self.parts[group_side.index()].route_version() // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+    }
 }
 
 impl std::fmt::Debug for Dispatcher {
@@ -222,6 +252,26 @@ mod tests {
             d.apply_route(Side::R, &RouteRequest { epoch: 1, keys: vec![7], target: 5, source: 0 });
         assert!(applied);
         assert_eq!(d.dispatch(Tuple::r(7, 0, 0)).store_dest, 5);
+    }
+
+    #[test]
+    fn staged_route_reverts_to_last_committed_table() {
+        let mut d = hash_dispatcher(4);
+        let key = 7;
+        let before = d.dispatch(Tuple::r(key, 0, 0));
+        let target = (before.store_dest + 1) % 4;
+        let req = RouteRequest { epoch: 3, keys: vec![key], target, source: before.store_dest };
+        let v0 = d.route_version(Side::R);
+        assert!(d.stage_route(Side::R, &req));
+        assert_eq!(d.dispatch(Tuple::r(key, 1, 0)).store_dest, target);
+        assert!(d.revert_route(Side::R, 3));
+        assert_eq!(d.dispatch(Tuple::r(key, 2, 0)).store_dest, before.store_dest);
+        assert!(d.route_version(Side::R) >= v0 + 2, "stage + revert bump the version twice");
+        // Committed stages are final.
+        assert!(d.stage_route(Side::R, &RouteRequest { epoch: 4, ..req.clone() }));
+        assert!(d.commit_route(Side::R, 4));
+        assert!(!d.revert_route(Side::R, 4));
+        assert_eq!(d.dispatch(Tuple::r(key, 3, 0)).store_dest, target);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! assumption the migration protocol preserves per-key tuple order, which
 //! is what makes the join exactly-once (see `tests/completeness.rs`).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::config::{MigrationMode, WindowConfig};
 use crate::load::{InstanceLoad, KeyStat};
@@ -69,6 +69,10 @@ pub struct JoinInstance {
     /// Largest event time seen (watermark for GC).
     watermark: Timestamp,
     mig: MigrationState,
+    /// Epochs whose abort reached this instance before (or instead of) the
+    /// `MigrateCmd` that would have opened them — such a command must be
+    /// dropped silently, the round is already closed at the monitor.
+    aborted_epochs: HashSet<u64>,
     /// When false, probes count matches but do not materialize
     /// [`JoinedPair`]s into the effects (used by the simulator, which only
     /// needs counts — materializing billions of pairs would dominate the
@@ -112,6 +116,7 @@ impl JoinInstance {
             last_probe_arrivals_by_key: HashMap::new(),
             watermark: 0,
             mig: MigrationState::Idle,
+            aborted_epochs: HashSet::new(),
             emit_pairs: true,
             stats: InstanceCounters::default(),
         }
@@ -243,6 +248,12 @@ impl JoinInstance {
         match msg {
             InstanceMsg::Data(t) => self.on_data(t),
             InstanceMsg::MigrateCmd { epoch, target, target_load } => {
+                if self.aborted_epochs.remove(&epoch) {
+                    // The monitor aborted this round before the command
+                    // arrived (abort and command travel different
+                    // channels); the round is already closed — drop it.
+                    return Ok(());
+                }
                 self.on_migrate_cmd(epoch, target, target_load, selector, theta_gap, fx)?;
             }
             InstanceMsg::MigStart { epoch, from, keys } => {
@@ -340,6 +351,106 @@ impl JoinInstance {
                     keys_moved: keys.len(),
                 });
             }
+            InstanceMsg::MigAbort { epoch } => self.on_mig_abort(epoch, fx)?,
+            InstanceMsg::MigReturn { epoch, stored, inflight } => {
+                let MigrationState::Aborting { epoch: e, .. } = &self.mig else {
+                    return Err(ProtocolError::UnexpectedAbort {
+                        instance: self.id,
+                        msg: "MigReturn",
+                    });
+                };
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigReturn",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
+                let MigrationState::Aborting { buffer, .. } =
+                    std::mem::replace(&mut self.mig, MigrationState::Idle)
+                else {
+                    unreachable!("checked above"); // lint:allow(role verified two lines up)
+                };
+                // Restore the extracted store, then replay everything that
+                // piled up during the round in arrival order: data the
+                // target held (always empty pre-flip) before data buffered
+                // here. Each tuple is processed exactly once, so the join
+                // output is indistinguishable from a round never triggered.
+                let min_ts = self.min_ts(self.watermark);
+                let _ = self.store.install(stored, min_ts);
+                for t in inflight {
+                    self.push_pending(t);
+                }
+                for t in buffer {
+                    self.push_pending(t);
+                }
+                // The rollback is complete and this instance is idle again;
+                // tell the monitor so it can close the aborted round.
+                fx.migration_done.push(MigrationDone { epoch, tuples_moved: 0, keys_moved: 0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles [`InstanceMsg::MigAbort`], whose meaning depends on role:
+    /// at the round's source (sent by the dispatcher in place of
+    /// `RouteUpdated`) it starts the rollback; at the target (relayed by
+    /// the source behind `MigStart`/`MigStore`) it returns the round's
+    /// payload; at an idle instance it acknowledges a round whose
+    /// `MigrateCmd` never engaged.
+    fn on_mig_abort(&mut self, epoch: u64, fx: &mut Effects) -> Result<(), ProtocolError> {
+        match &self.mig {
+            MigrationState::Source { epoch: e, .. } => {
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigAbort",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
+                let MigrationState::Source { target, keys, buffer, .. } =
+                    std::mem::replace(&mut self.mig, MigrationState::Idle)
+                else {
+                    unreachable!("checked above"); // lint:allow(role verified two lines up)
+                };
+                // Relay on the same channel that carried MigStart/MigStore:
+                // FIFO guarantees the target is engaged when it arrives.
+                fx.sends.push((target, InstanceMsg::MigAbort { epoch }));
+                self.mig = MigrationState::Aborting { epoch, keys, buffer };
+            }
+            MigrationState::Target { epoch: e, .. } => {
+                if *e != epoch {
+                    return Err(ProtocolError::EpochMismatch {
+                        instance: self.id,
+                        msg: "MigAbort",
+                        expected: *e,
+                        got: epoch,
+                    });
+                }
+                let MigrationState::Target { from, keys, held, .. } =
+                    std::mem::replace(&mut self.mig, MigrationState::Idle)
+                else {
+                    unreachable!("checked above"); // lint:allow(role verified two lines up)
+                };
+                // Hand everything back: the stored tuples installed so far
+                // and any held dispatcher data (none pre-flip).
+                let key_list: Vec<Key> = keys.iter().copied().collect();
+                let stored = self.store.extract_keys(&key_list);
+                fx.sends.push((from, InstanceMsg::MigReturn { epoch, stored, inflight: held }));
+            }
+            MigrationState::Idle => {
+                // The round never engaged here (MigrateCmd dropped or still
+                // in flight). Remember the epoch so a late command is
+                // ignored, and acknowledge so the monitor can close the
+                // round.
+                self.aborted_epochs.insert(epoch);
+                fx.migration_done.push(MigrationDone { epoch, tuples_moved: 0, keys_moved: 0 });
+            }
+            MigrationState::Aborting { .. } => {
+                return Err(ProtocolError::UnexpectedAbort { instance: self.id, msg: "MigAbort" });
+            }
         }
         Ok(())
     }
@@ -360,6 +471,12 @@ impl JoinInstance {
                 if keys.contains(&t.key) && self.migration_mode == MigrationMode::Safe =>
             {
                 held.push(t);
+            }
+            // A rollback in progress: selected-key data keeps buffering
+            // until MigReturn restores the store, exactly as in the Source
+            // state — probing before the store is back would lose matches.
+            MigrationState::Aborting { keys, buffer, .. } if keys.contains(&t.key) => {
+                buffer.push(t);
             }
             // In NaiveNotifyFirst mode newly routed data races the store
             // transfer — the incompleteness the paper warns about.
@@ -440,11 +557,20 @@ impl JoinInstance {
                 got: epoch,
             });
         }
-        let MigrationState::Source { target, buffer, .. } =
+        let MigrationState::Source { target, keys, buffer, .. } =
             std::mem::replace(&mut self.mig, MigrationState::Idle)
         else {
             unreachable!("checked above"); // lint:allow(role verified two lines up)
         };
+        // The migrated keys no longer route here. Their per-key probe
+        // stats must go with them: a stale entry would let a later
+        // `MigrateCmd` re-select a departed key (stored = 0 but φ > 0)
+        // and flip its route away from the instance that actually holds
+        // its store — silently dropping every subsequent match.
+        for k in &keys {
+            self.probe_arrivals_by_key.remove(k);
+            self.last_probe_arrivals_by_key.remove(k);
+        }
         fx.sends.push((target, InstanceMsg::MigForward { epoch, tuples: buffer }));
         fx.sends.push((target, InstanceMsg::MigEnd { epoch, from: self.id }));
         // MigrationDone is reported by the *target* when it processes
@@ -705,6 +831,53 @@ mod tests {
     }
 
     #[test]
+    fn migrated_keys_leave_the_source_key_stats() {
+        // Regression (found by the chaos suite): after a round completed,
+        // the source's frozen per-key φ still listed the departed keys.
+        // A prompt follow-up MigrateCmd could re-select such a key
+        // (stored = 0, φ > 0) and flip its route away from the instance
+        // that actually holds its store, losing every later match.
+        let mut inst = JoinInstance::new(0, Side::R, None);
+        let mut fx = Effects::new();
+        let mut sel = GreedyFit::new();
+        for seq in 0..40 {
+            inst.handle(data(Side::R, 7, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        for seq in 40..44 {
+            inst.handle(data(Side::R, 2, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        while inst.process_next(&mut fx).is_some() {}
+        for seq in 50..70 {
+            inst.handle(data(Side::S, 7, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+            inst.handle(data(Side::S, 2, seq + 100, seq + 100), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        let _ = inst.take_load_report();
+        fx.clear();
+        inst.handle(
+            InstanceMsg::MigrateCmd { epoch: 1, target: 2, target_load: InstanceLoad::new(0, 0) },
+            &mut sel,
+            0.0,
+            &mut fx,
+        )
+        .unwrap();
+        let MigrationState::Source { keys, .. } = inst.migration_state() else {
+            panic!("a key must be selected");
+        };
+        let moved: Vec<u64> = keys.iter().copied().collect();
+        assert!(!moved.is_empty());
+        // In-flight probe of a departing key, then the flip confirmation.
+        inst.handle(data(Side::S, moved[0], 100, 100), &mut sel, 0.0, &mut fx).unwrap();
+        inst.handle(InstanceMsg::RouteUpdated { epoch: 1 }, &mut sel, 0.0, &mut fx).unwrap();
+        assert!(inst.migration_state().is_idle());
+        // Neither the frozen period nor the live one may still carry a
+        // departed key — not now, and not after the next period rolls over.
+        let gone = |inst: &JoinInstance| inst.key_stats().iter().all(|s| !moved.contains(&s.key));
+        assert!(gone(&inst), "stale φ for a departed key");
+        let _ = inst.take_load_report();
+        assert!(gone(&inst), "stale φ survived the rollover");
+    }
+
+    #[test]
     fn target_holds_until_mig_end() {
         let mut inst = JoinInstance::new(3, Side::R, None);
         let mut fx = Effects::new();
@@ -754,6 +927,147 @@ mod tests {
         assert_eq!(fx.joined.len(), 2);
         let seqs: Vec<u64> = fx.joined.iter().map(|p| p.right.seq).collect();
         assert_eq!(seqs, vec![8, 9], "forwarded data must be processed before held data");
+    }
+
+    /// Builds a skewed source instance (hot key 1, cold key 2) with frozen
+    /// probe statistics, ready to act on a `MigrateCmd`.
+    fn skewed_source() -> JoinInstance {
+        let mut inst = JoinInstance::new(0, Side::R, None);
+        let mut fx = Effects::new();
+        let mut sel = GreedyFit::new();
+        for seq in 0..50 {
+            inst.handle(data(Side::R, 1, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        for seq in 50..54 {
+            inst.handle(data(Side::R, 2, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        while inst.process_next(&mut fx).is_some() {}
+        for seq in 60..70 {
+            inst.handle(data(Side::S, 1, seq, seq), &mut sel, 0.0, &mut fx).unwrap();
+            inst.handle(data(Side::S, 2, seq + 100, seq + 100), &mut sel, 0.0, &mut fx).unwrap();
+        }
+        while inst.process_next(&mut fx).is_some() {}
+        let _ = inst.take_load_report();
+        inst
+    }
+
+    #[test]
+    fn aborted_round_rolls_back_and_joins_exactly_once() {
+        let mut src = skewed_source();
+        let mut tgt = JoinInstance::new(3, Side::R, None);
+        let mut sel = GreedyFit::new();
+        let mut fx = Effects::new();
+        let stored_before = src.store().len();
+        src.handle(
+            InstanceMsg::MigrateCmd { epoch: 1, target: 3, target_load: InstanceLoad::new(0, 0) },
+            &mut sel,
+            0.0,
+            &mut fx,
+        )
+        .unwrap();
+        assert!(matches!(src.migration_state(), MigrationState::Source { .. }));
+        // Deliver MigStart + MigStore to the target.
+        let sends = std::mem::take(&mut fx.sends);
+        let migrated_key = sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                InstanceMsg::MigStart { keys, .. } => Some(keys[0]),
+                _ => None,
+            })
+            .unwrap();
+        for (_, m) in sends {
+            tgt.handle(m, &mut sel, 0.0, &mut fx).unwrap();
+        }
+        assert!(!tgt.store().is_empty(), "target installed the payload");
+        // A probe for the migrated key arrives at the source mid-round.
+        src.handle(data(Side::S, migrated_key, 999, 999), &mut sel, 0.0, &mut fx).unwrap();
+
+        // The dispatcher aborts instead of confirming the route flip.
+        fx.clear();
+        src.handle(InstanceMsg::MigAbort { epoch: 1 }, &mut sel, 0.0, &mut fx).unwrap();
+        assert!(matches!(src.migration_state(), MigrationState::Aborting { .. }));
+        let relayed = std::mem::take(&mut fx.sends);
+        assert!(
+            matches!(relayed.as_slice(), [(3, InstanceMsg::MigAbort { epoch: 1 })]),
+            "source must relay the abort to its target: {relayed:?}"
+        );
+        // More selected-key data during the rollback keeps buffering.
+        src.handle(data(Side::S, migrated_key, 1000, 1000), &mut sel, 0.0, &mut fx).unwrap();
+        assert_eq!(src.pending_len(), 0, "selected-key data must bypass the queue");
+
+        // The target hands everything back and goes idle.
+        fx.clear();
+        tgt.handle(InstanceMsg::MigAbort { epoch: 1 }, &mut sel, 0.0, &mut fx).unwrap();
+        assert!(tgt.migration_state().is_idle());
+        assert_eq!(tgt.store().len(), 0, "the returned payload leaves the target's store");
+        let back = std::mem::take(&mut fx.sends);
+        let (dest, ret) = back.into_iter().next().expect("target must send MigReturn");
+        assert_eq!(dest, 0);
+
+        // The source restores its store and replays the buffer.
+        fx.clear();
+        src.handle(ret, &mut sel, 0.0, &mut fx).unwrap();
+        assert!(src.migration_state().is_idle());
+        assert_eq!(src.store().len(), stored_before, "rollback must restore the store");
+        assert_eq!(
+            fx.migration_done.as_slice(),
+            &[MigrationDone { epoch: 1, tuples_moved: 0, keys_moved: 0 }],
+            "the source acks the rollback so the monitor can close the round"
+        );
+        // The two buffered probes join the restored store exactly once.
+        let hot_bucket = src.store().probe_bucket_len(migrated_key);
+        fx.clear();
+        while src.process_next(&mut fx).is_some() {}
+        assert_eq!(fx.joined.len() as u64, 2 * hot_bucket);
+    }
+
+    #[test]
+    fn abort_at_idle_instance_acks_and_drops_the_late_command() {
+        let mut inst = skewed_source();
+        let mut sel = GreedyFit::new();
+        let mut fx = Effects::new();
+        // Abort overtakes the command.
+        inst.handle(InstanceMsg::MigAbort { epoch: 5 }, &mut sel, 0.0, &mut fx).unwrap();
+        assert_eq!(
+            fx.migration_done.as_slice(),
+            &[MigrationDone { epoch: 5, tuples_moved: 0, keys_moved: 0 }]
+        );
+        // The late command for the aborted epoch is dropped silently…
+        fx.clear();
+        inst.handle(
+            InstanceMsg::MigrateCmd { epoch: 5, target: 3, target_load: InstanceLoad::new(0, 0) },
+            &mut sel,
+            0.0,
+            &mut fx,
+        )
+        .unwrap();
+        assert!(inst.migration_state().is_idle());
+        assert!(fx.is_empty(), "aborted-epoch MigrateCmd must have no effect");
+        // …but a later round engages normally.
+        inst.handle(
+            InstanceMsg::MigrateCmd { epoch: 6, target: 3, target_load: InstanceLoad::new(0, 0) },
+            &mut sel,
+            0.0,
+            &mut fx,
+        )
+        .unwrap();
+        assert!(matches!(inst.migration_state(), MigrationState::Source { epoch: 6, .. }));
+    }
+
+    #[test]
+    fn mig_return_outside_a_rollback_is_an_error() {
+        let mut inst = JoinInstance::new(1, Side::R, None);
+        let mut sel = GreedyFit::new();
+        let mut fx = Effects::new();
+        let err = inst
+            .handle(
+                InstanceMsg::MigReturn { epoch: 1, stored: vec![], inflight: vec![] },
+                &mut sel,
+                0.0,
+                &mut fx,
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::UnexpectedAbort { instance: 1, msg: "MigReturn" });
     }
 
     #[test]

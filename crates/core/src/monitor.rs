@@ -7,7 +7,7 @@
 //! group is in flight at a time, and a cooldown keeps rounds apart (the
 //! paper: "the migration can never take place frequently").
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use crate::load::{InstanceLoad, LoadTable};
 use crate::metrics::MigrationSpan;
@@ -32,10 +32,39 @@ pub struct MonitorStats {
     pub effective: u64,
     /// Rounds abandoned by selection (nothing worth moving).
     pub abandoned: u64,
+    /// Rounds aborted by the round-timeout watchdog and rolled back.
+    pub aborted: u64,
     /// Total stored tuples physically migrated.
     pub tuples_moved: u64,
     /// Total keys migrated.
     pub keys_moved: u64,
+}
+
+/// A request, produced by [`Monitor::check_deadline`], to abort the
+/// in-flight round: the engine must ask the dispatcher whether the round's
+/// route flip already happened and report back with
+/// [`Monitor::on_abort_outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortRequest {
+    /// The overdue round.
+    pub epoch: Epoch,
+    /// The round's source instance (receives `MigAbort` if the dispatcher
+    /// accepts the abort).
+    pub source: usize,
+    /// The round's target instance.
+    pub target: usize,
+}
+
+/// Where the in-flight round stands with respect to the abort watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortState {
+    /// No abort in progress.
+    None,
+    /// The deadline fired; waiting for the dispatcher's verdict.
+    Requested,
+    /// The dispatcher accepted the abort; waiting for the source's
+    /// rollback acknowledgement (a `MigrationDone` for the epoch).
+    Accepted,
 }
 
 /// The per-group monitor.
@@ -47,6 +76,16 @@ pub struct Monitor {
     /// End time of the last completed round (or of creation).
     last_round_end: u64,
     in_flight: Option<Epoch>,
+    /// Round timeout in the caller's clock units (0 = watchdog disabled).
+    round_timeout: u64,
+    /// Deadline of the in-flight round, when the watchdog is armed.
+    deadline: Option<u64>,
+    abort_state: AbortState,
+    /// Epochs whose abort was requested — `MigrationDone`s for these may
+    /// legitimately arrive after the round already closed (e.g. an
+    /// abandoned round's completion racing the abort acknowledgement) and
+    /// are ignored instead of tripping the protocol panic.
+    aborted_epochs: HashSet<Epoch>,
     next_epoch: Epoch,
     stats: MonitorStats,
     /// The span of the in-flight round, opened at trigger time.
@@ -75,6 +114,10 @@ impl Monitor {
             cooldown,
             last_round_end: 0,
             in_flight: None,
+            round_timeout: 0,
+            deadline: None,
+            abort_state: AbortState::None,
+            aborted_epochs: HashSet::new(),
             next_epoch: 1,
             stats: MonitorStats::default(),
             open_span: None,
@@ -124,6 +167,51 @@ impl Monitor {
     #[must_use]
     pub fn migration_in_flight(&self) -> bool {
         self.in_flight.is_some()
+    }
+
+    /// Arms the round-timeout watchdog: a round in flight longer than
+    /// `timeout` (same clock units as `now` in [`Monitor::maybe_trigger`])
+    /// produces an [`AbortRequest`] from [`Monitor::check_deadline`].
+    /// 0 disables the watchdog (the default).
+    pub fn set_round_timeout(&mut self, timeout: u64) {
+        self.round_timeout = timeout;
+    }
+
+    /// Checks the in-flight round against its deadline at time `now`.
+    /// Fires at most once per deadline: the returned request must be
+    /// answered via [`Monitor::on_abort_outcome`] before the watchdog can
+    /// fire again.
+    pub fn check_deadline(&mut self, now: u64) -> Option<AbortRequest> {
+        let epoch = self.in_flight?;
+        if self.abort_state != AbortState::None {
+            return None;
+        }
+        let deadline = self.deadline?;
+        if now < deadline {
+            return None;
+        }
+        self.abort_state = AbortState::Requested;
+        self.aborted_epochs.insert(epoch);
+        let span = self.open_span.as_ref()?;
+        Some(AbortRequest { epoch, source: span.source, target: span.target })
+    }
+
+    /// Records the dispatcher's verdict on an [`AbortRequest`]. A refusal
+    /// (`aborted == false`, the route already flipped so the round is past
+    /// its point of no return) re-arms the deadline and lets the round
+    /// finish normally; an acceptance leaves the round open until the
+    /// source acknowledges the rollback with a `MigrationDone`. Verdicts
+    /// for rounds no longer in flight are ignored.
+    pub fn on_abort_outcome(&mut self, epoch: Epoch, aborted: bool, now: u64) {
+        if self.in_flight != Some(epoch) {
+            return;
+        }
+        if aborted {
+            self.abort_state = AbortState::Accepted;
+        } else {
+            self.abort_state = AbortState::None;
+            self.deadline = Some(now.saturating_add(self.round_timeout.max(1)));
+        }
     }
 
     /// Records a periodic load report from instance `i`. With a history
@@ -180,6 +268,8 @@ impl Monitor {
         let epoch = self.next_epoch;
         self.next_epoch += 1;
         self.in_flight = Some(epoch);
+        self.deadline = (self.round_timeout > 0).then(|| now.saturating_add(self.round_timeout));
+        self.abort_state = AbortState::None;
         self.stats.triggered += 1;
         self.open_span = Some(MigrationSpan {
             epoch,
@@ -211,11 +301,23 @@ impl Monitor {
     /// # Panics
     /// Panics on an epoch mismatch — that is a protocol bug.
     pub fn on_migration_done(&mut self, done: MigrationDone, now: u64) {
+        if self.in_flight != Some(done.epoch) && self.aborted_epochs.contains(&done.epoch) {
+            // A stray acknowledgement for a round that already closed —
+            // e.g. the abandoned-round completion and the idle source's
+            // abort ack racing each other. Either one closes the round;
+            // the loser is dropped here.
+            return;
+        }
         let expected = self.in_flight.take().expect("MigrationDone with no round in flight"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
         assert_eq!(expected, done.epoch, "MigrationDone epoch mismatch"); // lint:allow(documented panic contract: an epoch mismatch is a protocol bug)
         self.last_round_end = now;
-        let effective = done.keys_moved > 0;
-        if effective {
+        self.deadline = None;
+        let aborted = self.abort_state == AbortState::Accepted;
+        self.abort_state = AbortState::None;
+        let effective = !aborted && done.keys_moved > 0;
+        if aborted {
+            self.stats.aborted += 1;
+        } else if effective {
             self.stats.effective += 1;
             self.stats.tuples_moved += done.tuples_moved;
             self.stats.keys_moved += done.keys_moved as u64;
@@ -420,6 +522,82 @@ mod tests {
         m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 0, keys_moved: 0 }, 150);
         assert_eq!(m.stats().effective, 0);
         assert_eq!(m.stats().abandoned, 1);
+    }
+
+    fn trigger_epoch(m: &mut Monitor, now: u64) -> Epoch {
+        match m.maybe_trigger(now).expect("trigger").msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_once_after_the_deadline() {
+        let mut m = loaded_monitor();
+        m.set_round_timeout(50);
+        let e = trigger_epoch(&mut m, 100);
+        assert!(m.check_deadline(120).is_none(), "not overdue yet");
+        let req = m.check_deadline(160).expect("deadline passed");
+        assert_eq!((req.epoch, req.source, req.target), (e, 0, 2));
+        assert!(m.check_deadline(500).is_none(), "fires once until answered");
+    }
+
+    #[test]
+    fn accepted_abort_closes_on_rollback_ack() {
+        let mut m = loaded_monitor();
+        m.set_round_timeout(50);
+        let e = trigger_epoch(&mut m, 100);
+        let _ = m.check_deadline(200).unwrap();
+        m.on_abort_outcome(e, true, 210);
+        assert!(m.migration_in_flight(), "round stays open until the rollback ack");
+        m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 0, keys_moved: 0 }, 230);
+        assert!(!m.migration_in_flight());
+        assert_eq!(m.stats().aborted, 1);
+        assert_eq!(m.stats().abandoned, 0);
+        assert_eq!(m.stats().effective, 0);
+        let span = m.spans().last().unwrap();
+        assert!(!span.effective);
+        assert_eq!(span.completed_at, 230);
+    }
+
+    #[test]
+    fn refused_abort_rearms_and_the_round_completes_normally() {
+        let mut m = loaded_monitor();
+        m.set_round_timeout(50);
+        let e = trigger_epoch(&mut m, 100);
+        let _ = m.check_deadline(200).unwrap();
+        m.on_abort_outcome(e, false, 210); // route already flipped
+        assert!(m.check_deadline(220).is_none(), "deadline was extended");
+        assert!(m.check_deadline(300).is_some(), "…but re-arms eventually");
+        m.on_abort_outcome(e, false, 300);
+        m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 5, keys_moved: 1 }, 320);
+        assert_eq!(m.stats().effective, 1);
+        assert_eq!(m.stats().aborted, 0);
+    }
+
+    #[test]
+    fn stray_done_for_aborted_epoch_is_ignored() {
+        let mut m = loaded_monitor();
+        m.set_round_timeout(50);
+        let e = trigger_epoch(&mut m, 100);
+        let _ = m.check_deadline(200).unwrap();
+        // The abandoned-round completion wins the race…
+        m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 0, keys_moved: 0 }, 205);
+        assert_eq!(m.stats().abandoned, 1);
+        // …and the idle source's abort ack arrives after the round closed.
+        m.on_migration_done(MigrationDone { epoch: e, tuples_moved: 0, keys_moved: 0 }, 230);
+        assert_eq!(m.stats().abandoned, 1, "the duplicate must not double-book");
+        // A fresh round still works.
+        let e2 = trigger_epoch(&mut m, 400);
+        m.on_migration_done(MigrationDone { epoch: e2, tuples_moved: 1, keys_moved: 1 }, 420);
+        assert_eq!(m.stats().effective, 1);
+    }
+
+    #[test]
+    fn watchdog_disabled_by_default() {
+        let mut m = loaded_monitor();
+        let _ = trigger_epoch(&mut m, 100);
+        assert!(m.check_deadline(u64::MAX).is_none());
     }
 
     #[test]

@@ -71,6 +71,27 @@ pub enum InstanceMsg {
         /// Source instance index.
         from: usize,
     },
+    /// Abort of a migration round that has not yet flipped routes. The
+    /// dispatcher sends it to the round's source (instead of
+    /// [`InstanceMsg::RouteUpdated`] — a source sees exactly one of the
+    /// two per epoch), and an engaged source relays it to its target over
+    /// the same FIFO channel that carried `MigStart`/`MigStore`, so the
+    /// target is always fully engaged when the abort arrives.
+    MigAbort {
+        /// Migration round id being rolled back.
+        epoch: Epoch,
+    },
+    /// Target → source: everything the target accumulated for the aborted
+    /// round, handed back so the source can restore its pre-round state.
+    MigReturn {
+        /// Migration round id being rolled back.
+        epoch: Epoch,
+        /// Stored tuples the target had installed via `MigStore`.
+        stored: Vec<Tuple>,
+        /// Dispatcher data the target was holding for the migrating keys
+        /// (always empty pre-flip; kept for completeness).
+        inflight: Vec<Tuple>,
+    },
 }
 
 /// A violation of the migration protocol detected by a join instance.
@@ -119,6 +140,15 @@ pub enum ProtocolError {
         /// Receiving instance.
         instance: usize,
     },
+    /// An abort-protocol message (`MigAbort`/`MigReturn`) arrived at an
+    /// instance whose state cannot process it — e.g. `MigReturn` at an
+    /// instance that never started rolling back.
+    UnexpectedAbort {
+        /// Receiving instance.
+        instance: usize,
+        /// Name of the offending message variant.
+        msg: &'static str,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -141,6 +171,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::SelfMigration { instance } => {
                 write!(f, "instance {instance}: cannot migrate to self")
+            }
+            ProtocolError::UnexpectedAbort { instance, msg } => {
+                write!(f, "instance {instance} got {msg} outside an abortable round")
             }
         }
     }
@@ -247,6 +280,19 @@ pub enum MigrationState {
         /// report — the target emits [`MigrationDone`], proving both
         /// endpoints are idle before the monitor can start a new round).
         received: u64,
+    },
+    /// This instance is a migration source rolling an aborted round back:
+    /// it relayed [`InstanceMsg::MigAbort`] to the target and waits for
+    /// [`InstanceMsg::MigReturn`] before resuming normal service for the
+    /// selected keys.
+    Aborting {
+        /// Migration round id being rolled back.
+        epoch: Epoch,
+        /// Selected key set of the aborted round.
+        keys: HashSet<Key>,
+        /// Data buffered while the round was (and still is) in limbo
+        /// (arrival order) — replayed after the rollback completes.
+        buffer: Vec<Tuple>,
     },
 }
 

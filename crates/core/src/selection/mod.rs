@@ -88,7 +88,7 @@ impl MigrationPlan {
 
 /// A key-selection algorithm. Implementations must be deterministic for a
 /// fixed seed so simulation runs are reproducible.
-pub trait KeySelector {
+pub trait KeySelector: CloneSelector {
     /// Chooses the key set to migrate from the instance with statistics
     /// `src` (per-key breakdown in `keys`) to the instance with aggregate
     /// statistics `dst`. `theta_gap` is the minimum per-key benefit worth
@@ -103,6 +103,26 @@ pub trait KeySelector {
 
     /// Human-readable algorithm name (for reports).
     fn name(&self) -> &'static str;
+}
+
+/// Object-safe cloning for boxed selectors, so a supervisor checkpoint of
+/// a join-instance executor (which owns its selector) can be restored
+/// without re-deriving configuration.
+pub trait CloneSelector {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn KeySelector + Send>;
+}
+
+impl<S: KeySelector + Send + Clone + 'static> CloneSelector for S {
+    fn clone_box(&self) -> Box<dyn KeySelector + Send> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn KeySelector + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Instantiates the selector named by the configuration.

@@ -1,0 +1,103 @@
+//! Property tests for the routing table's abort guarantees: versions are
+//! strictly monotonic across any stage/commit/revert interleaving, and an
+//! aborted (reverted) round never publishes a partially-applied table —
+//! observers see either every staged route or none of them.
+
+use std::collections::HashMap;
+
+use fastjoin_core::routing::RoutingTable;
+use proptest::prelude::*;
+
+/// Route of every key in `0..span` — the externally visible table state.
+fn snapshot(table: &RoutingTable, span: u64) -> Vec<usize> {
+    (0..span).map(|k| table.route(k)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn versions_are_strictly_monotonic_under_any_interleaving(
+        n in 2..9usize,
+        ops in prop::collection::vec(
+            (0..3u8, prop::collection::vec(0..64u64, 0..6), 0..16usize, 0..5u64),
+            1..40,
+        ),
+    ) {
+        let mut table = RoutingTable::new(n, 7);
+        let mut epoch = 0u64;
+        let mut seen = vec![table.version()];
+        for (kind, keys, target, epoch_skew) in ops {
+            let before = table.version();
+            match kind {
+                0 => {
+                    epoch += 1;
+                    table.stage_migration(epoch, &keys, target % n);
+                    // A stage is a visible routing change: new version.
+                    prop_assert_eq!(table.version(), before + 1);
+                }
+                1 => {
+                    // Commits (matching or stale-epoch no-ops alike) never
+                    // change the version: the routes were already visible.
+                    table.commit_staged(epoch.saturating_sub(epoch_skew));
+                    prop_assert_eq!(table.version(), before);
+                }
+                _ => {
+                    // A matching revert is a visible change (new version,
+                    // never a reuse of a pre-stage number); a mismatched
+                    // one must leave the table untouched.
+                    let hit = table.revert_staged(epoch.saturating_sub(epoch_skew));
+                    prop_assert_eq!(table.version(), if hit { before + 1 } else { before });
+                }
+            }
+            prop_assert!(table.version() >= before, "version went backwards");
+            seen.push(table.version());
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seen, sorted, "version sequence must be non-decreasing");
+    }
+
+    #[test]
+    fn aborted_round_publishes_nothing_and_still_advances_the_version(
+        n in 2..9usize,
+        history in prop::collection::vec(
+            (prop::collection::vec(0..48u64, 1..5), 0..16usize),
+            0..6,
+        ),
+        staged_keys in prop::collection::vec(0..48u64, 1..8),
+        target in 0..16usize,
+    ) {
+        let mut table = RoutingTable::new(n, 3);
+        // Committed history: the state an abort must restore exactly.
+        for (i, (keys, tgt)) in history.iter().enumerate() {
+            table.stage_migration(i as u64 + 1, keys, tgt % n);
+            table.commit_staged(i as u64 + 1);
+        }
+        let epoch = history.len() as u64 + 1;
+        let committed = snapshot(&table, 48);
+        let committed_overrides: HashMap<u64, usize> = table.overrides().collect();
+        let v0 = table.version();
+
+        table.stage_migration(epoch, &staged_keys, target % n);
+        // While staged, the flip is total: EVERY staged key routes to the
+        // target — an observer never sees a half-applied migration.
+        for &k in &staged_keys {
+            prop_assert_eq!(table.route(k), target % n);
+        }
+        prop_assert_eq!(table.version(), v0 + 1);
+
+        prop_assert!(table.revert_staged(epoch), "matching revert must land");
+        // The abort restores the last committed table bit-for-bit...
+        prop_assert_eq!(snapshot(&table, 48), committed);
+        prop_assert_eq!(table.overrides().collect::<HashMap<_, _>>(), committed_overrides);
+        prop_assert!(!table.has_staged());
+        // ...under a version number never used for the staged state.
+        prop_assert_eq!(table.version(), v0 + 2);
+
+        // And the rollback really is gone: a commit of the aborted epoch
+        // after the fact must be a no-op.
+        prop_assert!(!table.commit_staged(epoch));
+        prop_assert_eq!(snapshot(&table, 48), committed);
+    }
+}

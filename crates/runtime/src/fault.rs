@@ -1,0 +1,392 @@
+//! Deterministic, seed-driven fault injection for the threaded runtime.
+//!
+//! A [`FaultPlan`] describes every fault a run will experience: executor
+//! crashes pinned to migration-protocol phases ([`CrashFault`]), perturbed
+//! report delivery into the monitors ([`ChaosPolicy`]), and dropped
+//! migration triggers (a stalled round the abort watchdog must clean up).
+//! Everything is derived from a single seed through the deterministic
+//! `rand` generator, so a failing chaos schedule replays exactly from its
+//! seed alone.
+//!
+//! Two delivery guarantees bound what the plan may perturb:
+//!
+//! * **Data-plane channels are FIFO and lossless.** Per-channel ordering
+//!   is the correctness backbone of the migration protocol (§III-D), so
+//!   instance inboxes only ever get *delay* faults — extra latency
+//!   reshuffles thread interleavings without breaking the contract the
+//!   protocol is entitled to.
+//! * **Monitor reports are best-effort by design.** Load reports may be
+//!   dropped, duplicated, or reordered freely; `MigrationDone`, `Quiesce`,
+//!   and `AbortOutcome` are never touched (losing them wedges shutdown,
+//!   which is a harness bug, not an interesting fault).
+//!
+//! Crashes are *fail-stop at a message boundary*: the kill switch fires
+//! immediately before the victim processes the matching message, inside
+//! the supervisor's `catch_unwind` region, so recovery sees a state that
+//! is exactly "everything before this message, nothing of it".
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastjoin_core::protocol::InstanceMsg;
+
+use crate::msg::RtMsg;
+
+/// Which executor-crash point in the migration protocol to target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// The migration target crashes just before processing `MigStart` —
+    /// the round is announced but no store payload has been installed.
+    PreMigStart,
+    /// The migration target crashes after a `ProbeHandoff` arrived but
+    /// before the matching `MigForward` — the exact window where fan-out
+    /// entries have changed hands but their probes have not.
+    BetweenHandoffAndForward,
+    /// The migration source crashes just before processing `RouteUpdated`
+    /// — keys are buffered, the dispatcher already flipped the route.
+    PreRouteFlip,
+    /// No protocol alignment: crash before processing the `after_msgs`-th
+    /// message (steady-state crash).
+    SteadyState {
+        /// How many messages the victim processes before the crash.
+        after_msgs: u64,
+    },
+}
+
+/// One scheduled executor crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Victim group (0 = R, 1 = S).
+    pub group: usize,
+    /// Victim instance index within the group.
+    pub instance: usize,
+    /// When to pull the trigger.
+    pub phase: CrashPhase,
+}
+
+/// Per-channel message perturbation rates. Each is "1 in N" (0 = never).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosPolicy {
+    /// Delay 1 in N delivered messages…
+    pub delay_1_in: u64,
+    /// …by up to this many microseconds (uniform).
+    pub delay_max_us: u64,
+    /// Drop 1 in N *eligible* messages.
+    pub drop_1_in: u64,
+    /// Duplicate 1 in N *eligible* messages.
+    pub dup_1_in: u64,
+    /// Swap 1 in N *eligible* messages with their successor.
+    pub reorder_1_in: u64,
+}
+
+impl ChaosPolicy {
+    /// True if every knob is off.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.delay_1_in == 0 && self.drop_1_in == 0 && self.dup_1_in == 0 && self.reorder_1_in == 0
+    }
+}
+
+/// The complete fault schedule for one run. [`FaultPlan::default`] injects
+/// nothing, so fault-free runs pay only a few branch checks.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Master seed; every chaos consumer derives its own stream from it.
+    pub seed: u64,
+    /// Scheduled executor crashes (each fires at most once).
+    pub crashes: Vec<CrashFault>,
+    /// Perturbation of instance inboxes (delay knobs only are honoured —
+    /// data-plane FIFO is load-bearing, see the module docs).
+    pub instance_chaos: ChaosPolicy,
+    /// Perturbation of monitor inboxes (all knobs honoured, but only load
+    /// reports are eligible for drop/dup/reorder).
+    pub monitor_chaos: ChaosPolicy,
+    /// Each monitor silently discards its first N migration triggers —
+    /// from the instances' perspective nothing happened; from the
+    /// monitor's, a round is in flight that will never complete. Exercises
+    /// the round-timeout abort path end to end.
+    pub drop_migrate_cmds: u64,
+}
+
+impl FaultPlan {
+    /// True if the plan injects nothing at all.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.crashes.is_empty()
+            && self.instance_chaos.is_noop()
+            && self.monitor_chaos.is_noop()
+            && self.drop_migrate_cmds == 0
+    }
+
+    /// A generator for one chaos consumer, decorrelated from every other
+    /// consumer's stream by `salt` (e.g. a hash of the executor name).
+    #[must_use]
+    pub fn rng_for(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The crash scheduled for instance `(group, id)`, if any.
+    #[must_use]
+    pub fn crash_for(&self, group: usize, id: usize) -> Option<CrashPhase> {
+        self.crashes.iter().find(|c| c.group == group && c.instance == id).map(|c| c.phase)
+    }
+}
+
+/// Single-fire kill switch armed with a [`CrashPhase`], consulted by the
+/// instance supervisor before each message is processed.
+#[derive(Debug)]
+pub struct KillSwitch {
+    phase: Option<CrashPhase>,
+    msgs_seen: u64,
+    handoff_seen: bool,
+}
+
+impl KillSwitch {
+    /// A switch that will fire at `phase` (or never, for `None`).
+    #[must_use]
+    pub fn new(phase: Option<CrashPhase>) -> Self {
+        KillSwitch { phase, msgs_seen: 0, handoff_seen: false }
+    }
+
+    /// Returns `true` exactly once, immediately before the message that
+    /// matches the armed phase would be processed.
+    pub fn should_crash(&mut self, msg: &RtMsg) -> bool {
+        self.msgs_seen += 1;
+        let Some(phase) = self.phase else { return false };
+        let fire = match phase {
+            CrashPhase::PreMigStart => matches!(msg, RtMsg::Inst(InstanceMsg::MigStart { .. })),
+            CrashPhase::BetweenHandoffAndForward => {
+                if matches!(msg, RtMsg::ProbeHandoff(_)) {
+                    self.handoff_seen = true;
+                }
+                self.handoff_seen && matches!(msg, RtMsg::Inst(InstanceMsg::MigForward { .. }))
+            }
+            CrashPhase::PreRouteFlip => {
+                matches!(msg, RtMsg::Inst(InstanceMsg::RouteUpdated { .. }))
+            }
+            CrashPhase::SteadyState { after_msgs } => self.msgs_seen > after_msgs,
+        };
+        if fire {
+            self.phase = None; // single fire: the retried message must pass
+        }
+        fire
+    }
+}
+
+/// A receiver wrapped with seed-driven delay/drop/duplicate/reorder
+/// faults. `eligible` gates which messages may be dropped, duplicated, or
+/// reordered; *delay* (a sleep before delivery) applies to any message —
+/// it perturbs timing without violating FIFO.
+pub struct ChaosReceiver<T: Clone> {
+    rx: crossbeam::channel::Receiver<T>,
+    policy: ChaosPolicy,
+    rng: StdRng,
+    eligible: fn(&T) -> bool,
+    /// A message displaced by a reorder: delivered after its successor.
+    stash: Option<T>,
+    /// Duplicates and displaced messages awaiting redelivery.
+    pending: std::collections::VecDeque<T>,
+}
+
+impl<T: Clone> ChaosReceiver<T> {
+    /// Wraps `rx`; with a no-op policy the wrapper is pass-through.
+    pub fn new(
+        rx: crossbeam::channel::Receiver<T>,
+        policy: ChaosPolicy,
+        rng: StdRng,
+        eligible: fn(&T) -> bool,
+    ) -> Self {
+        ChaosReceiver {
+            rx,
+            policy,
+            rng,
+            eligible,
+            stash: None,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Current queue length of the underlying channel (for depth gauges).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.rx.len()
+    }
+
+    fn roll(&mut self, one_in: u64) -> bool {
+        one_in > 0 && self.rng.gen_range(0..one_in) == 0
+    }
+
+    /// Like `Receiver::recv_timeout`, through the fault policy. Chaos
+    /// never invents a timeout and never loses an ineligible message; an
+    /// eligible message may be dropped (the next one is returned instead),
+    /// duplicated (redelivered on the next call), or swapped with its
+    /// successor.
+    pub fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<T, crossbeam::channel::RecvTimeoutError> {
+        if let Some(m) = self.pending.pop_front() {
+            return Ok(m);
+        }
+        loop {
+            let msg = match self.rx.recv_timeout(timeout) {
+                Ok(m) => m,
+                Err(e) => {
+                    // Nothing live arrived: flush a displaced message
+                    // rather than holding it across an idle period.
+                    if let Some(m) = self.stash.take() {
+                        return Ok(m);
+                    }
+                    return Err(e);
+                }
+            };
+            if self.policy.delay_max_us > 0 && self.roll(self.policy.delay_1_in) {
+                let us = self.rng.gen_range(0..=self.policy.delay_max_us);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+            if (self.eligible)(&msg) {
+                if self.roll(self.policy.drop_1_in) {
+                    continue; // dropped: take the next message
+                }
+                if self.roll(self.policy.dup_1_in) {
+                    self.pending.push_back(msg.clone());
+                }
+                if self.stash.is_none() && self.roll(self.policy.reorder_1_in) {
+                    self.stash = Some(msg);
+                    continue; // deliver the successor first
+                }
+            }
+            if let Some(displaced) = self.stash.take() {
+                // `msg` overtook `displaced`: hand `msg` out now and the
+                // displaced one on the next call.
+                self.pending.push_front(displaced);
+            }
+            return Ok(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn plan_with_seed(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    #[test]
+    fn default_plan_is_noop() {
+        assert!(FaultPlan::default().is_noop());
+        let chaotic = FaultPlan {
+            monitor_chaos: ChaosPolicy { drop_1_in: 4, ..ChaosPolicy::default() },
+            ..FaultPlan::default()
+        };
+        assert!(!chaotic.is_noop());
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_decorrelated() {
+        let plan = plan_with_seed(42);
+        let a: Vec<u64> = {
+            let mut r = plan.rng_for(1);
+            (0..4).map(|_| r.gen_range(0..1000u64)).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = plan.rng_for(1);
+            (0..4).map(|_| r.gen_range(0..1000u64)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = plan.rng_for(2);
+            (0..4).map(|_| r.gen_range(0..1000u64)).collect()
+        };
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kill_switch_fires_once_at_the_right_message() {
+        let mut ks = KillSwitch::new(Some(CrashPhase::PreRouteFlip));
+        assert!(!ks.should_crash(&RtMsg::ReportRequest));
+        let flip = RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: 3 });
+        assert!(ks.should_crash(&flip));
+        // Retried message passes: single fire.
+        assert!(!ks.should_crash(&flip));
+    }
+
+    #[test]
+    fn handoff_phase_requires_handoff_then_forward() {
+        let mut ks = KillSwitch::new(Some(CrashPhase::BetweenHandoffAndForward));
+        let fwd = RtMsg::Inst(InstanceMsg::MigForward { epoch: 1, tuples: Vec::new() });
+        assert!(!ks.should_crash(&fwd), "no handoff yet");
+        assert!(!ks.should_crash(&RtMsg::ProbeHandoff(vec![(1, 2)])));
+        assert!(ks.should_crash(&fwd));
+    }
+
+    #[test]
+    fn steady_state_counts_messages() {
+        let mut ks = KillSwitch::new(Some(CrashPhase::SteadyState { after_msgs: 2 }));
+        assert!(!ks.should_crash(&RtMsg::ReportRequest));
+        assert!(!ks.should_crash(&RtMsg::ReportRequest));
+        assert!(ks.should_crash(&RtMsg::ReportRequest));
+    }
+
+    #[test]
+    fn chaos_receiver_passthrough_without_policy() {
+        let (tx, rx) = unbounded::<u32>();
+        let mut chaos =
+            ChaosReceiver::new(rx, ChaosPolicy::default(), plan_with_seed(7).rng_for(0), |_| true);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<u32> =
+            (0..10).map(|_| chaos.recv_timeout(Duration::from_secs(1)).unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chaos_receiver_never_loses_ineligible_messages() {
+        // Odd values are protected; crank every fault to the maximum and
+        // verify all odd values still arrive exactly once, in order.
+        let (tx, rx) = unbounded::<u32>();
+        let policy =
+            ChaosPolicy { drop_1_in: 2, dup_1_in: 2, reorder_1_in: 2, ..Default::default() };
+        let mut chaos =
+            ChaosReceiver::new(rx, policy, plan_with_seed(99).rng_for(3), |v| v % 2 == 0);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut odd_seen = Vec::new();
+        while let Ok(v) = chaos.recv_timeout(Duration::from_millis(10)) {
+            if v % 2 == 1 {
+                odd_seen.push(v);
+            }
+        }
+        assert_eq!(odd_seen, (0..100).filter(|v| v % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chaos_receiver_duplicates_and_reorders_eligible_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        let policy = ChaosPolicy { dup_1_in: 3, reorder_1_in: 3, ..Default::default() };
+        let mut chaos = ChaosReceiver::new(rx, policy, plan_with_seed(5).rng_for(11), |_| true);
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = chaos.recv_timeout(Duration::from_millis(10)) {
+            got.push(v);
+        }
+        // Nothing dropped (no drop knob), so with duplicates the stream is
+        // at least as long, and every original value is present.
+        assert!(got.len() >= 200);
+        for i in 0..200 {
+            assert!(got.contains(&i), "value {i} lost");
+        }
+        assert_ne!(got, (0..200).collect::<Vec<_>>(), "seeded chaos should perturb the stream");
+    }
+}

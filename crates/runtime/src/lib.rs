@@ -14,10 +14,15 @@
 #![warn(clippy::all)]
 
 pub mod accounting;
+pub mod fault;
 pub mod msg;
 pub mod report;
 pub mod topology;
 
 pub use accounting::{AccountingError, ProbeAccountant};
+pub use fault::{ChaosPolicy, CrashFault, CrashPhase, FaultPlan};
 pub use report::RuntimeReport;
-pub use topology::{run_topology, run_topology_with_results, RuntimeConfig};
+pub use topology::{
+    run_topology, run_topology_with_results, try_run_topology, try_run_topology_with_results,
+    RunError, RuntimeConfig, SupervisionConfig,
+};

@@ -9,7 +9,11 @@ use fastjoin_core::load::InstanceLoad;
 use fastjoin_core::protocol::{InstanceMsg, MigrationDone, RouteRequest};
 
 /// Input to a join-instance executor.
-#[derive(Debug)]
+///
+/// `Clone` because the supervisor keeps a replay log of messages processed
+/// since the last checkpoint; recovery re-feeds the clones (see
+/// `topology::InstanceState`).
+#[derive(Debug, Clone)]
 pub enum RtMsg {
     /// A core protocol message (data or migration control).
     Inst(InstanceMsg),
@@ -47,10 +51,36 @@ pub enum DispatcherMsg {
     },
     /// All spouts are done: forward EOS to every instance and stop.
     Eos,
+    /// Monitor request: abort migration round `epoch` of `group` if its
+    /// route flip has not been applied yet. The dispatcher is the
+    /// serialization point — it either already processed the round's
+    /// `Route` (abort refused) or it marks the epoch aborted and sends
+    /// [`fastjoin_core::protocol::InstanceMsg::MigAbort`] to `source`
+    /// (abort accepted). Either way it reports the verdict back with
+    /// [`MonitorMsg::AbortOutcome`].
+    Abort {
+        /// Which group's round to abort (0 = R, 1 = S).
+        group: usize,
+        /// The overdue migration round.
+        epoch: u64,
+        /// The round's source instance (receives `MigAbort` on acceptance).
+        source: usize,
+    },
+    /// Monitor notification: round `epoch` of `group` closed normally, so
+    /// the routing-table entries it staged are now permanent.
+    Commit {
+        /// Which group's table to commit (0 = R, 1 = S).
+        group: usize,
+        /// The completed migration round.
+        epoch: u64,
+    },
 }
 
 /// Input to a monitor executor.
-#[derive(Debug)]
+///
+/// `Clone` so the fault-injection plane can duplicate load reports (the
+/// monitor protocol tolerates lost/duplicated/reordered reports by design).
+#[derive(Debug, Clone)]
 pub enum MonitorMsg {
     /// A load report from an instance.
     Report {
@@ -63,6 +93,16 @@ pub enum MonitorMsg {
     Done(MigrationDone),
     /// Stop triggering new migrations and shut down once idle.
     Quiesce,
+    /// Dispatcher verdict on a [`DispatcherMsg::Abort`] request:
+    /// `aborted = true` means the epoch's route flip was intercepted and
+    /// the source has been told to roll back; `false` means the flip had
+    /// already been applied and the round will finish normally.
+    AbortOutcome {
+        /// The round the verdict is for.
+        epoch: u64,
+        /// Whether the abort was accepted.
+        aborted: bool,
+    },
 }
 
 /// Per-probe completion record sent to the collector.

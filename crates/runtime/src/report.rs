@@ -74,6 +74,7 @@ impl RuntimeReport {
                     ("triggered", Json::uint(s.triggered)),
                     ("effective", Json::uint(s.effective)),
                     ("abandoned", Json::uint(s.abandoned)),
+                    ("aborted", Json::uint(s.aborted)),
                     ("tuples_moved", Json::uint(s.tuples_moved)),
                     ("keys_moved", Json::uint(s.keys_moved)),
                 ])

@@ -11,11 +11,42 @@
 //! instance → instance) is unbounded, which breaks the only potential
 //! wait-for cycle (dispatcher blocked on a full instance queue while that
 //! instance publishes a routing update).
+//!
+//! # Failure model & supervision
+//!
+//! Join-instance executors are *supervised*: every message is processed
+//! under `catch_unwind`, and a panic (organic, or injected by a
+//! [`FaultPlan`] kill switch) triggers restart-from-checkpoint — the
+//! supervisor keeps a full clone of the instance state from at most
+//! [`SupervisionConfig::checkpoint_every`] messages ago plus a replay log
+//! of everything processed since. Recovery replays the log with outbound
+//! effects suppressed (they already escaped before the crash), then
+//! re-processes the in-flight message live. Because the input channel's
+//! receiver survives the restart, no queued message is lost, and because
+//! injected crashes are fail-stop at a message boundary the rebuilt state
+//! is exactly "everything before the crash message, nothing of it".
+//!
+//! Migration rounds are abortable while their route flip is still
+//! pending: the per-group monitor arms a deadline per round
+//! ([`SupervisionConfig::round_timeout_ms`]) and on breach asks the
+//! dispatcher — the serialization point for routing — to abort. The
+//! dispatcher either already applied the round's `Route` (abort refused,
+//! the round finishes normally) or guarantees it never will: the staged
+//! routing-table entries are reverted to the last committed version and
+//! the source rolls the migration back (see `core::instance`).
+//!
+//! Whole-run liveness is watched from the collector: every executor
+//! maintains a heartbeat, and a silent stall (or a hung shutdown) surfaces
+//! as [`RunError::ExecutorHung`] instead of a wedged process.
 
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
@@ -25,12 +56,57 @@ use fastjoin_core::instance::Work;
 use fastjoin_core::metrics::{MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationState};
-use fastjoin_core::selection::make_selector;
+use fastjoin_core::selection::{make_selector, KeySelector};
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 
 use crate::accounting::ProbeAccountant;
+use crate::fault::{ChaosPolicy, ChaosReceiver, CrashPhase, FaultPlan, KillSwitch};
 use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg};
 use crate::report::RuntimeReport;
+
+/// How often blocked executors wake to refresh their heartbeat and check
+/// the emergency kill flag.
+const EXECUTOR_TICK: Duration = Duration::from_millis(25);
+/// Dispatcher wait on the data channel between control-channel polls.
+const DISPATCH_TICK: Duration = Duration::from_millis(1);
+/// Collector wait between liveness sweeps.
+const COLLECT_TICK: Duration = Duration::from_millis(50);
+
+/// Supervision and shutdown-watchdog knobs. The defaults preserve the
+/// pre-supervision semantics: no restarts (any executor panic fails the
+/// run), no round timeouts, generous shutdown grace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Restarts allowed per join instance before its failure is fatal to
+    /// the run. 0 disables recovery.
+    pub max_restarts: u32,
+    /// Messages between supervisor checkpoints (bounds the replay log).
+    pub checkpoint_every: u64,
+    /// Migration-round deadline in milliseconds; a round still awaiting
+    /// its route flip past the deadline is aborted. 0 disables the
+    /// watchdog.
+    pub round_timeout_ms: u64,
+    /// A heartbeat older than this (milliseconds) marks its executor as
+    /// silently stalled and fails the run. 0 disables stall detection.
+    pub stall_ms: u64,
+    /// Bounded wait when joining executor threads at shutdown.
+    pub join_grace_ms: u64,
+    /// Bounded wait for the monitors' quiesce acknowledgement.
+    pub quiesce_timeout_ms: u64,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            max_restarts: 0,
+            checkpoint_every: 64,
+            round_timeout_ms: 0,
+            stall_ms: 10_000,
+            join_grace_ms: 5_000,
+            quiesce_timeout_ms: 60_000,
+        }
+    }
+}
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +121,10 @@ pub struct RuntimeConfig {
     pub monitor_period_ms: u64,
     /// Optional spout rate limit, tuples/second (None = full speed).
     pub rate_limit: Option<f64>,
+    /// Supervision, recovery, and shutdown-watchdog knobs.
+    pub supervision: SupervisionConfig,
+    /// Fault-injection schedule (default: no faults).
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -55,9 +135,45 @@ impl Default for RuntimeConfig {
             queue_cap: 4096,
             monitor_period_ms: 100,
             rate_limit: None,
+            supervision: SupervisionConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
+
+/// Why a topology run failed. Fault-free runs on correct code never see
+/// these; they exist so crashes and stalls fail fast with a diagnosis
+/// instead of wedging the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// An executor stopped updating its heartbeat (or shutdown timed out
+    /// waiting on it) without reporting a failure.
+    ExecutorHung {
+        /// Thread name of the stalled executor.
+        name: String,
+    },
+    /// An executor panicked and was out of restart budget (or is a
+    /// non-restartable executor: dispatcher, monitor).
+    ExecutorFailed {
+        /// Thread name of the failed executor.
+        name: String,
+        /// The panic payload, stringified.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::ExecutorHung { name } => write!(f, "executor {name:?} hung"),
+            RunError::ExecutorFailed { name, error } => {
+                write!(f, "executor {name:?} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Handle used by instance executors to address their peers.
 struct GroupWiring {
@@ -70,12 +186,15 @@ struct GroupWiring {
 /// Runs a complete topology over a workload and reports the measurements.
 ///
 /// # Panics
-/// Panics if the configuration is invalid or a worker thread panics.
+/// Panics if the configuration is invalid or the run fails (executor
+/// crash out of restart budget, stall, hung shutdown) — use
+/// [`try_run_topology`] to handle failures as values.
 pub fn run_topology(
     cfg: &RuntimeConfig,
     workload: impl IntoIterator<Item = Tuple>,
 ) -> RuntimeReport {
-    run_topology_inner(cfg, workload, None)
+    // lint:allow(thin compatibility wrapper: callers that want errors use try_run_topology)
+    try_run_topology(cfg, workload).unwrap_or_else(|e| panic!("topology run failed: {e}"))
 }
 
 /// Like [`run_topology`], but additionally streams every joined pair to
@@ -83,25 +202,70 @@ pub fn run_topology(
 /// Dropping the receiver mid-run is safe — emission is best-effort.
 ///
 /// # Panics
-/// Panics if the configuration is invalid or a worker thread panics.
+/// Panics if the configuration is invalid or the run fails — use
+/// [`try_run_topology_with_results`] to handle failures as values.
 pub fn run_topology_with_results(
     cfg: &RuntimeConfig,
     workload: impl IntoIterator<Item = Tuple>,
     results: Sender<JoinedPair>,
 ) -> RuntimeReport {
+    try_run_topology_with_results(cfg, workload, results)
+        // lint:allow(thin compatibility wrapper: callers that want errors use the try_ variant)
+        .unwrap_or_else(|e| panic!("topology run failed: {e}"))
+}
+
+/// Runs a complete topology, surfacing executor failures and stalls as
+/// [`RunError`] instead of panicking.
+///
+/// # Errors
+/// [`RunError::ExecutorFailed`] when an executor panics beyond its restart
+/// budget; [`RunError::ExecutorHung`] when an executor stalls silently or
+/// shutdown exceeds its grace period.
+///
+/// # Panics
+/// Panics only on invalid configuration or a violated accounting
+/// invariant (both programming errors, not runtime faults).
+pub fn try_run_topology(
+    cfg: &RuntimeConfig,
+    workload: impl IntoIterator<Item = Tuple>,
+) -> Result<RuntimeReport, RunError> {
+    run_topology_inner(cfg, workload, None)
+}
+
+/// [`try_run_topology`] with a live stream of joined pairs, as in
+/// [`run_topology_with_results`].
+///
+/// # Errors
+/// As for [`try_run_topology`].
+pub fn try_run_topology_with_results(
+    cfg: &RuntimeConfig,
+    workload: impl IntoIterator<Item = Tuple>,
+    results: Sender<JoinedPair>,
+) -> Result<RuntimeReport, RunError> {
     run_topology_inner(cfg, workload, Some(results))
 }
+
+/// One executor's liveness record: thread name plus the µs timestamp of
+/// its last heartbeat (`u64::MAX` once the executor exited).
+type Heartbeat = (String, Arc<AtomicU64>);
+
+/// Marks an executor as cleanly exited so the stall sweep skips it.
+const HB_FINISHED: u64 = u64::MAX;
 
 fn run_topology_inner(
     cfg: &RuntimeConfig,
     workload: impl IntoIterator<Item = Tuple>,
     results: Option<Sender<JoinedPair>>,
-) -> RuntimeReport {
+) -> Result<RuntimeReport, RunError> {
     cfg.fastjoin.validate().expect("invalid configuration"); // lint:allow(startup config validation, before any data flows)
     let n = cfg.fastjoin.instances_per_group;
+    let sup = cfg.supervision;
     let (r_part, s_part, dynamic) = build_partitioners(cfg.system, &cfg.fastjoin);
     let start = Instant::now();
     let now_us = move || start.elapsed().as_micros() as u64;
+    if !cfg.faults.crashes.is_empty() {
+        quiet_injected_panics();
+    }
 
     // Channels.
     let (disp_data_tx, disp_data_rx) = bounded::<DispatcherMsg>(cfg.queue_cap);
@@ -125,91 +289,49 @@ fn run_topology_inner(
             mon_rxs[g] = Some(rx); // lint:allow(g ranges over the two fixed groups)
         }
     }
-    let mut handles = Vec::new();
+    let kill = Arc::new(AtomicBool::new(false));
+    let mut handles: Vec<(String, thread::JoinHandle<()>)> = Vec::new();
+    let mut heartbeats: Vec<Heartbeat> = Vec::new();
+    let mut spawn_hb = |name: &str| {
+        let hb = Arc::new(AtomicU64::new(now_us()));
+        heartbeats.push((name.to_string(), hb.clone()));
+        hb
+    };
 
     // --- Dispatcher executor ------------------------------------------
     {
+        let name = "dispatcher".to_string();
+        let hb = spawn_hb(&name);
+        let kill = kill.clone();
         let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
+        let mon_txs = mon_txs.clone();
         let data_rx = disp_data_rx;
         let ctrl_rx = disp_ctrl_rx;
         let collector = collector_tx.clone();
-        handles.push(
+        let thread_name = name.clone();
+        handles.push((
+            name,
             thread::Builder::new()
-                .name("dispatcher".into())
+                .name(thread_name.clone())
                 .spawn(move || {
-                    let mut dispatcher = Dispatcher::new(r_part, s_part);
-                    let mut scratch = Dispatch::default();
-                    let mut reg = MetricsRegistry::new();
-                    loop {
-                        // Select across data and control; whichever order
-                        // they are served in, an instance's buffer catches
-                        // any selected-key data that was routed before the
-                        // table update (see core::instance). The control
-                        // channel never disconnects before the data channel
-                        // (instances outlive the spout), so data closure is
-                        // the shutdown signal.
-                        let msg = crossbeam::select! {
-                            recv(ctrl_rx) -> m => match m {
-                                Ok(m) => m,
-                                // Control senders all gone: only data can
-                                // arrive now. Block on it instead of
-                                // spinning through the always-ready
-                                // disconnected arm.
-                                Err(_) => match data_rx.recv() {
-                                    Ok(m) => m,
-                                    Err(_) => break,
-                                },
-                            },
-                            recv(data_rx) -> m => match m {
-                                Ok(m) => m,
-                                Err(_) => break,
-                            },
-                        };
-                        match msg {
-                            DispatcherMsg::Ingest(mut t) => {
-                                // The shuffler stamps tuples at ingest (§V).
-                                t.ts = now_us();
-                                dispatcher.dispatch_into(t, &mut scratch);
-                                let t = scratch.tuple;
-                                let own = t.side.index();
-                                let opp = t.side.opposite().index();
-                                let fanout = scratch.probe_dests.len() as u32;
-                                reg.counter_add("tuples_ingested", 1);
-                                reg.counter_add("probe_copies", u64::from(fanout));
-                                let _ = inst_txs[own][scratch.store_dest] // lint:allow(partitioner contract: routes are < instances())
-                                    .send(RtMsg::Inst(InstanceMsg::Data(t)));
-                                for &d in &scratch.probe_dests {
-                                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout)); // lint:allow(partitioner contract: routes are < instances())
-                                }
-                            }
-                            DispatcherMsg::Route { group, req } => {
-                                let ok = dispatcher
-                                    .apply_route(if group == 0 { Side::R } else { Side::S }, &req);
-                                assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
-                                reg.counter_add("route_updates", 1);
-                                let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
-                                    .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
-                            }
-                            DispatcherMsg::Eos => {
-                                // Ship the dispatcher's metrics before any
-                                // instance can see EOS: enqueuing first
-                                // guarantees DispatcherDone precedes the
-                                // final InstanceDone in the collector.
-                                let _ = collector.send(CollectorMsg::DispatcherDone {
-                                    registry: Box::new(std::mem::take(&mut reg)),
-                                });
-                                for group in &inst_txs {
-                                    for tx in group {
-                                        let _ = tx.send(RtMsg::Eos);
-                                    }
-                                }
-                                break;
-                            }
-                        }
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        dispatcher_loop(
+                            r_part, s_part, &data_rx, &ctrl_rx, &inst_txs, &mon_txs, &collector,
+                            &now_us, &hb, &kill,
+                        );
+                    }));
+                    if let Err(p) = body {
+                        let _ = collector.send(CollectorMsg::ExecutorFailure {
+                            name: thread_name,
+                            error: panic_text(p.as_ref()),
+                            fatal: true,
+                            restarts: 0,
+                        });
                     }
+                    hb.store(HB_FINISHED, Ordering::Relaxed);
                 })
                 .expect("spawn dispatcher"), // lint:allow(thread spawn at startup)
-        );
+        ));
     }
 
     // --- Instance executors -------------------------------------------
@@ -217,6 +339,9 @@ fn run_topology_inner(
         let side = if g == 0 { Side::R } else { Side::S };
         // lint:allow(g ranges over the two fixed groups)
         for (i, rx) in inst_rxs[g].iter().enumerate() {
+            let name = format!("join-{side}-{i}");
+            let hb = spawn_hb(&name);
+            let kill = kill.clone();
             let rx = rx.clone();
             let wiring = GroupWiring {
                 to_instances: inst_txs[g].clone(), // lint:allow(g ranges over the two fixed groups)
@@ -227,9 +352,20 @@ fn run_topology_inner(
             let fj = cfg.fastjoin.clone();
             let results = results.clone();
             let sample_period_us = cfg.monitor_period_ms.max(1) * 1_000;
-            handles.push(
+            let crash = cfg.faults.crash_for(g, i);
+            let chaos_rng = cfg.faults.rng_for((g as u64 + 1).wrapping_mul(1_000_003) + i as u64);
+            let chaos = ChaosPolicy {
+                // Data-plane channels only ever get delay faults: FIFO and
+                // losslessness are the protocol's correctness backbone.
+                delay_1_in: cfg.faults.instance_chaos.delay_1_in,
+                delay_max_us: cfg.faults.instance_chaos.delay_max_us,
+                ..ChaosPolicy::default()
+            };
+            let thread_name = name.clone();
+            handles.push((
+                name,
                 thread::Builder::new()
-                    .name(format!("join-{side}-{i}"))
+                    .name(thread_name.clone())
                     .spawn(move || {
                         let ctx = InstanceCtx {
                             group: g,
@@ -239,10 +375,29 @@ fn run_topology_inner(
                             sample_period_us,
                             now_us: &now_us,
                         };
-                        instance_loop(&ctx, &rx, &wiring, &disp_ctrl, &collector, results);
+                        let io = InstanceIo {
+                            ctx: &ctx,
+                            wiring: &wiring,
+                            disp_ctrl: &disp_ctrl,
+                            collector: &collector,
+                            results,
+                        };
+                        let chaos_rx = ChaosReceiver::new(rx, chaos, chaos_rng, |_| false);
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            instance_executor(&io, chaos_rx, sup, crash, &hb, &kill);
+                        }));
+                        if let Err(p) = body {
+                            let _ = io.collector.send(CollectorMsg::ExecutorFailure {
+                                name: thread_name,
+                                error: panic_text(p.as_ref()),
+                                fatal: true,
+                                restarts: 0,
+                            });
+                        }
+                        hb.store(HB_FINISHED, Ordering::Relaxed);
                     })
                     .expect("spawn instance"), // lint:allow(thread spawn at startup)
-            );
+            ));
         }
     }
 
@@ -250,20 +405,58 @@ fn run_topology_inner(
     let (quiesce_ack_tx, quiesce_ack_rx) = unbounded::<usize>();
     if dynamic {
         for g in 0..2 {
+            let name = format!("monitor-{g}");
+            let hb = spawn_hb(&name);
+            let kill = kill.clone();
             let rx = mon_rxs[g].take().expect("dynamic groups have monitors"); // lint:allow(dynamic branch: monitors were just built for both groups)
             let to_instances = inst_txs[g].clone(); // lint:allow(g ranges over the two fixed groups)
+            let disp_ctrl = disp_ctrl_tx.clone();
             let fj = cfg.fastjoin.clone();
             let period = Duration::from_millis(cfg.monitor_period_ms);
             let collector = collector_tx.clone();
             let ack = quiesce_ack_tx.clone();
-            handles.push(
+            let plan = cfg.faults.clone();
+            let thread_name = name.clone();
+            handles.push((
+                name,
                 thread::Builder::new()
-                    .name(format!("monitor-{g}"))
+                    .name(thread_name.clone())
                     .spawn(move || {
-                        monitor_loop(g, &fj, period, &rx, &to_instances, &collector, &ack, &now_us);
+                        let chaos_rx = ChaosReceiver::new(
+                            rx,
+                            plan.monitor_chaos,
+                            plan.rng_for(0x4D_4F4E + g as u64), // "MON"
+                            |m| matches!(m, MonitorMsg::Report { .. }),
+                        );
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            monitor_loop(
+                                g,
+                                &fj,
+                                period,
+                                chaos_rx,
+                                &to_instances,
+                                &disp_ctrl,
+                                &collector,
+                                &ack,
+                                &now_us,
+                                sup,
+                                plan.drop_migrate_cmds,
+                                &hb,
+                                &kill,
+                            );
+                        }));
+                        if let Err(p) = body {
+                            let _ = collector.send(CollectorMsg::ExecutorFailure {
+                                name: thread_name,
+                                error: panic_text(p.as_ref()),
+                                fatal: true,
+                                restarts: 0,
+                            });
+                        }
+                        hb.store(HB_FINISHED, Ordering::Relaxed);
                     })
                     .expect("spawn monitor"), // lint:allow(thread spawn at startup)
-            );
+            ));
         }
     }
     drop(quiesce_ack_tx);
@@ -283,6 +476,9 @@ fn run_topology_inner(
     let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
     let mut next_send = Instant::now();
     for t in workload {
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
         if let Some(gap) = gap {
             loop {
                 let now = Instant::now();
@@ -298,27 +494,47 @@ fn run_topology_inner(
             }
             next_send += gap;
         }
-        disp_data_tx.send(DispatcherMsg::Ingest(t)).expect("dispatcher alive"); // lint:allow(dispatcher outlives ingest; a dead dispatcher already panicked)
+        if disp_data_tx.send(DispatcherMsg::Ingest(t)).is_err() {
+            // Dispatcher gone mid-stream: the failure that killed it is in
+            // the collector queue; stop feeding and go diagnose.
+            break;
+        }
         ingested += 1;
     }
+
+    let fail = |kill: &AtomicBool,
+                handles: Vec<(String, thread::JoinHandle<()>)>,
+                e: RunError|
+     -> Result<RuntimeReport, RunError> {
+        kill.store(true, Ordering::Relaxed);
+        let _ = bounded_join(handles, Duration::from_millis(sup.join_grace_ms));
+        Err(e)
+    };
 
     // --- Shutdown handshake -------------------------------------------
     if dynamic {
         for tx in mon_txs.iter().flatten() {
             let _ = tx.send(MonitorMsg::Quiesce);
         }
-        // Wait for both monitors to confirm no round is in flight.
+        // Wait (bounded) for both monitors to confirm no round in flight.
+        let deadline = Instant::now() + Duration::from_millis(sup.quiesce_timeout_ms.max(1));
         let mut acked = 0;
         while acked < 2 {
-            match quiesce_ack_rx.recv_timeout(Duration::from_secs(60)) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match quiesce_ack_rx.recv_timeout(left) {
                 Ok(_) => acked += 1,
-                Err(e) => panic!("monitor quiesce timed out: {e}"), // lint:allow(shutdown watchdog: a stuck monitor must fail the run loudly)
+                Err(_) => {
+                    // Prefer the root cause if an executor already died.
+                    let e = drain_fatal(&collector_rx)
+                        .unwrap_or(RunError::ExecutorHung { name: "monitor (quiesce)".into() });
+                    return fail(&kill, handles, e);
+                }
             }
         }
     }
     mon_txs = [None, None];
     let _ = &mon_txs;
-    disp_data_tx.send(DispatcherMsg::Eos).expect("dispatcher alive"); // lint:allow(dispatcher outlives ingest; a dead dispatcher already panicked)
+    let _ = disp_data_tx.send(DispatcherMsg::Eos); // a dead dispatcher is reported below
     drop(disp_data_tx);
 
     // --- Collect -------------------------------------------------------
@@ -334,9 +550,10 @@ fn run_topology_inner(
     // Route-flip latencies arrive from instances keyed by (group, epoch)
     // and are patched into the matching monitor span after MonitorDone.
     let mut route_flips: Vec<(usize, u64, u64)> = Vec::new();
-    while let Ok(msg) = collector_rx.recv() {
-        match msg {
-            CollectorMsg::Probe { seq, fanout, record } => {
+    let mut first_error: Option<RunError> = None;
+    while done < 2 * n {
+        match collector_rx.recv_timeout(COLLECT_TICK) {
+            Ok(CollectorMsg::Probe { seq, fanout, record }) => {
                 results_total += record.matches;
                 throughput.record(now_us(), record.matches as f64);
                 accountant
@@ -344,32 +561,55 @@ fn run_topology_inner(
                     // lint:allow(accounting corruption means every later count is garbage; fail the run loudly)
                     .unwrap_or_else(|e| panic!("probe accounting violated: {e}"));
             }
-            CollectorMsg::RouteFlip { group, epoch, us } => {
+            Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
                 route_flips.push((group, epoch, us));
             }
-            CollectorMsg::InstanceDone { group, id, counters: c, registry: r } => {
+            Ok(CollectorMsg::InstanceDone { group, id, counters: c, registry: r }) => {
                 counters[group][id] = c; // lint:allow(group and id come from our own spawned executors)
                 let prefix = format!("inst.{}{id}.", if group == 0 { 'r' } else { 's' });
                 registry.merge_prefixed(&prefix, &r);
                 done += 1;
-                if done == 2 * n {
-                    break;
-                }
             }
-            CollectorMsg::MonitorDone { group, stats, spans, li } => {
+            Ok(CollectorMsg::MonitorDone { group, stats, spans, li }) => {
                 monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                 migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
                 imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
             }
-            CollectorMsg::DispatcherDone { registry: r } => {
+            Ok(CollectorMsg::DispatcherDone { registry: r }) => {
                 registry.merge_prefixed("dispatcher.", &r);
+            }
+            Ok(CollectorMsg::ExecutorFailure { name, error, fatal, restarts }) => {
+                registry.counter_add("supervisor.executor_failures", 1);
+                let _ = restarts; // per-instance restart counts live in the instance registries
+                if fatal {
+                    first_error = Some(RunError::ExecutorFailed { name, error });
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(name) = stalled_executor(&heartbeats, now_us(), sup.stall_ms) {
+                    first_error = Some(RunError::ExecutorHung { name });
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                first_error = Some(
+                    drain_fatal(&collector_rx)
+                        .unwrap_or(RunError::ExecutorHung { name: "collector feed".into() }),
+                );
+                break;
             }
         }
     }
+    if let Some(e) = first_error {
+        return fail(&kill, handles, e);
+    }
     // Monitors report their stats after the last instance exits.
     if dynamic {
+        let deadline = Instant::now() + Duration::from_secs(10);
         while monitor_stats.iter().any(Option::is_none) {
-            match collector_rx.recv_timeout(Duration::from_secs(10)) {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match collector_rx.recv_timeout(left) {
                 Ok(CollectorMsg::MonitorDone { group, stats, spans, li }) => {
                     monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                     migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
@@ -378,14 +618,22 @@ fn run_topology_inner(
                 Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
                     route_flips.push((group, epoch, us));
                 }
+                Ok(CollectorMsg::ExecutorFailure { name, error, fatal: true, .. }) => {
+                    return fail(&kill, handles, RunError::ExecutorFailed { name, error });
+                }
                 Ok(_) => {}
-                Err(e) => panic!("monitor stats never arrived: {e}"), // lint:allow(shutdown watchdog: missing stats must fail the run loudly)
+                Err(_) => {
+                    let e = drain_fatal(&collector_rx)
+                        .unwrap_or(RunError::ExecutorHung { name: "monitor (stats)".into() });
+                    return fail(&kill, handles, e);
+                }
             }
         }
     }
 
-    for h in handles {
-        h.join().expect("worker thread panicked"); // lint:allow(propagates a worker panic at shutdown)
+    if let Some(e) = bounded_join(handles, Duration::from_millis(sup.join_grace_ms)) {
+        kill.store(true, Ordering::Relaxed);
+        return Err(e);
     }
 
     // Shutdown invariant: every probe's fan-out parts drained to zero.
@@ -407,7 +655,7 @@ fn run_topology_inner(
         }
     }
 
-    RuntimeReport {
+    Ok(RuntimeReport {
         duration_us: now_us(),
         tuples_ingested: ingested,
         results_total,
@@ -419,7 +667,7 @@ fn run_topology_inner(
         imbalance,
         migration_spans,
         registry,
-    }
+    })
 }
 
 /// Messages into the collector.
@@ -451,7 +699,225 @@ enum CollectorMsg {
     DispatcherDone {
         registry: Box<MetricsRegistry>,
     },
+    /// An executor panicked. `fatal` means it will not recover (the run
+    /// must fail); otherwise the supervisor restarted it from checkpoint.
+    ExecutorFailure {
+        name: String,
+        error: String,
+        fatal: bool,
+        restarts: u32,
+    },
 }
+
+/// Renders a caught panic payload for failure reports.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Installs (once per process) a panic hook that silences backtraces for
+/// panics injected by the fault plane — hundreds of *scheduled* crashes
+/// per chaos run would otherwise bury real diagnostics in noise.
+fn quiet_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("fault injection:"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.starts_with("fault injection:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// First executor whose heartbeat is older than `stall_ms`, if any.
+fn stalled_executor(heartbeats: &[Heartbeat], now_us: u64, stall_ms: u64) -> Option<String> {
+    if stall_ms == 0 {
+        return None;
+    }
+    heartbeats
+        .iter()
+        .find(|(_, hb)| {
+            let at = hb.load(Ordering::Relaxed);
+            at != HB_FINISHED && now_us.saturating_sub(at) > stall_ms.saturating_mul(1_000)
+        })
+        .map(|(name, _)| name.clone())
+}
+
+/// Scans pending collector messages for a fatal executor failure, to
+/// report the root cause instead of the secondary symptom.
+fn drain_fatal(collector_rx: &Receiver<CollectorMsg>) -> Option<RunError> {
+    while let Ok(msg) = collector_rx.try_recv() {
+        if let CollectorMsg::ExecutorFailure { name, error, fatal: true, .. } = msg {
+            return Some(RunError::ExecutorFailed { name, error });
+        }
+    }
+    None
+}
+
+/// Joins every executor thread, waiting at most `grace` overall; a thread
+/// still running past the deadline is detached and reported as hung.
+fn bounded_join(
+    handles: Vec<(String, thread::JoinHandle<()>)>,
+    grace: Duration,
+) -> Option<RunError> {
+    let deadline = Instant::now() + grace.max(Duration::from_millis(1));
+    for (name, h) in handles {
+        loop {
+            if h.is_finished() {
+                // Panics were already caught and reported inside the
+                // executor wrappers; nothing useful remains in the result.
+                let _ = h.join();
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Some(RunError::ExecutorHung { name });
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn dispatcher_loop(
+    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    data_rx: &Receiver<DispatcherMsg>,
+    ctrl_rx: &Receiver<DispatcherMsg>,
+    inst_txs: &[Vec<Sender<RtMsg>>; 2],
+    mon_txs: &[Option<Sender<MonitorMsg>>; 2],
+    collector: &Sender<CollectorMsg>,
+    now_us: &dyn Fn() -> u64,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
+) {
+    let mut dispatcher = Dispatcher::new(r_part, s_part);
+    let mut scratch = Dispatch::default();
+    let mut reg = MetricsRegistry::new();
+    // Routing epochs whose flip was applied (abort refused from then on)
+    // and epochs whose abort won (their late `Route` is discarded).
+    // Entries retire when the monitor's `Commit` closes the round.
+    let mut routed: [HashSet<u64>; 2] = [HashSet::new(), HashSet::new()];
+    let mut aborted: [HashSet<u64>; 2] = [HashSet::new(), HashSet::new()];
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
+        // Control has priority; between control polls, block briefly on
+        // data. Whichever order messages are served in, an instance's
+        // buffer catches any selected-key data routed before the table
+        // update (see core::instance).
+        let msg = match ctrl_rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
+                match data_rx.recv_timeout(DISPATCH_TICK) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match msg {
+            DispatcherMsg::Ingest(mut t) => {
+                // The shuffler stamps tuples at ingest (§V).
+                t.ts = now_us();
+                dispatcher.dispatch_into(t, &mut scratch);
+                let t = scratch.tuple;
+                let own = t.side.index();
+                let opp = t.side.opposite().index();
+                let fanout = scratch.probe_dests.len() as u32;
+                reg.counter_add("tuples_ingested", 1);
+                reg.counter_add("probe_copies", u64::from(fanout));
+                let _ = inst_txs[own][scratch.store_dest] // lint:allow(partitioner contract: routes are < instances())
+                    .send(RtMsg::Inst(InstanceMsg::Data(t)));
+                for &d in &scratch.probe_dests {
+                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout)); // lint:allow(partitioner contract: routes are < instances())
+                }
+            }
+            DispatcherMsg::Route { group, req } => {
+                let side = if group == 0 { Side::R } else { Side::S };
+                // lint:allow(group is 0 or 1: monitors and targets send their own group id)
+                if aborted[group].contains(&req.epoch) {
+                    // The abort beat this flip to the serialization point:
+                    // stage-and-revert leaves the table at its last
+                    // committed contents (version bumped twice) and the
+                    // source never sees `RouteUpdated` — it already got
+                    // `MigAbort` on the same channel.
+                    let ok = dispatcher.stage_route(side, &req);
+                    assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
+                    let reverted = dispatcher.revert_route(side, req.epoch);
+                    debug_assert!(reverted);
+                    reg.counter_add("route_reverts", 1);
+                } else {
+                    let ok = dispatcher.stage_route(side, &req);
+                    assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
+                    routed[group].insert(req.epoch);
+                    reg.counter_add("route_updates", 1);
+                    let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
+                        .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
+                }
+            }
+            DispatcherMsg::Abort { group, epoch, source } => {
+                let accept = !routed[group].contains(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                if accept {
+                    aborted[group].insert(epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                    reg.counter_add("migration_aborts", 1);
+                    let _ = inst_txs[group][source] // lint:allow(AbortRequest.source is a valid instance id)
+                        .send(RtMsg::Inst(InstanceMsg::MigAbort { epoch }));
+                }
+                // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                if let Some(mon) = &mon_txs[group] {
+                    let _ = mon.send(MonitorMsg::AbortOutcome { epoch, aborted: accept });
+                }
+            }
+            DispatcherMsg::Commit { group, epoch } => {
+                let side = if group == 0 { Side::R } else { Side::S };
+                if dispatcher.commit_route(side, epoch) {
+                    reg.counter_add("route_commits", 1);
+                }
+                routed[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                aborted[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+            }
+            DispatcherMsg::Eos => {
+                // Ship the dispatcher's metrics before any instance can
+                // see EOS: enqueuing first guarantees DispatcherDone
+                // precedes the final InstanceDone in the collector.
+                let _ = collector.send(CollectorMsg::DispatcherDone {
+                    registry: Box::new(std::mem::take(&mut reg)),
+                });
+                for group in inst_txs {
+                    for tx in group {
+                        let _ = tx.send(RtMsg::Eos);
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join-instance executors (supervised)
+// ---------------------------------------------------------------------
 
 /// Immutable per-instance-executor context (identity, config, clock).
 struct InstanceCtx<'a> {
@@ -465,190 +931,322 @@ struct InstanceCtx<'a> {
     now_us: &'a dyn Fn() -> u64,
 }
 
-fn instance_loop(
-    ctx: &InstanceCtx<'_>,
-    rx: &Receiver<RtMsg>,
-    wiring: &GroupWiring,
-    disp_ctrl: &Sender<DispatcherMsg>,
-    collector: &Sender<CollectorMsg>,
+/// The executor's outbound channels, bundled.
+struct InstanceIo<'a> {
+    ctx: &'a InstanceCtx<'a>,
+    wiring: &'a GroupWiring,
+    disp_ctrl: &'a Sender<DispatcherMsg>,
+    collector: &'a Sender<CollectorMsg>,
     results: Option<Sender<JoinedPair>>,
-) {
-    let (group, id, fj, now_us) = (ctx.group, ctx.id, ctx.fj, ctx.now_us);
-    let mut inst = JoinInstance::new(id, ctx.side, fj.window);
-    // Pairs are only materialized when a consumer wants them.
-    inst.set_emit_pairs(results.is_some());
-    inst.set_migration_mode(fj.migration_mode);
-    let mut selector = make_selector(&FastJoinConfig {
-        seed: fj.seed.wrapping_add(group as u64).wrapping_add(id as u64 * 97),
-        ..fj.clone()
-    });
-    let mut fx = Effects::new();
-    let mut eos = false;
-    // Fan-out of every probe received but not yet completed, keyed by seq.
-    // Entries for probes forwarded to a migration target are handed off
-    // with the tuples (see `RtMsg::ProbeHandoff`); at exit the map must be
-    // empty — leaks are counted and asserted on by the collector.
-    let mut probe_fanout: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-    // `MigrateCmd` receipt time by epoch, closed out by `RouteUpdated` —
-    // the route-flip latency of a migration round this instance sourced.
-    let mut flip_started: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-    let mut reg = MetricsRegistry::new();
+}
 
-    while let Ok(msg) = rx.recv() {
+/// Everything a join-instance executor mutates while processing messages.
+/// `Clone` *is* the checkpoint mechanism: the supervisor snapshots the
+/// whole state between messages and restores the snapshot on a crash.
+#[derive(Clone)]
+struct InstanceState {
+    inst: JoinInstance,
+    selector: Box<dyn KeySelector + Send>,
+    /// Fan-out of every probe received but not yet completed, keyed by
+    /// seq. Entries for probes forwarded to a migration target are handed
+    /// off with the tuples (see `RtMsg::ProbeHandoff`); at exit the map
+    /// must be empty — leaks are counted and asserted on by the collector.
+    probe_fanout: HashMap<u64, u32>,
+    /// `MigrateCmd` receipt time by epoch, closed out by `RouteUpdated` —
+    /// the route-flip latency of a migration round this instance sourced.
+    flip_started: HashMap<u64, u64>,
+    reg: MetricsRegistry,
+    eos: bool,
+}
+
+impl InstanceState {
+    fn new(ctx: &InstanceCtx<'_>, emit_pairs: bool) -> Self {
+        let fj = ctx.fj;
+        let mut inst = JoinInstance::new(ctx.id, ctx.side, fj.window);
+        // Pairs are only materialized when a consumer wants them.
+        inst.set_emit_pairs(emit_pairs);
+        inst.set_migration_mode(fj.migration_mode);
+        let selector = make_selector(&FastJoinConfig {
+            seed: fj.seed.wrapping_add(ctx.group as u64).wrapping_add(ctx.id as u64 * 97),
+            ..fj.clone()
+        });
+        InstanceState {
+            inst,
+            selector,
+            probe_fanout: HashMap::new(),
+            flip_started: HashMap::new(),
+            reg: MetricsRegistry::new(),
+            eos: false,
+        }
+    }
+
+    /// Processes one message end to end (message, effects, pending work).
+    /// With `live == false` the step replays a message whose outbound
+    /// effects already escaped before a crash: every local mutation is
+    /// re-applied, every channel send is suppressed.
+    fn step(&mut self, io: &InstanceIo<'_>, fx: &mut Effects, msg: RtMsg, live: bool, qlen: usize) {
+        let ctx = io.ctx;
+        let (fj, now_us) = (ctx.fj, ctx.now_us);
         match msg {
             RtMsg::Inst(m) => {
                 if let InstanceMsg::MigrateCmd { epoch, .. } = &m {
-                    flip_started.insert(*epoch, now_us());
+                    self.flip_started.insert(*epoch, now_us());
                 }
                 if let InstanceMsg::RouteUpdated { epoch } = &m {
-                    if let Some(t0) = flip_started.remove(epoch) {
-                        let _ = collector.send(CollectorMsg::RouteFlip {
-                            group,
-                            epoch: *epoch,
-                            us: now_us().saturating_sub(t0),
-                        });
+                    if let Some(t0) = self.flip_started.remove(epoch) {
+                        if live {
+                            let _ = io.collector.send(CollectorMsg::RouteFlip {
+                                group: ctx.group,
+                                epoch: *epoch,
+                                us: now_us().saturating_sub(t0),
+                            });
+                        }
                     }
                 }
-                inst.handle(m, selector.as_mut(), fj.theta_gap, &mut fx)
+                self.inst
+                    .handle(m, self.selector.as_mut(), fj.theta_gap, fx)
                     // lint:allow(a protocol violation in the threaded runtime is unrecoverable)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             }
             RtMsg::Probe(t, fanout) => {
-                probe_fanout.insert(t.seq, fanout);
-                inst.handle(InstanceMsg::Data(t), selector.as_mut(), fj.theta_gap, &mut fx)
+                self.probe_fanout.insert(t.seq, fanout);
+                self.inst
+                    .handle(InstanceMsg::Data(t), self.selector.as_mut(), fj.theta_gap, fx)
                     // lint:allow(Data never returns a protocol error)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             }
             RtMsg::ProbeHandoff(entries) => {
                 // Fan-outs of probes a migration source is about to forward
                 // to us; FIFO guarantees they precede the MigForward.
-                reg.counter_add("probe_handoffs_in", entries.len() as u64);
-                probe_fanout.extend(entries);
+                self.reg.counter_add("probe_handoffs_in", entries.len() as u64);
+                self.probe_fanout.extend(entries);
             }
             RtMsg::ReportRequest => {
-                inst.collect_expired();
-                let load = inst.take_load_report();
+                self.inst.collect_expired();
+                let load = self.inst.take_load_report();
                 let now = now_us();
-                reg.series_record("queue_depth", ctx.sample_period_us, now, rx.len() as f64);
-                let buffered = match inst.migration_state() {
+                self.reg.series_record("queue_depth", ctx.sample_period_us, now, qlen as f64);
+                let buffered = match self.inst.migration_state() {
                     MigrationState::Idle => 0,
                     MigrationState::Source { buffer, .. } => buffer.len(),
                     MigrationState::Target { held, .. } => held.len(),
+                    MigrationState::Aborting { buffer, .. } => buffer.len(),
                 };
-                reg.gauge_set("mig_buffered_tuples", buffered as f64);
-                reg.series_record("mig_buffered", ctx.sample_period_us, now, buffered as f64);
-                if let Some(mon) = &wiring.to_monitor {
-                    let _ = mon.send(MonitorMsg::Report { id, load });
+                self.reg.gauge_set("mig_buffered_tuples", buffered as f64);
+                self.reg.series_record("mig_buffered", ctx.sample_period_us, now, buffered as f64);
+                if live {
+                    if let Some(mon) = &io.wiring.to_monitor {
+                        let _ = mon.send(MonitorMsg::Report { id: ctx.id, load });
+                    }
                 }
             }
-            RtMsg::Eos => eos = true,
+            RtMsg::Eos => self.eos = true,
         }
-        flush_instance_effects(
-            group,
-            &mut fx,
-            &mut probe_fanout,
-            &mut reg,
-            wiring,
-            disp_ctrl,
-            &results,
-        );
+        self.flush(io, fx, live);
         // Process everything currently pending before taking new input.
-        while let Some(work) = inst.process_next(&mut fx) {
+        while let Some(work) = self.inst.process_next(fx) {
             if let Work::Probe { tuple, matches, .. } = work {
-                let fanout = probe_fanout
+                let fanout = self
+                    .probe_fanout
                     .remove(&tuple.seq)
                     // lint:allow(accounting invariant: the fan-out arrived with the probe or its hand-off; absence is the bug this layer fixes)
                     .unwrap_or_else(|| panic!("probe {} has no fan-out entry", tuple.seq));
-                let record = ProbeRecord { matches, latency_us: now_us().saturating_sub(tuple.ts) };
-                let _ = collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
+                if live {
+                    let record =
+                        ProbeRecord { matches, latency_us: now_us().saturating_sub(tuple.ts) };
+                    let _ =
+                        io.collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
+                }
             }
-            flush_instance_effects(
-                group,
-                &mut fx,
-                &mut probe_fanout,
-                &mut reg,
-                wiring,
-                disp_ctrl,
-                &results,
-            );
+            self.flush(io, fx, live);
         }
-        if eos && inst.migration_state().is_idle() {
-            // All probes this instance received must have completed here or
-            // been handed off; the collector asserts the sum stays zero.
-            reg.counter_add("probe_fanout_leaked", probe_fanout.len() as u64);
-            let _ = collector.send(CollectorMsg::InstanceDone {
-                group,
-                id,
-                counters: inst.counters(),
-                registry: reg,
-            });
-            break;
+    }
+
+    /// Drains the effect buffer: local bookkeeping always happens; channel
+    /// sends only when `live` (a replayed message's sends already escaped
+    /// before the crash being recovered from).
+    fn flush(&mut self, io: &InstanceIo<'_>, fx: &mut Effects, live: bool) {
+        if live && io.results.is_some() {
+            if let Some(tx) = &io.results {
+                for pair in fx.joined.drain(..) {
+                    let _ = tx.send(pair); // receiver may have hung up — best effort
+                }
+            }
+        } else {
+            fx.joined.clear(); // not materialized, or already emitted pre-crash
+        }
+        for (to, msg) in fx.sends.drain(..) {
+            if let InstanceMsg::MigForward { tuples, .. } = &msg {
+                // Probe-side tuples in the forwarded buffer take their
+                // fan-out entries with them; sending the hand-off on the
+                // same channel first means the target owns the entries
+                // before the tuples arrive (per-channel FIFO). Store-side
+                // tuples have no entry and are skipped by the lookup.
+                let entries: Vec<(u64, u32)> = tuples
+                    .iter()
+                    .filter_map(|t| self.probe_fanout.remove(&t.seq).map(|f| (t.seq, f)))
+                    .collect();
+                if !entries.is_empty() {
+                    self.reg.counter_add("probe_handoffs_out", entries.len() as u64);
+                    if live {
+                        if let Some(ch) = io.wiring.to_instances.get(to) {
+                            let _ = ch.send(RtMsg::ProbeHandoff(entries));
+                        }
+                    }
+                }
+            }
+            if live {
+                let _ = io.wiring.to_instances[to].send(RtMsg::Inst(msg)); // lint:allow(protocol contract: peer ids are valid instance indices)
+            }
+        }
+        for req in fx.route_requests.drain(..) {
+            if live {
+                let _ = io.disp_ctrl.send(DispatcherMsg::Route { group: io.ctx.group, req });
+            }
+        }
+        for done in fx.migration_done.drain(..) {
+            if live {
+                if let Some(mon) = &io.wiring.to_monitor {
+                    let _ = mon.send(MonitorMsg::Done(done));
+                }
+            }
         }
     }
 }
 
-fn flush_instance_effects(
-    group: usize,
-    fx: &mut Effects,
-    probe_fanout: &mut std::collections::HashMap<u64, u32>,
-    reg: &mut MetricsRegistry,
-    wiring: &GroupWiring,
-    disp_ctrl: &Sender<DispatcherMsg>,
-    results: &Option<Sender<JoinedPair>>,
+/// The supervised executor harness: receive → (maybe inject a crash) →
+/// step under `catch_unwind` → checkpoint; on a caught panic, restore the
+/// checkpoint, replay the log with sends suppressed, and re-process the
+/// in-flight message live.
+fn instance_executor(
+    io: &InstanceIo<'_>,
+    mut rx: ChaosReceiver<RtMsg>,
+    sup: SupervisionConfig,
+    crash: Option<CrashPhase>,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
 ) {
-    if let Some(tx) = results {
-        for pair in fx.joined.drain(..) {
-            let _ = tx.send(pair); // receiver may have hung up — best effort
+    let ctx = io.ctx;
+    let now_us = ctx.now_us;
+    let mut switch = KillSwitch::new(crash);
+    let mut state = InstanceState::new(ctx, io.results.is_some());
+    let mut checkpoint = state.clone();
+    let mut log: Vec<RtMsg> = Vec::new();
+    let mut fx = Effects::new();
+    let mut restarts = 0u32;
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            return; // emergency shutdown: the run already failed
         }
-    } else {
-        fx.joined.clear(); // pairs are not materialized without a consumer
-    }
-    for (to, msg) in fx.sends.drain(..) {
-        if let InstanceMsg::MigForward { tuples, .. } = &msg {
-            // Probe-side tuples in the forwarded buffer take their fan-out
-            // entries with them; sending the hand-off on the same channel
-            // first means the target owns the entries before the tuples
-            // arrive (per-channel FIFO). Store-side tuples have no entry
-            // and are skipped by the lookup.
-            let entries: Vec<(u64, u32)> = tuples
-                .iter()
-                .filter_map(|t| probe_fanout.remove(&t.seq).map(|f| (t.seq, f)))
-                .collect();
-            if !entries.is_empty() {
-                reg.counter_add("probe_handoffs_out", entries.len() as u64);
-                if let Some(ch) = wiring.to_instances.get(to) {
-                    let _ = ch.send(RtMsg::ProbeHandoff(entries));
+        let msg = match rx.recv_timeout(EXECUTOR_TICK) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let inject = switch.should_crash(&msg);
+        let retry = msg.clone();
+        let qlen = rx.queue_len();
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                // lint:allow(the injected fail-stop crash IS the fault being tested; caught by this very harness)
+                panic!("fault injection: scheduled crash of join-{}-{}", io.ctx.side, io.ctx.id);
+            }
+            state.step(io, &mut fx, msg, true, qlen);
+        }));
+        match stepped {
+            Ok(()) => {
+                log.push(retry);
+                if log.len() as u64 >= sup.checkpoint_every.max(1) {
+                    checkpoint = state.clone();
+                    log.clear();
+                }
+            }
+            Err(payload) => {
+                restarts += 1;
+                let fatal = restarts > sup.max_restarts;
+                let _ = io.collector.send(CollectorMsg::ExecutorFailure {
+                    name: format!("join-{}-{}", ctx.side, ctx.id),
+                    error: panic_text(payload.as_ref()),
+                    fatal,
+                    restarts,
+                });
+                if fatal {
+                    return; // no InstanceDone: the collector fails the run
+                }
+                fx.clear();
+                // Restore-and-replay can only re-panic on a genuine bug
+                // (deterministic protocol violation); that is fatal.
+                let replayed = catch_unwind(AssertUnwindSafe(|| {
+                    let mut s = checkpoint.clone();
+                    let mut rfx = Effects::new();
+                    for m in &log {
+                        s.step(io, &mut rfx, m.clone(), false, 0);
+                    }
+                    // The in-flight message dies with the crash before any
+                    // of its effects escape, so it re-processes live.
+                    s.step(io, &mut rfx, retry.clone(), true, 0);
+                    s
+                }));
+                match replayed {
+                    Ok(mut s) => {
+                        s.reg.counter_add("executor_restarts", 1);
+                        state = s;
+                        log.push(retry);
+                    }
+                    Err(p2) => {
+                        let _ = io.collector.send(CollectorMsg::ExecutorFailure {
+                            name: format!("join-{}-{}", ctx.side, ctx.id),
+                            error: format!("recovery replay failed: {}", panic_text(p2.as_ref())),
+                            fatal: true,
+                            restarts,
+                        });
+                        return;
+                    }
                 }
             }
         }
-        let _ = wiring.to_instances[to].send(RtMsg::Inst(msg)); // lint:allow(protocol contract: peer ids are valid instance indices)
-    }
-    for req in fx.route_requests.drain(..) {
-        let _ = disp_ctrl.send(DispatcherMsg::Route { group, req });
-    }
-    for done in fx.migration_done.drain(..) {
-        if let Some(mon) = &wiring.to_monitor {
-            let _ = mon.send(MonitorMsg::Done(done));
+        if state.eos && state.inst.migration_state().is_idle() {
+            // All probes this instance received must have completed here or
+            // been handed off; the collector asserts the sum stays zero.
+            state.reg.counter_add("probe_fanout_leaked", state.probe_fanout.len() as u64);
+            let _ = io.collector.send(CollectorMsg::InstanceDone {
+                group: ctx.group,
+                id: ctx.id,
+                counters: state.inst.counters(),
+                registry: std::mem::take(&mut state.reg),
+            });
+            return;
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Monitors
+// ---------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
 fn monitor_loop(
     group: usize,
     fj: &FastJoinConfig,
     period: Duration,
-    rx: &Receiver<MonitorMsg>,
+    mut rx: ChaosReceiver<MonitorMsg>,
     to_instances: &[Sender<RtMsg>],
+    disp_ctrl: &Sender<DispatcherMsg>,
     collector: &Sender<CollectorMsg>,
     quiesce_ack: &Sender<usize>,
     now_us: &dyn Fn() -> u64,
+    sup: SupervisionConfig,
+    mut drop_triggers: u64,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
 ) {
     let n = to_instances.len();
     // The runtime's monitor clock is wall-clock milliseconds; the µs
     // cooldown goes through the one sanctioned conversion (rounds up, so
     // a sub-millisecond cooldown can never truncate to "disabled").
     let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown_ms());
+    monitor.set_round_timeout(sup.round_timeout_ms);
     // Live LI trace (the paper's Fig. 11), one bucket per monitor tick.
     let mut li = TimeSeries::new((period.as_micros() as u64).max(1));
     let mut quiescing = false;
@@ -656,12 +1254,23 @@ fn monitor_loop(
     let mut next_tick = Instant::now() + period;
     #[allow(clippy::while_let_loop)] // the loop body has multiple exits
     loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
         // Ask every instance for its period statistics.
         let timeout = next_tick.saturating_duration_since(Instant::now());
         match rx.recv_timeout(timeout) {
             Ok(MonitorMsg::Report { id, load }) => monitor.on_report(id, load),
             Ok(MonitorMsg::Done(done)) => {
                 monitor.on_migration_done(done, now_us() / 1000);
+                // Whatever the round staged at the dispatcher is now
+                // permanent (no-op for aborted/abandoned rounds, whose
+                // stage was already reverted or never existed).
+                let _ = disp_ctrl.send(DispatcherMsg::Commit { group, epoch: done.epoch });
+            }
+            Ok(MonitorMsg::AbortOutcome { epoch, aborted }) => {
+                monitor.on_abort_outcome(epoch, aborted, now_us() / 1000);
             }
             Ok(MonitorMsg::Quiesce) => quiescing = true,
             Err(RecvTimeoutError::Timeout) => {
@@ -672,9 +1281,24 @@ fn monitor_loop(
                 }
                 if !quiescing {
                     if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
-                        // lint:allow(monitor only triggers sources it was built to watch)
-                        let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
+                        if drop_triggers > 0 {
+                            // Injected fault: the command is lost in
+                            // flight. The monitor now believes a round is
+                            // in flight that no instance ever heard of —
+                            // only the abort watchdog can close it.
+                            drop_triggers -= 1;
+                        } else {
+                            // lint:allow(monitor only triggers sources it was built to watch)
+                            let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
+                        }
                     }
+                }
+                if let Some(req) = monitor.check_deadline(now_us() / 1000) {
+                    let _ = disp_ctrl.send(DispatcherMsg::Abort {
+                        group,
+                        epoch: req.epoch,
+                        source: req.source,
+                    });
                 }
             }
             Err(RecvTimeoutError::Disconnected) => break,

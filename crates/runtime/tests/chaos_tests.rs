@@ -1,0 +1,214 @@
+//! Chaos suite: seeded fault schedules through the threaded runtime.
+//!
+//! Every test drives the real topology (OS threads, real channels) under a
+//! [`FaultPlan`] — executor crashes aligned with migration-protocol
+//! phases, message delay/drop/dup/reorder on the chaos-eligible channels,
+//! and swallowed migration triggers — and asserts the output still equals
+//! the single-threaded oracle (per-key cross products) with the probe
+//! ledger exact: one completion, one latency sample per probe, no leaked
+//! or double-counted fan-out entries.
+//!
+//! The in-tree matrix keeps seed counts modest so `cargo test` stays
+//! fast; `fastjoin-cli chaos` runs the same schedule shapes across 100+
+//! seeds in CI.
+
+use fastjoin_baselines::SystemKind;
+use fastjoin_core::config::FastJoinConfig;
+use fastjoin_core::tuple::{Side, Tuple};
+use fastjoin_runtime::{
+    try_run_topology, ChaosPolicy, CrashFault, CrashPhase, FaultPlan, RuntimeConfig, RuntimeReport,
+    SupervisionConfig,
+};
+
+/// Single-threaded oracle: per-key cross product over the workload.
+fn oracle(tuples: &[Tuple]) -> u64 {
+    let mut r = std::collections::HashMap::new();
+    let mut s = std::collections::HashMap::new();
+    for t in tuples {
+        match t.side {
+            Side::R => *r.entry(t.key).or_insert(0u64) += 1,
+            Side::S => *s.entry(t.key).or_insert(0u64) += 1,
+        }
+    }
+    r.iter().map(|(k, c)| c * s.get(k).copied().unwrap_or(0)).sum()
+}
+
+/// Twelve medium-hot keys carry most of the traffic (hot enough that
+/// GreedyFit actually moves them, spread enough that probes are regularly
+/// in flight mid-migration), salted per seed so different runs pick
+/// different victims.
+fn skewed_workload(salt: u64, n: u64) -> Vec<Tuple> {
+    let mut tuples = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let key = if i % 4 != 0 { 1000 + ((i + salt) % 12) } else { (i + salt) % 97 };
+        if i % 5 == 0 {
+            tuples.push(Tuple::r(key, 0, i));
+        } else {
+            tuples.push(Tuple::s(key, 0, i));
+        }
+    }
+    tuples
+}
+
+/// Aggressive migration cadence + supervision tuned for fast recovery.
+fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
+    RuntimeConfig {
+        system: SystemKind::FastJoin,
+        fastjoin: FastJoinConfig {
+            instances_per_group: 4,
+            theta: 1.2,
+            migration_cooldown: 2_000, // 2 ms
+            ..FastJoinConfig::default()
+        },
+        queue_cap: 256,
+        monitor_period_ms: 2,
+        rate_limit: Some(120_000.0),
+        supervision: SupervisionConfig {
+            max_restarts: 16,
+            checkpoint_every: 32,
+            round_timeout_ms: 25,
+            ..SupervisionConfig::default()
+        },
+        faults,
+    }
+}
+
+/// Crash faults for every instance of both groups at `phase` — whichever
+/// executor the migration protocol steers into the phase crashes (once).
+fn crash_everywhere(phase: CrashPhase) -> Vec<CrashFault> {
+    (0..2)
+        .flat_map(|group| (0..4).map(move |instance| CrashFault { group, instance, phase }))
+        .collect()
+}
+
+/// The invariants every chaos run must satisfy, crash or no crash.
+fn assert_exactly_once(report: &RuntimeReport, expected: u64, probes: u64, label: &str) {
+    assert_eq!(report.results_total, expected, "{label}: lost or duplicated join results");
+    assert_eq!(report.probes_total, probes, "{label}: every tuple probes exactly once");
+    assert_eq!(report.latency.count(), probes, "{label}: one latency sample per probe");
+    assert_eq!(
+        report.registry.counter_sum("probe_fanout_leaked"),
+        0,
+        "{label}: fan-out entries leaked"
+    );
+    assert_eq!(
+        report.registry.counter_sum("probe_handoffs_out"),
+        report.registry.counter_sum("probe_handoffs_in"),
+        "{label}: handed-off fan-out entries must all arrive"
+    );
+}
+
+#[test]
+fn fault_free_supervised_run_matches_oracle() {
+    // Sanity: the supervision plumbing itself must not perturb results.
+    let tuples = skewed_workload(0, 8_000);
+    let expected = oracle(&tuples);
+    let report = try_run_topology(&chaos_cfg(FaultPlan::default()), tuples).expect("clean run");
+    assert_exactly_once(&report, expected, 8_000, "fault-free");
+}
+
+#[test]
+fn crashes_at_every_protocol_phase_recover_exactly_once() {
+    let phases = [
+        ("pre-MigStart", CrashPhase::PreMigStart),
+        ("handoff/forward window", CrashPhase::BetweenHandoffAndForward),
+        ("pre-route-flip", CrashPhase::PreRouteFlip),
+        ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
+    ];
+    for (label, phase) in phases {
+        let mut crashes_fired = 0u64;
+        for seed in 0..4u64 {
+            let tuples = skewed_workload(seed, 8_000);
+            let expected = oracle(&tuples);
+            let plan = FaultPlan { seed, crashes: crash_everywhere(phase), ..FaultPlan::default() };
+            let report = try_run_topology(&chaos_cfg(plan), tuples)
+                .unwrap_or_else(|e| panic!("{label} seed {seed}: run failed: {e}"));
+            assert_exactly_once(&report, expected, 8_000, &format!("{label} seed {seed}"));
+            crashes_fired += report.registry.counter_sum("supervisor.executor_failures");
+        }
+        assert!(
+            crashes_fired > 0,
+            "{label}: no scheduled crash ever fired — the phase was never reached; \
+             tune the workload"
+        );
+    }
+}
+
+#[test]
+fn channel_chaos_matrix_preserves_exactly_once() {
+    // Delay on the (FIFO, lossless) data plane; drop/dup/reorder on the
+    // best-effort monitor report stream. Seeds shift both the workload and
+    // every chaos RNG stream.
+    for seed in 0..12u64 {
+        let tuples = skewed_workload(seed, 6_000);
+        let expected = oracle(&tuples);
+        let plan = FaultPlan {
+            seed,
+            instance_chaos: ChaosPolicy {
+                delay_1_in: 64,
+                delay_max_us: 300,
+                ..ChaosPolicy::default()
+            },
+            monitor_chaos: ChaosPolicy {
+                delay_1_in: 16,
+                delay_max_us: 500,
+                drop_1_in: 4,
+                dup_1_in: 4,
+                reorder_1_in: 4,
+            },
+            ..FaultPlan::default()
+        };
+        let report = try_run_topology(&chaos_cfg(plan), tuples)
+            .unwrap_or_else(|e| panic!("chaos seed {seed}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 6_000, &format!("chaos seed {seed}"));
+    }
+}
+
+#[test]
+fn stalled_round_is_aborted_by_the_watchdog_and_the_run_completes() {
+    // The first two MigrateCmds vanish in flight: the monitor has a round
+    // in flight that no instance will ever run. Only the round-timeout
+    // watchdog (abort at the dispatcher, rollback ack from the idle
+    // source) can unwedge it — shutdown must not hang, results must be
+    // untouched (the lost rounds moved nothing).
+    let tuples = skewed_workload(3, 12_000);
+    let expected = oracle(&tuples);
+    let plan = FaultPlan { seed: 3, drop_migrate_cmds: 2, ..FaultPlan::default() };
+    let mut cfg = chaos_cfg(plan);
+    cfg.supervision.round_timeout_ms = 10;
+    let report = try_run_topology(&cfg, tuples).expect("stalled rounds must not wedge the run");
+    assert_exactly_once(&report, expected, 12_000, "stalled round");
+    let aborted: u64 = report.monitor_stats.iter().flatten().map(|s| s.aborted).sum();
+    assert!(aborted >= 1, "the watchdog must abort the stalled round: {:?}", report.monitor_stats);
+    assert!(report.registry.counter_sum("migration_aborts") >= 1, "dispatcher saw no abort");
+}
+
+#[test]
+fn crash_between_handoff_and_forward_keeps_the_probe_ledger_exact() {
+    // Regression: a migration target crashing after `ProbeHandoff` arrived
+    // but before the matching `MigForward` must neither leak the
+    // handed-off fan-out entries nor double-count them after recovery
+    // replay. Crash timing depends on a migration with probes in flight,
+    // so the observation retries — the ledger invariants must hold on
+    // EVERY attempt regardless.
+    let phase = CrashPhase::BetweenHandoffAndForward;
+    let mut observed = false;
+    for attempt in 0..5u64 {
+        let tuples = skewed_workload(attempt, 12_000);
+        let expected = oracle(&tuples);
+        let plan =
+            FaultPlan { seed: attempt, crashes: crash_everywhere(phase), ..FaultPlan::default() };
+        let mut cfg = chaos_cfg(plan);
+        cfg.rate_limit = Some(60_000.0); // longer run: more rounds, more in-flight probes
+        let report = try_run_topology(&cfg, tuples)
+            .unwrap_or_else(|e| panic!("attempt {attempt}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 12_000, &format!("attempt {attempt}"));
+        let crashed = report.registry.counter_sum("supervisor.executor_failures");
+        let handoffs = report.registry.counter_sum("probe_handoffs_out");
+        if crashed > 0 && handoffs > 0 {
+            observed = true;
+            break;
+        }
+    }
+    assert!(observed, "no attempt crashed a target inside the handoff window; tune the workload");
+}

@@ -18,6 +18,7 @@ fn cfg(system: SystemKind, n: usize) -> RuntimeConfig {
         queue_cap: 256,
         monitor_period_ms: 20,
         rate_limit: None,
+        ..RuntimeConfig::default()
     }
 }
 

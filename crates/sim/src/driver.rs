@@ -56,6 +56,15 @@ pub struct SimConfig {
     pub backpressure_retry: SimTime,
     /// Record per-instance load time series of the R group (Fig. 1c).
     pub record_instance_loads: bool,
+    /// Migration-round deadline, simulated µs. A round in flight longer
+    /// than this is aborted by the monitor watchdog and rolled back
+    /// (routes reverted, moved tuples returned). 0 disables the watchdog.
+    pub round_timeout: SimTime,
+    /// Fault injection: silently discard the first N `MigrateCmd`
+    /// triggers, leaving the monitor with a round in flight that no
+    /// instance will ever complete — the stalled-round scenario the
+    /// watchdog exists for.
+    pub drop_migrate_cmds: u64,
 }
 
 impl Default for SimConfig {
@@ -69,6 +78,8 @@ impl Default for SimConfig {
             queue_cap: 2048,
             backpressure_retry: 1_000,
             record_instance_loads: false,
+            round_timeout: 0,
+            drop_migrate_cmds: 0,
         }
     }
 }
@@ -153,6 +164,7 @@ impl SimReport {
                     ("triggered", Json::uint(s.triggered)),
                     ("effective", Json::uint(s.effective)),
                     ("abandoned", Json::uint(s.abandoned)),
+                    ("aborted", Json::uint(s.aborted)),
                     ("tuples_moved", Json::uint(s.tuples_moved)),
                     ("keys_moved", Json::uint(s.keys_moved)),
                 ])
@@ -221,6 +233,17 @@ pub struct Simulation<W: Iterator<Item = Tuple>> {
     ingest_series: fastjoin_core::metrics::TimeSeries,
     stored_series: fastjoin_core::metrics::TimeSeries,
     pending_series: fastjoin_core::metrics::TimeSeries,
+    /// Epochs whose route flip reached the dispatcher, per group. An
+    /// abort request for such an epoch is refused — the round is past its
+    /// point of no return and must complete forward.
+    routed_epochs: [std::collections::HashSet<u64>; 2],
+    /// Epochs aborted before their route flip arrived, per group. A late
+    /// `RouteAtDispatcher` for one of these is staged and immediately
+    /// reverted (the version still advances) and no `RouteUpdated` is
+    /// sent — the source instance sees `MigAbort` instead.
+    aborted_epochs: [std::collections::HashSet<u64>; 2],
+    /// Remaining `MigrateCmd` triggers to drop (fault injection).
+    drop_triggers: u64,
 }
 
 impl<W: Iterator<Item = Tuple>> Simulation<W> {
@@ -257,6 +280,12 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 ..cfg.fastjoin.clone()
             }),
         };
+        let mut groups = [make_group(Side::R, 0), make_group(Side::S, 1)];
+        for g in &mut groups {
+            if let Some(m) = g.monitor.as_mut() {
+                m.set_round_timeout(cfg.round_timeout);
+            }
+        }
         let mut queue = EventQueue::new();
         let next_tuple = workload.next();
         if let Some(t) = &next_tuple {
@@ -268,10 +297,11 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
         } else {
             Vec::new()
         };
+        let drop_triggers = cfg.drop_migrate_cmds;
         Simulation {
             metrics: RunMetrics::new(cfg.report_period),
             dispatcher: Dispatcher::new(r_part, s_part),
-            groups: [make_group(Side::R, 0), make_group(Side::S, 1)],
+            groups,
             queue,
             channels: ChannelClock::new(),
             now: 0,
@@ -287,6 +317,9 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             next_tuple,
             workload,
             cfg,
+            routed_epochs: Default::default(),
+            aborted_epochs: Default::default(),
+            drop_triggers,
         }
     }
 
@@ -305,8 +338,17 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 Event::Delivery { group, dest, msg } => self.on_delivery(group, dest, msg),
                 Event::RouteAtDispatcher { group, req } => {
                     let side = if group == 0 { Side::R } else { Side::S };
-                    let supported = self.dispatcher.apply_route(side, &req);
+                    let supported = self.dispatcher.stage_route(side, &req);
                     assert!(supported, "migration on a non-migratable partitioner");
+                    if self.aborted_epochs[group].contains(&req.epoch) {
+                        // The round was aborted before its flip arrived:
+                        // advance the version past the stage, restore the
+                        // committed routes, and send no RouteUpdated — the
+                        // source already holds (or will hold) MigAbort.
+                        self.dispatcher.revert_route(side, req.epoch);
+                        continue;
+                    }
+                    self.routed_epochs[group].insert(req.epoch);
                     let delivery = self.channels.send(
                         Endpoint::Dispatcher,
                         Endpoint::Instance(group, req.source),
@@ -472,11 +514,20 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             // lengthens the cooldown).
             self.metrics.migrations += 1;
             self.metrics.tuples_migrated += done.tuples_moved;
+            let epoch = done.epoch;
             self.groups[group]
                 .monitor
                 .as_mut()
                 .expect("migration completed in a static group")
                 .on_migration_done(done, self.now);
+            // The round is closed either way: commit the staged flip (a
+            // no-op for aborted/abandoned rounds) and retire the epoch.
+            // Aborted epochs stay tombstoned: the rollback ack is
+            // delivered instantly here while the stale RouteRequest may
+            // still be in flight, and it must find the tombstone.
+            let side = if group == 0 { Side::R } else { Side::S };
+            self.dispatcher.commit_route(side, epoch);
+            self.routed_epochs[group].remove(&epoch);
         }
     }
 
@@ -547,6 +598,7 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             }
         }
         let mut triggers = Vec::new();
+        let mut aborts = Vec::new();
         for (gi, g) in self.groups.iter_mut().enumerate() {
             for server in &mut g.servers {
                 server.inst.collect_expired();
@@ -561,7 +613,48 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 self.metrics.imbalance.record(self.now, monitor.imbalance());
             }
             if let Some(trigger) = monitor.maybe_trigger(self.now) {
-                triggers.push((gi, trigger));
+                if self.drop_triggers > 0 {
+                    // Fault injection: the MigrateCmd is lost. The monitor
+                    // keeps the round in flight; only the watchdog (or the
+                    // end of the run) can close it.
+                    self.drop_triggers -= 1;
+                } else {
+                    triggers.push((gi, trigger));
+                }
+            }
+            // Round-timeout watchdog (fires at most once per deadline).
+            if let Some(req) = monitor.check_deadline(self.now) {
+                aborts.push((gi, req));
+            }
+        }
+        // Resolve abort requests at the dispatcher, the serialization
+        // point: a round whose route already flipped is refused (it must
+        // complete forward); otherwise the epoch is tombstoned and the
+        // source is told to roll back.
+        for (gi, req) in aborts {
+            let refused = self.routed_epochs[gi].contains(&req.epoch);
+            if !refused {
+                self.aborted_epochs[gi].insert(req.epoch);
+            }
+            self.groups[gi]
+                .monitor
+                .as_mut()
+                .expect("abort request from a static group")
+                .on_abort_outcome(req.epoch, !refused, self.now);
+            if !refused {
+                let delivery = self.channels.send(
+                    Endpoint::Dispatcher,
+                    Endpoint::Instance(gi, req.source),
+                    self.now + self.cfg.cost.network_latency as SimTime,
+                );
+                self.queue.push(
+                    delivery,
+                    Event::Delivery {
+                        group: gi,
+                        dest: req.source,
+                        msg: InstanceMsg::MigAbort { epoch: req.epoch },
+                    },
+                );
             }
         }
         // Static systems still report an imbalance series (Fig. 11 plots
@@ -592,8 +685,16 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 Event::Delivery { group: gi, dest: trigger.source, msg: trigger.msg },
             );
         }
-        // Keep ticking while there is anything left to do.
-        if self.next_tuple.is_some() || !self.queue.is_empty() {
+        // Keep ticking while there is anything left to do. An in-flight
+        // round with the watchdog armed counts as work: its deadline only
+        // fires on a tick, and a stalled round (dropped MigrateCmd) has no
+        // other event keeping the queue alive. `max_time` still bounds it.
+        let watchdog_armed = self.cfg.round_timeout > 0
+            && self
+                .groups
+                .iter()
+                .any(|g| g.monitor.as_ref().is_some_and(Monitor::migration_in_flight));
+        if self.next_tuple.is_some() || !self.queue.is_empty() || watchdog_armed {
             self.queue.push(self.now + self.cfg.fastjoin.monitor_period, Event::MonitorTick);
         }
     }
@@ -764,6 +865,55 @@ mod tests {
         let report = Simulation::new(cfg, uniform_workload(500, 9, 1000).into_iter()).run();
         assert_eq!(report.instance_loads.len(), 3);
         assert!(report.instance_loads.iter().any(|s| !s.is_empty()));
+    }
+
+    fn skewed_workload(tuples: u64) -> (Vec<Tuple>, u64) {
+        let mut out = Vec::new();
+        let mut ts = 0u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..tuples {
+            ts += 100;
+            let key = if i % 2 == 0 { 999 } else { i % 37 };
+            out.push(Tuple::r(key, ts, 0));
+            out.push(Tuple::s(key, ts, 0));
+            *counts.entry(key).or_insert(0u64) += 1;
+        }
+        let expected = counts.values().map(|c| c * c).sum();
+        (out, expected)
+    }
+
+    #[test]
+    fn dropped_migrate_cmd_is_rolled_back_by_the_watchdog() {
+        let mut cfg = base_cfg(4);
+        cfg.fastjoin.theta = 1.5;
+        cfg.round_timeout = 150_000;
+        cfg.drop_migrate_cmds = 1;
+        let (tuples, expected) = skewed_workload(12_000);
+        let report = Simulation::new(cfg, tuples.into_iter()).run();
+        let stats = report.monitor_stats[0].expect("FastJoin has a monitor");
+        assert!(stats.aborted >= 1, "the stalled round must be aborted: {stats:?}");
+        // The lost MigrateCmd moved nothing, and later rounds still fire:
+        // completeness holds across the abort.
+        assert_eq!(report.results_total, expected);
+        assert!(stats.effective > 0, "later rounds must still complete: {stats:?}");
+    }
+
+    #[test]
+    fn slow_network_rounds_abort_and_preserve_completeness() {
+        let mut cfg = base_cfg(4);
+        cfg.fastjoin.theta = 1.5;
+        // The deadline (150 ms) expires long before the route request can
+        // cross a 0.5 s network, so in-flight rounds abort and roll back
+        // their already-transferred tuples.
+        cfg.cost.network_latency = 500_000.0;
+        cfg.round_timeout = 150_000;
+        cfg.max_time = 120_000_000;
+        let (tuples, expected) = skewed_workload(4000);
+        let report = Simulation::new(cfg, tuples.into_iter()).run();
+        let stats = report.monitor_stats[0].expect("FastJoin has a monitor");
+        assert!(stats.triggered > 0, "hot key must trigger rounds");
+        assert!(stats.aborted > 0, "slow rounds must hit the deadline: {stats:?}");
+        assert_eq!(report.results_total, expected, "rollback must not lose or duplicate joins");
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl ExperimentParams {
             queue_cap: 512,
             backpressure_retry: 1_000,
             record_instance_loads: false,
+            ..SimConfig::default()
         }
     }
 }

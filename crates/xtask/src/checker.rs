@@ -164,6 +164,7 @@ enum ChanMsg {
 
 /// Scripted selector: always proposes moving the hot key, so every
 /// exploration is deterministic given the delivery schedule.
+#[derive(Clone)]
 struct FixedSelector;
 
 impl KeySelector for FixedSelector {
@@ -549,6 +550,16 @@ fn msg_summary(m: &ChanMsg) -> String {
         }
         ChanMsg::Inst(InstanceMsg::MigEnd { epoch, from }) => {
             format!("MigEnd epoch={epoch} from={from}")
+        }
+        ChanMsg::Inst(InstanceMsg::MigAbort { epoch }) => {
+            format!("MigAbort epoch={epoch}")
+        }
+        ChanMsg::Inst(InstanceMsg::MigReturn { epoch, stored, inflight }) => {
+            format!(
+                "MigReturn epoch={epoch} ({} stored, {} inflight)",
+                stored.len(),
+                inflight.len()
+            )
         }
         ChanMsg::Route(req) => {
             format!("RouteRequest epoch={} keys={:?} -> target {}", req.epoch, req.keys, req.target)

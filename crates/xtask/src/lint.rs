@@ -16,6 +16,11 @@
 //!    is a compile error at every handler instead of a silent drop.
 //! 4. **missing-docs** — public items in `fastjoin-core` carry doc
 //!    comments.
+//! 5. **no-channel-unwrap** — in `crates/runtime`, a channel `send`/`recv`
+//!    result must never be `unwrap()`ed/`expect()`ed. A disconnected
+//!    channel is a *normal* event under supervision (a peer crashed or
+//!    shut down first); panicking on it turns one executor's failure into
+//!    a cascade. Handle the `Err` (stop the loop, report the failure).
 //!
 //! Sites that are genuinely unreachable or deliberately fatal are excused
 //! with a `// lint:allow(reason)` comment on the same line or the line
@@ -488,6 +493,75 @@ fn check_no_wildcard_match(
     }
 }
 
+/// Rule 5: channel `send`/`recv` results must not be unwrapped in the
+/// runtime crate. The scan finds a channel-op call, skips its balanced
+/// argument list, and checks whether the very next method in the chain is
+/// `unwrap`/`expect` — so `tx.send(x.unwrap())` (an unwrap *inside* the
+/// arguments, rule 1's business) is not double-reported, while multi-line
+/// chains like `tx.send(x)\n    .unwrap()` are.
+fn check_no_channel_unwrap(
+    file: &str,
+    src: &MaskedSource,
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const CHANNEL_OPS: &[&str] =
+        &[".send(", ".try_send(", ".recv(", ".try_recv(", ".recv_timeout(", ".recv_deadline("];
+    let text = &src.masked;
+    let bytes = text.as_bytes();
+    let mut line_of = vec![1usize; bytes.len() + 1];
+    let mut l = 1usize;
+    for (i, &c) in bytes.iter().enumerate() {
+        line_of[i] = l;
+        if c == b'\n' {
+            l += 1;
+        }
+    }
+    if let Some(last) = line_of.last_mut() {
+        *last = l;
+    }
+    for op in CHANNEL_OPS {
+        let mut start = 0usize;
+        while let Some(p) = text[start..].find(op) {
+            let pos = start + p;
+            start = pos + op.len();
+            // Skip the balanced argument list of the call.
+            let mut depth = 1i64;
+            let mut i = pos + op.len();
+            while i < bytes.len() && depth > 0 {
+                match bytes[i] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            // The next chained method (whitespace/newlines allowed).
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let rest = &text[i.min(text.len())..];
+            if !(rest.starts_with(".unwrap()") || rest.starts_with(".expect(")) {
+                continue;
+            }
+            let lineno = line_of[pos];
+            if in_test.get(lineno).copied().unwrap_or(false) || allowed(&src.allow_lines, lineno) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: lineno,
+                rule: "no-channel-unwrap",
+                msg: format!(
+                    "`{}...).unwrap()/expect()`: a disconnected channel is a normal \
+                     shutdown/crash event under supervision; handle the Err",
+                    op
+                ),
+            });
+        }
+    }
+}
+
 /// Rule 4: public items in `fastjoin-core` must have doc comments.
 fn check_missing_docs(file: &str, src: &MaskedSource, in_test: &[bool], out: &mut Vec<Diagnostic>) {
     const ITEM_KEYWORDS: &[&str] =
@@ -554,6 +628,9 @@ pub fn lint_source(repo_rel: &str, source: &str) -> Vec<Diagnostic> {
     check_no_wildcard_match(repo_rel, &masked, &in_test, &mut out);
     if repo_rel.starts_with("crates/core/") {
         check_missing_docs(repo_rel, &masked, &in_test, &mut out);
+    }
+    if repo_rel.starts_with("crates/runtime/") {
+        check_no_channel_unwrap(repo_rel, &masked, &in_test, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -702,6 +779,46 @@ mod tests {
                    pub(crate) fn internal() {}\n\nfn private() {}\n\n\
                    /// Re-exported elsewhere.\n#[derive(Debug)]\npub struct S;\n";
         assert!(lint_source("crates/core/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn channel_unwrap_flagged_in_runtime_only() {
+        let src = "fn f(tx: Sender<u32>) {\n    tx.send(1).unwrap();\n}\n";
+        let runtime = lint_source("crates/runtime/src/fake.rs", src);
+        assert!(rules(&runtime).contains(&"no-channel-unwrap"), "{runtime:?}");
+        let core = lint_source("crates/core/src/fake.rs", src);
+        assert!(!rules(&core).contains(&"no-channel-unwrap"), "{core:?}");
+    }
+
+    #[test]
+    fn channel_unwrap_catches_multiline_chains_and_expect_on_recv() {
+        let src = "fn f(tx: Sender<u32>, rx: Receiver<u32>) {\n    tx.send(1)\n        \
+                   .unwrap();\n    let _ = rx.recv_timeout(d).expect(\"peer gone\");\n}\n";
+        let d = lint_source("crates/runtime/src/fake.rs", src);
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == "no-channel-unwrap").collect();
+        assert_eq!(hits.len(), 2, "{d:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 4);
+    }
+
+    #[test]
+    fn unwrap_inside_send_arguments_is_not_a_channel_unwrap() {
+        let src = "fn f(tx: Sender<u32>, x: Option<u32>) {\n    \
+                   let _ = tx.send(x.unwrap());\n}\n";
+        let d = lint_source("crates/runtime/src/fake.rs", src);
+        // Rule 1 still flags the unwrap; the channel rule must not.
+        assert!(!rules(&d).contains(&"no-channel-unwrap"), "{d:?}");
+        assert!(rules(&d).contains(&"no-panic"));
+    }
+
+    #[test]
+    fn channel_unwrap_honors_lint_allow_and_test_code() {
+        let src = "fn f(tx: Sender<u32>) {\n    \
+                   tx.send(1).unwrap(); // lint:allow(spout holds both ends)\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(tx: Sender<u32>) {\n        \
+                   tx.send(1).unwrap();\n    }\n}\n";
+        let d = lint_source("crates/runtime/src/fake.rs", src);
+        assert!(!rules(&d).contains(&"no-channel-unwrap"), "{d:?}");
     }
 
     #[test]

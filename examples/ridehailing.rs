@@ -40,6 +40,7 @@ fn main() {
             queue_cap: 1024,
             monitor_period_ms: 25,
             rate_limit: Some(300_000.0), // paced spout → several monitor periods
+            ..RuntimeConfig::default()
         };
         let tuples = RideHailGen::new(&workload_cfg);
         let report = run_topology(&cfg, tuples);

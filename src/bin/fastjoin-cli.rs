@@ -12,8 +12,22 @@
 //!                       [--rate N] [--theta F]
 //! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
 //! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
-//! fastjoin-cli bench    [--out PATH]   # observability smoke suite → BENCH_smoke.json
+//! fastjoin-cli bench    [--out PATH] [--deadline-secs N]
+//!                       # observability smoke suite → BENCH_smoke.json;
+//!                       # any scenario over the wall-clock deadline fails
+//! fastjoin-cli chaos    [--seeds N] [--tuples N] [--out PATH] [--class NAME]
+//!                       # seeded fault-schedule matrix → CHAOS_report.json
 //! ```
+//!
+//! The `chaos` command replays the fault classes of the in-tree chaos
+//! suite — executor crashes at each migration-protocol phase, message
+//! delay/drop/duplicate/reorder, and stalled (dropped-trigger) rounds —
+//! across `--seeds` distinct seeds per class, asserting exactly-once
+//! output against a single-threaded oracle on every run. Faults come from
+//! the runtime's [`FaultPlan`]: executor kill-switches pinned to protocol
+//! phases, per-channel delay on the (FIFO, lossless) data plane,
+//! drop/dup/reorder on best-effort monitor reports, and swallowed
+//! `MigrateCmd`s that only the round-timeout watchdog can clean up.
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible default matching the paper's setup.
@@ -197,6 +211,7 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
             let r: f64 = args.get("rate", 0.0)?;
             (r > 0.0).then_some(r)
         },
+        ..RuntimeConfig::default()
     };
     let wl = RideHailGen::new(&RideHailConfig {
         orders: args.get("orders", 50_000)?,
@@ -255,6 +270,20 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     use fastjoin::runtime::RuntimeReport;
 
     let out = args.get_str("out", "BENCH_smoke.json");
+    // Wall-clock budget per scenario: a wedged or pathologically slow run
+    // must fail the suite (non-zero exit) instead of stalling CI.
+    let deadline = std::time::Duration::from_secs(args.get("deadline-secs", 120)?);
+    let mut failures = Vec::new();
+    let mut deadline_check = |name: &str, started: std::time::Instant| {
+        let took = started.elapsed();
+        if took > deadline {
+            failures.push(format!(
+                "{name}: exceeded the {}s scenario deadline (took {:.1}s)",
+                deadline.as_secs(),
+                took.as_secs_f64()
+            ));
+        }
+    };
     let base = |n: usize| RuntimeConfig {
         system: SystemKind::FastJoin,
         fastjoin: FastJoinConfig {
@@ -266,6 +295,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         queue_cap: 256,
         monitor_period_ms: 20,
         rate_limit: None,
+        ..RuntimeConfig::default()
     };
 
     // Skewed: one hot key carries 3/4 of the traffic; throttled so the run
@@ -284,6 +314,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
     };
     let mut skewed = None;
+    let started = std::time::Instant::now();
     for _ in 0..3 {
         let mut cfg = base(4);
         cfg.rate_limit = Some(60_000.0);
@@ -298,12 +329,15 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         }
     }
     let skewed = skewed.expect("at least one skewed run completed");
+    deadline_check("skewed", started);
 
     // Uniform: every key equally hot; exercises the static happy path.
     let uniform: Vec<Tuple> = (0..20u64)
         .flat_map(|i| (0..10u64).flat_map(move |k| [Tuple::r(k, 0, i), Tuple::s(k, 0, i)]))
         .collect();
+    let started = std::time::Instant::now();
     let uniform = run_topology(&base(4), uniform);
+    deadline_check("uniform", started);
 
     // Windowed: a sliding window over a throttled stream (expiry path).
     let mut wcfg = base(2);
@@ -312,10 +346,11 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let windowed_workload: Vec<Tuple> = (0..2_000u64)
         .map(|i| if i % 2 == 0 { Tuple::r(i % 13, 0, i) } else { Tuple::s(i % 13, 0, i) })
         .collect();
+    let started = std::time::Instant::now();
     let windowed = run_topology(&wcfg, windowed_workload);
+    deadline_check("windowed", started);
 
     // Validate before writing: the suite's contract with CI.
-    let mut failures = Vec::new();
     let mut check = |name: &str, r: &RuntimeReport, expect_migration: bool| {
         if r.probes_total == 0 {
             failures.push(format!("{name}: no probes completed"));
@@ -378,8 +413,206 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     }
 }
 
+/// One fault class of the chaos matrix: a name and a `FaultPlan` factory.
+type ChaosClass = (&'static str, fn(u64) -> fastjoin::runtime::FaultPlan);
+
+/// The chaos matrix: every fault class of the in-tree suite, replayed
+/// across `--seeds` distinct seeds each, every run checked exactly-once
+/// against a single-threaded oracle. The run-by-run outcome is written as
+/// a JSON failure report (`--out`, default `CHAOS_report.json`) so CI can
+/// upload it as an artifact when the command exits non-zero.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use fastjoin::core::config::FastJoinConfig;
+    use fastjoin::core::json::Json;
+    use fastjoin::runtime::{
+        try_run_topology, ChaosPolicy, CrashFault, CrashPhase, FaultPlan, SupervisionConfig,
+    };
+
+    let seeds: u64 = args.get("seeds", 100)?;
+    let tuples_n: u64 = args.get("tuples", 6_000)?;
+    let out = args.get_str("out", "CHAOS_report.json");
+    let only = args.flags.get("class").cloned();
+
+    fn crash_everywhere(seed: u64, phase: CrashPhase) -> FaultPlan {
+        let crashes = (0..2)
+            .flat_map(|group| (0..4).map(move |instance| CrashFault { group, instance, phase }))
+            .collect();
+        FaultPlan { seed, crashes, ..FaultPlan::default() }
+    }
+    let classes: &[ChaosClass] = &[
+        ("crash-pre-migstart", |s| crash_everywhere(s, CrashPhase::PreMigStart)),
+        ("crash-handoff-forward", |s| crash_everywhere(s, CrashPhase::BetweenHandoffAndForward)),
+        ("crash-pre-route-flip", |s| crash_everywhere(s, CrashPhase::PreRouteFlip)),
+        ("crash-steady-state", |s| {
+            crash_everywhere(s, CrashPhase::SteadyState { after_msgs: 400 })
+        }),
+        ("channel-chaos", |s| FaultPlan {
+            seed: s,
+            instance_chaos: ChaosPolicy {
+                delay_1_in: 64,
+                delay_max_us: 300,
+                ..ChaosPolicy::default()
+            },
+            monitor_chaos: ChaosPolicy {
+                delay_1_in: 16,
+                delay_max_us: 500,
+                drop_1_in: 4,
+                dup_1_in: 4,
+                reorder_1_in: 4,
+            },
+            ..FaultPlan::default()
+        }),
+        ("stalled-round", |s| FaultPlan { seed: s, drop_migrate_cmds: 2, ..FaultPlan::default() }),
+    ];
+
+    // Same skewed shape as the in-tree suite: twelve medium-hot keys so
+    // GreedyFit migrates eagerly with probes in flight mid-round.
+    let workload = |salt: u64| -> Vec<Tuple> {
+        (0..tuples_n)
+            .map(|i| {
+                let key = if i % 4 != 0 { 1000 + ((i + salt) % 12) } else { (i + salt) % 97 };
+                if i % 5 == 0 {
+                    Tuple::r(key, 0, i)
+                } else {
+                    Tuple::s(key, 0, i)
+                }
+            })
+            .collect()
+    };
+    let oracle = |tuples: &[Tuple]| -> u64 {
+        let mut r = HashMap::new();
+        let mut s = HashMap::new();
+        for t in tuples {
+            match t.side {
+                Side::R => *r.entry(t.key).or_insert(0u64) += 1,
+                Side::S => *s.entry(t.key).or_insert(0u64) += 1,
+            }
+        }
+        r.iter().map(|(k, c)| c * s.get(k).copied().unwrap_or(0)).sum()
+    };
+
+    let mut runs = 0u64;
+    let mut failures: Vec<Json> = Vec::new();
+    let started = std::time::Instant::now();
+    for (name, plan_for) in classes {
+        if let Some(filter) = &only {
+            if filter != name {
+                continue;
+            }
+        }
+        let mut class_bad = 0u64;
+        for seed in 0..seeds {
+            runs += 1;
+            let tuples = workload(seed);
+            let expected = oracle(&tuples);
+            let cfg = RuntimeConfig {
+                system: SystemKind::FastJoin,
+                fastjoin: FastJoinConfig {
+                    instances_per_group: 4,
+                    theta: 1.2,
+                    migration_cooldown: 2_000,
+                    ..FastJoinConfig::default()
+                },
+                queue_cap: 256,
+                monitor_period_ms: 2,
+                rate_limit: Some(120_000.0),
+                supervision: SupervisionConfig {
+                    max_restarts: 16,
+                    checkpoint_every: 32,
+                    round_timeout_ms: 25,
+                    ..SupervisionConfig::default()
+                },
+                faults: plan_for(seed),
+            };
+            let verdict: Result<(), String> = match try_run_topology(&cfg, tuples) {
+                Err(e) => Err(format!("run failed: {e}")),
+                Ok(report) => {
+                    let mut problems = Vec::new();
+                    if report.results_total != expected {
+                        problems
+                            .push(format!("results {} != oracle {expected}", report.results_total));
+                    }
+                    if report.probes_total != tuples_n {
+                        problems.push(format!("probes {} != {tuples_n}", report.probes_total));
+                    }
+                    if report.latency.count() != tuples_n {
+                        problems.push(format!(
+                            "latency samples {} != {tuples_n}",
+                            report.latency.count()
+                        ));
+                    }
+                    let leaked = report.registry.counter_sum("probe_fanout_leaked");
+                    if leaked != 0 {
+                        problems.push(format!("{leaked} fan-out entries leaked"));
+                    }
+                    let (ho, hi) = (
+                        report.registry.counter_sum("probe_handoffs_out"),
+                        report.registry.counter_sum("probe_handoffs_in"),
+                    );
+                    if ho != hi {
+                        problems.push(format!("handoffs out {ho} != in {hi}"));
+                    }
+                    if problems.is_empty() {
+                        Ok(())
+                    } else {
+                        Err(problems.join("; "))
+                    }
+                }
+            };
+            if let Err(why) = verdict {
+                class_bad += 1;
+                failures.push(Json::obj(vec![
+                    ("class", Json::str(*name)),
+                    ("seed", Json::uint(seed)),
+                    ("error", Json::str(&why)),
+                ]));
+            }
+        }
+        println!("{name:<22} {seeds} seeds, {class_bad} failures");
+    }
+    if runs == 0 {
+        return Err(match only {
+            Some(c) => format!("unknown chaos class {c:?}"),
+            None => "no chaos runs executed".to_string(),
+        });
+    }
+
+    let doc = Json::obj(vec![
+        ("schema_version", Json::uint(1)),
+        ("suite", Json::str("fastjoin chaos matrix")),
+        ("seeds_per_class", Json::uint(seeds)),
+        ("tuples_per_run", Json::uint(tuples_n)),
+        ("runs", Json::uint(runs)),
+        ("failed", Json::uint(failures.len() as u64)),
+        ("wall_clock_secs", Json::uint(started.elapsed().as_secs())),
+        ("failures", Json::arr(failures.clone().into_iter())),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "{runs} runs in {:.0}s, {} failures → {out}",
+        started.elapsed().as_secs_f64(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} of {runs} chaos runs violated exactly-once; see {out}", failures.len()))
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: fastjoin-cli <simulate|compare|topology|census|gen|bench> [--flag value]...\n\
+    "usage: fastjoin-cli <simulate|compare|topology|census|gen|bench|chaos> [--flag value]...\n\
+     \n\
+     fault-injection (chaos) knobs, all seed-deterministic via FaultPlan:\n\
+       --seeds N       seeds per fault class (default 100)\n\
+       --tuples N      workload size per run (default 6000)\n\
+       --class NAME    run one class only: crash-pre-migstart |\n\
+                       crash-handoff-forward | crash-pre-route-flip |\n\
+                       crash-steady-state | channel-chaos | stalled-round\n\
+       --out PATH      failure-report JSON (default CHAOS_report.json)\n\
+     bench:\n\
+       --deadline-secs N   wall-clock deadline per scenario (default 120);\n\
+                           breach exits non-zero\n\
      see the module docs (cargo doc) or the README for the full flag list"
 }
 
@@ -396,6 +629,7 @@ fn main() -> ExitCode {
         "census" => cmd_census(&args),
         "gen" => cmd_gen(&args),
         "bench" => cmd_bench(&args),
+        "chaos" => cmd_chaos(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     });
     match result {

@@ -116,6 +116,7 @@ fn all_engines_agree_on_result_totals() {
             queue_cap: 1024,
             monitor_period_ms: 20,
             rate_limit: None,
+            ..fastjoin::runtime::RuntimeConfig::default()
         },
         tuples,
     );
