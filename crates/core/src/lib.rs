@@ -24,6 +24,8 @@
 //! * [`biclique`] — [`biclique::JoinCluster`], a synchronous reference
 //!   cluster wiring all components together.
 //! * [`metrics`] — throughput/latency/imbalance collection.
+//! * [`trace`] / [`telemetry`] — the causal trace journal and the
+//!   Prometheus/JSONL export layer.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +72,10 @@ pub mod routing;
 pub mod selection;
 /// The per-instance tuple store indexed by key.
 pub mod state;
+/// Telemetry export: Prometheus text rendering and sink abstraction.
+pub mod telemetry;
+/// Causal trace journal: events, per-executor rings, JSONL rendering.
+pub mod trace;
 /// Tuples, keys, sides, and joined result pairs.
 pub mod tuple;
 /// Sub-window ring for time-based expiry (§III-B).

@@ -77,9 +77,12 @@ impl LogHistogram {
         self.max
     }
 
-    /// Approximate quantile (`q` in `[0, 1]`) from bucket boundaries: the
-    /// upper edge of the bucket containing the q-th observation. `None` if
-    /// empty.
+    /// Approximate quantile (`q` in `[0, 1]`), linearly interpolated inside
+    /// the bucket containing the q-th observation. Buckets are powers of
+    /// two, so without interpolation every quantile collapses onto a
+    /// `2^n - 1` edge (255, 1023, 4095, …); interpolating over the bucket's
+    /// occupied range `[2^(i-1), min(2^i - 1, max)]` keeps the estimate
+    /// within the bucket and ≤ `max`. `None` if empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
@@ -90,11 +93,21 @@ impl LogHistogram {
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Upper edge of bucket i: 0 for bucket 0, else 2^i - 1.
-                return Some(if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) });
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                if i == 0 {
+                    return Some(0); // bucket 0 holds only the value 0
+                }
+                let lower = 1u64 << (i - 1);
+                let upper = (1u64 << i).saturating_sub(1).min(self.max).max(lower);
+                // 1-based rank within this bucket, interpolated linearly.
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return Some((est as u64).min(self.max));
+            }
+            seen += c;
         }
         Some(self.max)
     }
@@ -110,7 +123,7 @@ impl LogHistogram {
     }
 
     /// Summary as a JSON object: count, mean, max, and the p50/p90/p99
-    /// bucket-edge quantiles the evaluation reports.
+    /// bucket-interpolated quantiles the evaluation reports.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -542,11 +555,41 @@ mod tests {
         for v in 0..1000u64 {
             h.record(v);
         }
-        let p50 = h.quantile(0.5).unwrap();
-        // Median 500 lives in bucket [256, 511]; upper edge 511.
-        assert_eq!(p50, 511);
-        let p100 = h.quantile(1.0).unwrap();
-        assert!(p100 >= 999);
+        // Median 500 lives in bucket [256, 511] at rank 244/256 → ≈499,
+        // not the bucket edge 511.
+        assert_eq!(h.quantile(0.5).unwrap(), 499);
+        // p90/p99 live in bucket [512, 1023], whose occupied range is
+        // clamped to max=999 — interpolation lands near the true values.
+        assert_eq!(h.quantile(0.9).unwrap(), 899);
+        assert_eq!(h.quantile(0.99).unwrap(), 989);
+        assert_eq!(h.quantile(1.0).unwrap(), 999);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_bucket() {
+        // 2^n-1 artifact regression: a uniform distribution must not pin
+        // every quantile to a power-of-two edge.
+        let mut h = LogHistogram::new();
+        for v in 1..=4096u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let est = h.quantile(q).unwrap();
+            let exact = (q * 4096.0) as u64;
+            // Within the containing bucket and within 12% of the exact
+            // value; never an untouched edge above max.
+            assert!(est <= h.max());
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.12, "q={q}: est {est} vs exact {exact}");
+        }
+        // Degenerate histograms still behave.
+        let mut zeros = LogHistogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.99).unwrap(), 0);
+        let mut one = LogHistogram::new();
+        one.record(777);
+        assert_eq!(one.quantile(0.5).unwrap(), 777);
     }
 
     #[test]
@@ -604,6 +647,77 @@ mod tests {
     #[should_panic(expected = "period must be > 0")]
     fn timeseries_rejects_zero_period() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn timeseries_record_out_of_order_timestamps() {
+        // Executors report with skewed clocks: a late-arriving early
+        // timestamp must land in its own (already-allocated) bucket, not
+        // panic or shift later buckets.
+        let mut ts = TimeSeries::new(100);
+        ts.record(950, 5.0);
+        ts.record(50, 1.0); // out of order: earlier than the first record
+        ts.record(940, 2.0);
+        ts.record(0, 3.0);
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.sums()[0], 4.0);
+        assert_eq!(ts.counts()[0], 2);
+        assert_eq!(ts.sums()[9], 7.0);
+        assert_eq!(ts.counts()[9], 2);
+        for i in 1..9 {
+            assert_eq!(ts.counts()[i], 0);
+        }
+    }
+
+    #[test]
+    fn timeseries_gapped_merge_across_skewed_executors() {
+        // One executor saw only early periods, another only a far-future
+        // one; merging must keep interior gaps empty and not mis-bucket.
+        let mut a = TimeSeries::new(1000);
+        a.record(100, 1.0);
+        let mut b = TimeSeries::new(1000);
+        b.record(9_500, 4.0); // gap of 8 empty periods in between
+        a.merge(&b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.sums()[0], 1.0);
+        assert_eq!(a.sums()[9], 4.0);
+        assert_eq!(a.counts()[1..9], [0, 0, 0, 0, 0, 0, 0, 0]);
+        // Merging the gapped series the other way re-buckets identically.
+        let mut c = TimeSeries::new(1000);
+        c.merge(&a);
+        assert_eq!(c.sums(), a.sums());
+        assert_eq!(c.counts(), a.counts());
+    }
+
+    #[test]
+    fn registry_prefixed_merge_round_trips_to_totals() {
+        // Per-executor registries under inst.r{id}./inst.s{id}. prefixes
+        // must sum back to the unprefixed totals via counter_sum.
+        let mut total = 0u64;
+        let mut all = MetricsRegistry::new();
+        for (side, id, n) in [("r", 0, 7u64), ("r", 1, 11), ("s", 0, 13), ("s", 1, 17)] {
+            let mut exec = MetricsRegistry::new();
+            exec.counter_add("probes_handled", n);
+            exec.histogram_record("probe_us", n);
+            total += n;
+            all.merge_prefixed(&format!("inst.{side}{id}."), &exec);
+        }
+        assert_eq!(all.counter_sum(".probes_handled"), total);
+        assert_eq!(all.counter("inst.s1.probes_handled"), 17);
+        // Histograms merged under distinct prefixes stay distinct.
+        assert_eq!(all.len(), 8);
+        // Re-merging one executor adds counters and merges histograms
+        // rather than overwriting.
+        let mut again = MetricsRegistry::new();
+        again.counter_add("probes_handled", 1);
+        again.histogram_record("probe_us", 1);
+        all.merge_prefixed("inst.r0.", &again);
+        assert_eq!(all.counter("inst.r0.probes_handled"), 8);
+        assert_eq!(all.counter_sum(".probes_handled"), total + 1);
+        match all.get("inst.r0.probe_us") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

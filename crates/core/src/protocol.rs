@@ -94,6 +94,25 @@ pub enum InstanceMsg {
     },
 }
 
+impl InstanceMsg {
+    /// The migration round this message belongs to, or `None` for data
+    /// tuples — the correlation id the trace journal records.
+    #[must_use]
+    pub fn round_id(&self) -> Option<Epoch> {
+        match self {
+            InstanceMsg::Data(_) => None,
+            InstanceMsg::MigrateCmd { epoch, .. }
+            | InstanceMsg::MigStart { epoch, .. }
+            | InstanceMsg::MigStore { epoch, .. }
+            | InstanceMsg::RouteUpdated { epoch }
+            | InstanceMsg::MigForward { epoch, .. }
+            | InstanceMsg::MigEnd { epoch, .. }
+            | InstanceMsg::MigAbort { epoch }
+            | InstanceMsg::MigReturn { epoch, .. } => Some(*epoch),
+        }
+    }
+}
+
 /// A violation of the migration protocol detected by a join instance.
 ///
 /// These are returned (not panicked) so that embedding engines and the

@@ -188,6 +188,11 @@ pub struct ChaosReceiver<T: Clone> {
     stash: Option<T>,
     /// Duplicates and displaced messages awaiting redelivery.
     pending: std::collections::VecDeque<T>,
+    /// Applied perturbations, in the order of [`ChaosReceiver::perturbations`].
+    delays: u64,
+    drops: u64,
+    dups: u64,
+    reorders: u64,
 }
 
 impl<T: Clone> ChaosReceiver<T> {
@@ -205,7 +210,20 @@ impl<T: Clone> ChaosReceiver<T> {
             eligible,
             stash: None,
             pending: std::collections::VecDeque::new(),
+            delays: 0,
+            drops: 0,
+            dups: 0,
+            reorders: 0,
         }
+    }
+
+    /// How many faults this receiver actually applied, as
+    /// `(delays, drops, dups, reorders)`. Runs surface these next to the
+    /// trace journal so a chaos report states what was really injected,
+    /// not just what the policy allowed.
+    #[must_use]
+    pub fn perturbations(&self) -> (u64, u64, u64, u64) {
+        (self.delays, self.drops, self.dups, self.reorders)
     }
 
     /// Current queue length of the underlying channel (for depth gauges).
@@ -244,16 +262,20 @@ impl<T: Clone> ChaosReceiver<T> {
             };
             if self.policy.delay_max_us > 0 && self.roll(self.policy.delay_1_in) {
                 let us = self.rng.gen_range(0..=self.policy.delay_max_us);
+                self.delays += 1;
                 std::thread::sleep(Duration::from_micros(us));
             }
             if (self.eligible)(&msg) {
                 if self.roll(self.policy.drop_1_in) {
+                    self.drops += 1;
                     continue; // dropped: take the next message
                 }
                 if self.roll(self.policy.dup_1_in) {
+                    self.dups += 1;
                     self.pending.push_back(msg.clone());
                 }
                 if self.stash.is_none() && self.roll(self.policy.reorder_1_in) {
+                    self.reorders += 1;
                     self.stash = Some(msg);
                     continue; // deliver the successor first
                 }
@@ -388,5 +410,20 @@ mod tests {
             assert!(got.contains(&i), "value {i} lost");
         }
         assert_ne!(got, (0..200).collect::<Vec<_>>(), "seeded chaos should perturb the stream");
+        let (delays, drops, dups, reorders) = chaos.perturbations();
+        assert_eq!(delays, 0, "no delay knob set");
+        assert_eq!(drops, 0, "no drop knob set");
+        assert_eq!(dups as usize, got.len() - 200, "each dup adds one delivery");
+        assert!(reorders > 0, "seeded chaos applied no reorder in 200 messages");
+    }
+
+    #[test]
+    fn perturbation_counters_stay_zero_on_passthrough() {
+        let (tx, rx) = unbounded::<u32>();
+        let mut chaos =
+            ChaosReceiver::new(rx, ChaosPolicy::default(), plan_with_seed(1).rng_for(0), |_| true);
+        tx.send(7).unwrap();
+        assert_eq!(chaos.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert_eq!(chaos.perturbations(), (0, 0, 0, 0));
     }
 }

@@ -112,6 +112,10 @@ pub struct ProbeRecord {
     pub matches: u64,
     /// Microseconds from ingest to completion.
     pub latency_us: u64,
+    /// Wall-clock microseconds (runtime clock) when the probe finished at
+    /// the instance; the collector subtracts it from its own receive time
+    /// to attribute the emit stage (`stage.emit_us`). Zero means unknown.
+    pub done_us: u64,
 }
 
 #[cfg(test)]
@@ -125,7 +129,7 @@ mod tests {
         assert!(format!("{m:?}").contains("Data"));
         let d = DispatcherMsg::Eos;
         assert!(format!("{d:?}").contains("Eos"));
-        let r = ProbeRecord { matches: 3, latency_us: 10 };
+        let r = ProbeRecord { matches: 3, latency_us: 10, done_us: 0 };
         assert_eq!(r.matches, 3);
     }
 }

@@ -4,6 +4,7 @@ use fastjoin_core::instance::InstanceCounters;
 use fastjoin_core::json::Json;
 use fastjoin_core::metrics::{LogHistogram, MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::MonitorStats;
+use fastjoin_core::trace::TraceJournal;
 
 /// Everything measured during a topology run.
 #[derive(Debug)]
@@ -32,6 +33,10 @@ pub struct RuntimeReport {
     /// Merged executor metrics, namespaced `dispatcher.*` / `inst.r3.*` /
     /// `inst.s0.*` (see `docs/ARCHITECTURE.md`, "Observability").
     pub registry: MetricsRegistry,
+    /// The merged causal trace journal: every executor's ring drained and
+    /// sorted into one timeline (see `docs/ARCHITECTURE.md`, "Tracing &
+    /// telemetry"). Empty when tracing is disabled.
+    pub trace: TraceJournal,
 }
 
 impl RuntimeReport {
@@ -99,6 +104,13 @@ impl RuntimeReport {
             ("throughput", self.throughput.to_json()),
             ("groups", Json::arr(vec![group(0), group(1)])),
             ("registry", self.registry.to_json()),
+            (
+                "trace",
+                Json::obj(vec![
+                    ("events", Json::uint(self.trace.len() as u64)),
+                    ("dropped", Json::uint(self.trace.dropped())),
+                ]),
+            ),
         ])
     }
 }
@@ -120,6 +132,7 @@ mod tests {
             imbalance: [None, None],
             migration_spans: [Vec::new(), Vec::new()],
             registry: MetricsRegistry::new(),
+            trace: TraceJournal::new(),
         }
     }
 
@@ -148,6 +161,7 @@ mod tests {
             "\"imbalance\"",
             "\"migration_spans\"",
             "\"registry\"",
+            "\"trace\"",
         ] {
             assert!(rendered.contains(key), "missing {key} in {rendered}");
         }

@@ -57,6 +57,7 @@ use fastjoin_core::metrics::{MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationState};
 use fastjoin_core::selection::{make_selector, KeySelector};
+use fastjoin_core::trace::{Actor, TraceConfig, TraceEvent, TraceJournal, TraceKind, TraceRing};
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 
 use crate::accounting::ProbeAccountant;
@@ -125,6 +126,9 @@ pub struct RuntimeConfig {
     pub supervision: SupervisionConfig,
     /// Fault-injection schedule (default: no faults).
     pub faults: FaultPlan,
+    /// Trace-journal settings: per-executor ring capacity and data-plane
+    /// sampling (default: enabled, 16Ki events/executor, 1-in-64).
+    pub trace: TraceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -137,6 +141,7 @@ impl Default for RuntimeConfig {
             rate_limit: None,
             supervision: SupervisionConfig::default(),
             faults: FaultPlan::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -303,6 +308,7 @@ fn run_topology_inner(
         let name = "dispatcher".to_string();
         let hb = spawn_hb(&name);
         let kill = kill.clone();
+        let trace_cfg = cfg.trace;
         let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
         let mon_txs = mon_txs.clone();
         let data_rx = disp_data_rx;
@@ -317,7 +323,7 @@ fn run_topology_inner(
                     let body = catch_unwind(AssertUnwindSafe(|| {
                         dispatcher_loop(
                             r_part, s_part, &data_rx, &ctrl_rx, &inst_txs, &mon_txs, &collector,
-                            &now_us, &hb, &kill,
+                            &now_us, trace_cfg, &hb, &kill,
                         );
                     }));
                     if let Err(p) = body {
@@ -353,6 +359,7 @@ fn run_topology_inner(
             let results = results.clone();
             let sample_period_us = cfg.monitor_period_ms.max(1) * 1_000;
             let crash = cfg.faults.crash_for(g, i);
+            let trace_cfg = cfg.trace;
             let chaos_rng = cfg.faults.rng_for((g as u64 + 1).wrapping_mul(1_000_003) + i as u64);
             let chaos = ChaosPolicy {
                 // Data-plane channels only ever get delay faults: FIFO and
@@ -384,7 +391,7 @@ fn run_topology_inner(
                         };
                         let chaos_rx = ChaosReceiver::new(rx, chaos, chaos_rng, |_| false);
                         let body = catch_unwind(AssertUnwindSafe(|| {
-                            instance_executor(&io, chaos_rx, sup, crash, &hb, &kill);
+                            instance_executor(&io, chaos_rx, sup, crash, trace_cfg, &hb, &kill);
                         }));
                         if let Err(p) = body {
                             let _ = io.collector.send(CollectorMsg::ExecutorFailure {
@@ -416,6 +423,7 @@ fn run_topology_inner(
             let collector = collector_tx.clone();
             let ack = quiesce_ack_tx.clone();
             let plan = cfg.faults.clone();
+            let trace_cfg = cfg.trace;
             let thread_name = name.clone();
             handles.push((
                 name,
@@ -441,6 +449,7 @@ fn run_topology_inner(
                                 &now_us,
                                 sup,
                                 plan.drop_migrate_cmds,
+                                trace_cfg,
                                 &hb,
                                 &kill,
                             );
@@ -547,6 +556,7 @@ fn run_topology_inner(
     let mut imbalance: [Option<TimeSeries>; 2] = [None, None];
     let mut migration_spans: [Vec<MigrationSpan>; 2] = [Vec::new(), Vec::new()];
     let mut registry = MetricsRegistry::new();
+    let mut trace = TraceJournal::new();
     // Route-flip latencies arrive from instances keyed by (group, epoch)
     // and are patched into the matching monitor span after MonitorDone.
     let mut route_flips: Vec<(usize, u64, u64)> = Vec::new();
@@ -556,6 +566,11 @@ fn run_topology_inner(
             Ok(CollectorMsg::Probe { seq, fanout, record }) => {
                 results_total += record.matches;
                 throughput.record(now_us(), record.matches as f64);
+                if record.done_us > 0 {
+                    // Emit-stage latency: probe completion → collector.
+                    registry
+                        .histogram_record("stage.emit_us", now_us().saturating_sub(record.done_us));
+                }
                 accountant
                     .on_probe(seq, fanout, record.latency_us)
                     // lint:allow(accounting corruption means every later count is garbage; fail the run loudly)
@@ -564,19 +579,22 @@ fn run_topology_inner(
             Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
                 route_flips.push((group, epoch, us));
             }
-            Ok(CollectorMsg::InstanceDone { group, id, counters: c, registry: r }) => {
+            Ok(CollectorMsg::InstanceDone { group, id, counters: c, registry: r, journal }) => {
                 counters[group][id] = c; // lint:allow(group and id come from our own spawned executors)
                 let prefix = format!("inst.{}{id}.", if group == 0 { 'r' } else { 's' });
                 registry.merge_prefixed(&prefix, &r);
+                trace.absorb(*journal);
                 done += 1;
             }
-            Ok(CollectorMsg::MonitorDone { group, stats, spans, li }) => {
+            Ok(CollectorMsg::MonitorDone { group, stats, spans, li, journal }) => {
                 monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                 migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
                 imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
+                trace.absorb(*journal);
             }
-            Ok(CollectorMsg::DispatcherDone { registry: r }) => {
+            Ok(CollectorMsg::DispatcherDone { registry: r, journal }) => {
                 registry.merge_prefixed("dispatcher.", &r);
+                trace.absorb(*journal);
             }
             Ok(CollectorMsg::ExecutorFailure { name, error, fatal, restarts }) => {
                 registry.counter_add("supervisor.executor_failures", 1);
@@ -610,10 +628,11 @@ fn run_topology_inner(
         while monitor_stats.iter().any(Option::is_none) {
             let left = deadline.saturating_duration_since(Instant::now());
             match collector_rx.recv_timeout(left) {
-                Ok(CollectorMsg::MonitorDone { group, stats, spans, li }) => {
+                Ok(CollectorMsg::MonitorDone { group, stats, spans, li, journal }) => {
                     monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                     migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
                     imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
+                    trace.absorb(*journal);
                 }
                 Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
                     route_flips.push((group, epoch, us));
@@ -655,6 +674,13 @@ fn run_topology_inner(
         }
     }
 
+    // The merged journal sorts into its canonical deterministic order, and
+    // the run-level registry records the drop counter the acceptance gate
+    // checks (0 at default ring sizes).
+    trace.sort();
+    registry.counter_add("trace.dropped", trace.dropped());
+    registry.counter_add("trace.events", trace.len() as u64);
+
     Ok(RuntimeReport {
         duration_us: now_us(),
         tuples_ingested: ingested,
@@ -667,6 +693,7 @@ fn run_topology_inner(
         imbalance,
         migration_spans,
         registry,
+        trace,
     })
 }
 
@@ -689,15 +716,18 @@ enum CollectorMsg {
         id: usize,
         counters: fastjoin_core::instance::InstanceCounters,
         registry: MetricsRegistry,
+        journal: Box<TraceJournal>,
     },
     MonitorDone {
         group: usize,
         stats: MonitorStats,
         spans: Vec<MigrationSpan>,
         li: Box<TimeSeries>,
+        journal: Box<TraceJournal>,
     },
     DispatcherDone {
         registry: Box<MetricsRegistry>,
+        journal: Box<TraceJournal>,
     },
     /// An executor panicked. `fatal` means it will not recover (the run
     /// must fail); otherwise the supervisor restarted it from checkpoint.
@@ -806,12 +836,14 @@ fn dispatcher_loop(
     mon_txs: &[Option<Sender<MonitorMsg>>; 2],
     collector: &Sender<CollectorMsg>,
     now_us: &dyn Fn() -> u64,
+    trace_cfg: TraceConfig,
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
     let mut dispatcher = Dispatcher::new(r_part, s_part);
     let mut scratch = Dispatch::default();
     let mut reg = MetricsRegistry::new();
+    let mut ring = TraceRing::new(Actor::dispatcher(), &trace_cfg);
     // Routing epochs whose flip was applied (abort refused from then on)
     // and epochs whose abort won (their late `Route` is discarded).
     // Entries retire when the monitor's `Commit` closes the round.
@@ -852,6 +884,17 @@ fn dispatcher_loop(
                 for &d in &scratch.probe_dests {
                     let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout)); // lint:allow(partitioner contract: routes are < instances())
                 }
+                let done = now_us();
+                reg.histogram_record("stage.dispatch_us", done.saturating_sub(t.ts));
+                ring.push_sampled(TraceEvent {
+                    at_us: done,
+                    actor: Actor::dispatcher(),
+                    kind: TraceKind::Ingest,
+                    seq: t.seq,
+                    epoch: 0,
+                    aux: u64::from(fanout),
+                    aux2: 0,
+                });
             }
             DispatcherMsg::Route { group, req } => {
                 let side = if group == 0 { Side::R } else { Side::S };
@@ -867,11 +910,29 @@ fn dispatcher_loop(
                     let reverted = dispatcher.revert_route(side, req.epoch);
                     debug_assert!(reverted);
                     reg.counter_add("route_reverts", 1);
+                    let mut ev = TraceEvent::control(
+                        now_us(),
+                        Actor::dispatcher(),
+                        TraceKind::RouteStaged,
+                        req.epoch,
+                        dispatcher.route_version(side),
+                    );
+                    ev.aux2 = group as u64;
+                    ring.push(ev);
                 } else {
                     let ok = dispatcher.stage_route(side, &req);
                     assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
                     routed[group].insert(req.epoch);
                     reg.counter_add("route_updates", 1);
+                    let mut ev = TraceEvent::control(
+                        now_us(),
+                        Actor::dispatcher(),
+                        TraceKind::RouteStaged,
+                        req.epoch,
+                        dispatcher.route_version(side),
+                    );
+                    ev.aux2 = group as u64;
+                    ring.push(ev);
                     let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
                         .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
                 }
@@ -881,6 +942,15 @@ fn dispatcher_loop(
                 if accept {
                     aborted[group].insert(epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
                     reg.counter_add("migration_aborts", 1);
+                    let mut ev = TraceEvent::control(
+                        now_us(),
+                        Actor::dispatcher(),
+                        TraceKind::MigAbort,
+                        epoch,
+                        source as u64,
+                    );
+                    ev.aux2 = group as u64;
+                    ring.push(ev);
                     let _ = inst_txs[group][source] // lint:allow(AbortRequest.source is a valid instance id)
                         .send(RtMsg::Inst(InstanceMsg::MigAbort { epoch }));
                 }
@@ -893,16 +963,33 @@ fn dispatcher_loop(
                 let side = if group == 0 { Side::R } else { Side::S };
                 if dispatcher.commit_route(side, epoch) {
                     reg.counter_add("route_commits", 1);
+                    let mut ev = TraceEvent::control(
+                        now_us(),
+                        Actor::dispatcher(),
+                        TraceKind::RouteUpdated,
+                        epoch,
+                        dispatcher.route_version(side),
+                    );
+                    ev.aux2 = group as u64;
+                    ring.push(ev);
                 }
                 routed[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
                 aborted[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
             }
             DispatcherMsg::Eos => {
+                ring.push(TraceEvent::control(now_us(), Actor::dispatcher(), TraceKind::Eos, 0, 0));
                 // Ship the dispatcher's metrics before any instance can
                 // see EOS: enqueuing first guarantees DispatcherDone
                 // precedes the final InstanceDone in the collector.
                 let _ = collector.send(CollectorMsg::DispatcherDone {
                     registry: Box::new(std::mem::take(&mut reg)),
+                    journal: Box::new(
+                        std::mem::replace(
+                            &mut ring,
+                            TraceRing::new(Actor::dispatcher(), &TraceConfig::disabled()),
+                        )
+                        .into_journal(),
+                    ),
                 });
                 for group in inst_txs {
                     for tx in group {
@@ -980,13 +1067,54 @@ impl InstanceState {
         }
     }
 
+    /// Journals the receipt of a migration-protocol message. The event's
+    /// `aux`/`aux2` payloads are kind-specific (see `core::trace`); data
+    /// tuples are journaled after processing instead (`StoreDone` /
+    /// `ProbeDone`, sampled).
+    fn trace_protocol_msg(&self, actor: Actor, at_us: u64, ring: &mut TraceRing, m: &InstanceMsg) {
+        let Some(kind) = TraceKind::of_instance_msg(m) else { return };
+        let epoch = m.round_id().unwrap_or(0);
+        let (aux, aux2) = match m {
+            InstanceMsg::Data(_) => (0, 0),
+            InstanceMsg::MigrateCmd { target, .. } => (*target as u64, 0),
+            InstanceMsg::MigStart { from, keys, .. } => (*from as u64, keys.len() as u64),
+            InstanceMsg::MigStore { tuples, .. } => (tuples.len() as u64, 0),
+            InstanceMsg::RouteUpdated { .. } => {
+                let buffered = match self.inst.migration_state() {
+                    MigrationState::Source { buffer, .. } => buffer.len() as u64,
+                    MigrationState::Idle
+                    | MigrationState::Target { .. }
+                    | MigrationState::Aborting { .. } => 0,
+                };
+                (buffered, 0)
+            }
+            InstanceMsg::MigForward { tuples, .. } => (tuples.len() as u64, 0),
+            InstanceMsg::MigEnd { from, .. } => (*from as u64, 0),
+            InstanceMsg::MigAbort { .. } => (0, 0),
+            InstanceMsg::MigReturn { stored, inflight, .. } => {
+                (stored.len() as u64, inflight.len() as u64)
+            }
+        };
+        ring.push(TraceEvent { at_us, actor, kind, seq: 0, epoch, aux, aux2 });
+    }
+
     /// Processes one message end to end (message, effects, pending work).
     /// With `live == false` the step replays a message whose outbound
     /// effects already escaped before a crash: every local mutation is
-    /// re-applied, every channel send is suppressed.
-    fn step(&mut self, io: &InstanceIo<'_>, fx: &mut Effects, msg: RtMsg, live: bool, qlen: usize) {
+    /// re-applied, every channel send is suppressed — and nothing is
+    /// journaled (the original live step already journaled these events).
+    fn step(
+        &mut self,
+        io: &InstanceIo<'_>,
+        fx: &mut Effects,
+        msg: RtMsg,
+        live: bool,
+        qlen: usize,
+        ring: &mut TraceRing,
+    ) {
         let ctx = io.ctx;
         let (fj, now_us) = (ctx.fj, ctx.now_us);
+        let actor = Actor::instance(ctx.group as u8, ctx.id as u16);
         match msg {
             RtMsg::Inst(m) => {
                 if let InstanceMsg::MigrateCmd { epoch, .. } = &m {
@@ -994,14 +1122,32 @@ impl InstanceState {
                 }
                 if let InstanceMsg::RouteUpdated { epoch } = &m {
                     if let Some(t0) = self.flip_started.remove(epoch) {
+                        let pause = now_us().saturating_sub(t0);
+                        // Migration pause attribution: how long this
+                        // source ran in buffering mode before the flip.
+                        self.reg.histogram_record("stage.mig_pause_us", pause);
                         if live {
                             let _ = io.collector.send(CollectorMsg::RouteFlip {
                                 group: ctx.group,
                                 epoch: *epoch,
-                                us: now_us().saturating_sub(t0),
+                                us: pause,
                             });
                         }
                     }
+                }
+                if let InstanceMsg::MigAbort { epoch } = &m {
+                    // An aborted round's pause ends here; close it out so
+                    // the attribution histogram covers aborts too.
+                    if let Some(t0) = self.flip_started.remove(epoch) {
+                        self.reg
+                            .histogram_record("stage.mig_pause_us", now_us().saturating_sub(t0));
+                    }
+                }
+                if let InstanceMsg::Data(t) = &m {
+                    self.reg.histogram_record("stage.queue_wait_us", now_us().saturating_sub(t.ts));
+                }
+                if live {
+                    self.trace_protocol_msg(actor, now_us(), ring, &m);
                 }
                 self.inst
                     .handle(m, self.selector.as_mut(), fj.theta_gap, fx)
@@ -1009,6 +1155,7 @@ impl InstanceState {
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
             }
             RtMsg::Probe(t, fanout) => {
+                self.reg.histogram_record("stage.queue_wait_us", now_us().saturating_sub(t.ts));
                 self.probe_fanout.insert(t.seq, fanout);
                 self.inst
                     .handle(InstanceMsg::Data(t), self.selector.as_mut(), fj.theta_gap, fx)
@@ -1044,20 +1191,54 @@ impl InstanceState {
         }
         self.flush(io, fx, live);
         // Process everything currently pending before taking new input.
+        let mut before = now_us();
         while let Some(work) = self.inst.process_next(fx) {
-            if let Work::Probe { tuple, matches, .. } = work {
-                let fanout = self
-                    .probe_fanout
-                    .remove(&tuple.seq)
-                    // lint:allow(accounting invariant: the fan-out arrived with the probe or its hand-off; absence is the bug this layer fixes)
-                    .unwrap_or_else(|| panic!("probe {} has no fan-out entry", tuple.seq));
-                if live {
-                    let record =
-                        ProbeRecord { matches, latency_us: now_us().saturating_sub(tuple.ts) };
-                    let _ =
-                        io.collector.send(CollectorMsg::Probe { seq: tuple.seq, fanout, record });
+            let after = now_us();
+            match work {
+                Work::Probe { tuple, matches, .. } => {
+                    self.reg.histogram_record("stage.probe_us", after.saturating_sub(before));
+                    let fanout = self
+                        .probe_fanout
+                        .remove(&tuple.seq)
+                        // lint:allow(accounting invariant: the fan-out arrived with the probe or its hand-off; absence is the bug this layer fixes)
+                        .unwrap_or_else(|| panic!("probe {} has no fan-out entry", tuple.seq));
+                    if live {
+                        ring.push_sampled(TraceEvent {
+                            at_us: after,
+                            actor,
+                            kind: TraceKind::ProbeDone,
+                            seq: tuple.seq,
+                            epoch: 0,
+                            aux: matches,
+                            aux2: 0,
+                        });
+                        let record = ProbeRecord {
+                            matches,
+                            latency_us: after.saturating_sub(tuple.ts),
+                            done_us: after,
+                        };
+                        let _ = io.collector.send(CollectorMsg::Probe {
+                            seq: tuple.seq,
+                            fanout,
+                            record,
+                        });
+                    }
+                }
+                Work::Store { tuple } => {
+                    if live {
+                        ring.push_sampled(TraceEvent {
+                            at_us: after,
+                            actor,
+                            kind: TraceKind::StoreDone,
+                            seq: tuple.seq,
+                            epoch: 0,
+                            aux: 0,
+                            aux2: 0,
+                        });
+                    }
                 }
             }
+            before = after;
             self.flush(io, fx, live);
         }
     }
@@ -1123,14 +1304,24 @@ fn instance_executor(
     mut rx: ChaosReceiver<RtMsg>,
     sup: SupervisionConfig,
     crash: Option<CrashPhase>,
+    trace_cfg: TraceConfig,
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
     let ctx = io.ctx;
     let now_us = ctx.now_us;
+    let actor = Actor::instance(ctx.group as u8, ctx.id as u16);
     let mut switch = KillSwitch::new(crash);
     let mut state = InstanceState::new(ctx, io.results.is_some());
     let mut checkpoint = state.clone();
+    // The ring lives OUTSIDE the checkpointed state: cloning a multi-KiB
+    // event buffer on every checkpoint would tax the data plane, and the
+    // journal should survive a crash (the crash is the interesting part).
+    // Consequence, documented in ARCHITECTURE.md: events journaled by a
+    // step that later panics are kept, so a crash-adjacent event can
+    // appear even though its state mutation was rolled back — the paired
+    // `FaultCrash` event marks exactly where to distrust.
+    let mut ring = TraceRing::new(actor, &trace_cfg);
     let mut log: Vec<RtMsg> = Vec::new();
     let mut fx = Effects::new();
     let mut restarts = 0u32;
@@ -1152,7 +1343,7 @@ fn instance_executor(
                 // lint:allow(the injected fail-stop crash IS the fault being tested; caught by this very harness)
                 panic!("fault injection: scheduled crash of join-{}-{}", io.ctx.side, io.ctx.id);
             }
-            state.step(io, &mut fx, msg, true, qlen);
+            state.step(io, &mut fx, msg, true, qlen, &mut ring);
         }));
         match stepped {
             Ok(()) => {
@@ -1165,6 +1356,13 @@ fn instance_executor(
             Err(payload) => {
                 restarts += 1;
                 let fatal = restarts > sup.max_restarts;
+                ring.push(TraceEvent::control(
+                    now_us(),
+                    actor,
+                    TraceKind::FaultCrash,
+                    0,
+                    u64::from(restarts),
+                ));
                 let _ = io.collector.send(CollectorMsg::ExecutorFailure {
                     name: format!("join-{}-{}", ctx.side, ctx.id),
                     error: panic_text(payload.as_ref()),
@@ -1181,16 +1379,23 @@ fn instance_executor(
                     let mut s = checkpoint.clone();
                     let mut rfx = Effects::new();
                     for m in &log {
-                        s.step(io, &mut rfx, m.clone(), false, 0);
+                        s.step(io, &mut rfx, m.clone(), false, 0, &mut ring);
                     }
                     // The in-flight message dies with the crash before any
                     // of its effects escape, so it re-processes live.
-                    s.step(io, &mut rfx, retry.clone(), true, 0);
+                    s.step(io, &mut rfx, retry.clone(), true, 0, &mut ring);
                     s
                 }));
                 match replayed {
                     Ok(mut s) => {
                         s.reg.counter_add("executor_restarts", 1);
+                        ring.push(TraceEvent::control(
+                            now_us(),
+                            actor,
+                            TraceKind::FaultRestart,
+                            0,
+                            u64::from(restarts),
+                        ));
                         state = s;
                         log.push(retry);
                     }
@@ -1210,11 +1415,18 @@ fn instance_executor(
             // All probes this instance received must have completed here or
             // been handed off; the collector asserts the sum stays zero.
             state.reg.counter_add("probe_fanout_leaked", state.probe_fanout.len() as u64);
+            state.reg.counter_add("trace.dropped", ring.dropped());
+            let (delays, drops, dups, reorders) = rx.perturbations();
+            state.reg.counter_add("chaos.delays", delays);
+            state.reg.counter_add("chaos.drops", drops);
+            state.reg.counter_add("chaos.dups", dups);
+            state.reg.counter_add("chaos.reorders", reorders);
             let _ = io.collector.send(CollectorMsg::InstanceDone {
                 group: ctx.group,
                 id: ctx.id,
                 counters: state.inst.counters(),
                 registry: std::mem::take(&mut state.reg),
+                journal: Box::new(ring.into_journal()),
             });
             return;
         }
@@ -1238,10 +1450,13 @@ fn monitor_loop(
     now_us: &dyn Fn() -> u64,
     sup: SupervisionConfig,
     mut drop_triggers: u64,
+    trace_cfg: TraceConfig,
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
     let n = to_instances.len();
+    let actor = Actor::monitor(group as u8);
+    let mut ring = TraceRing::new(actor, &trace_cfg);
     // The runtime's monitor clock is wall-clock milliseconds; the µs
     // cooldown goes through the one sanctioned conversion (rounds up, so
     // a sub-millisecond cooldown can never truncate to "disabled").
@@ -1264,6 +1479,13 @@ fn monitor_loop(
             Ok(MonitorMsg::Report { id, load }) => monitor.on_report(id, load),
             Ok(MonitorMsg::Done(done)) => {
                 monitor.on_migration_done(done, now_us() / 1000);
+                ring.push(TraceEvent::control(
+                    now_us(),
+                    actor,
+                    TraceKind::MigDone,
+                    done.epoch,
+                    done.tuples_moved,
+                ));
                 // Whatever the round staged at the dispatcher is now
                 // permanent (no-op for aborted/abandoned rounds, whose
                 // stage was already reverted or never existed).
@@ -1271,6 +1493,13 @@ fn monitor_loop(
             }
             Ok(MonitorMsg::AbortOutcome { epoch, aborted }) => {
                 monitor.on_abort_outcome(epoch, aborted, now_us() / 1000);
+                ring.push(TraceEvent::control(
+                    now_us(),
+                    actor,
+                    TraceKind::AbortOutcome,
+                    epoch,
+                    u64::from(aborted),
+                ));
             }
             Ok(MonitorMsg::Quiesce) => quiescing = true,
             Err(RecvTimeoutError::Timeout) => {
@@ -1281,19 +1510,56 @@ fn monitor_loop(
                 }
                 if !quiescing {
                     if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
+                        let epoch = trigger.msg.round_id().unwrap_or(0);
+                        let target = match &trigger.msg {
+                            InstanceMsg::MigrateCmd { target, .. } => *target as u64,
+                            InstanceMsg::Data(_)
+                            | InstanceMsg::MigStart { .. }
+                            | InstanceMsg::MigStore { .. }
+                            | InstanceMsg::RouteUpdated { .. }
+                            | InstanceMsg::MigForward { .. }
+                            | InstanceMsg::MigEnd { .. }
+                            | InstanceMsg::MigAbort { .. }
+                            | InstanceMsg::MigReturn { .. } => 0,
+                        };
                         if drop_triggers > 0 {
                             // Injected fault: the command is lost in
                             // flight. The monitor now believes a round is
                             // in flight that no instance ever heard of —
                             // only the abort watchdog can close it.
                             drop_triggers -= 1;
+                            ring.push(TraceEvent {
+                                at_us: now_us(),
+                                actor,
+                                kind: TraceKind::FaultDropTrigger,
+                                seq: 0,
+                                epoch,
+                                aux: trigger.source as u64,
+                                aux2: target,
+                            });
                         } else {
+                            ring.push(TraceEvent {
+                                at_us: now_us(),
+                                actor,
+                                kind: TraceKind::MigTrigger,
+                                seq: 0,
+                                epoch,
+                                aux: trigger.source as u64,
+                                aux2: target,
+                            });
                             // lint:allow(monitor only triggers sources it was built to watch)
                             let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
                         }
                     }
                 }
                 if let Some(req) = monitor.check_deadline(now_us() / 1000) {
+                    ring.push(TraceEvent::control(
+                        now_us(),
+                        actor,
+                        TraceKind::AbortRequest,
+                        req.epoch,
+                        req.source as u64,
+                    ));
                     let _ = disp_ctrl.send(DispatcherMsg::Abort {
                         group,
                         epoch: req.epoch,
@@ -1316,5 +1582,6 @@ fn monitor_loop(
         stats: monitor.stats(),
         spans: monitor.spans().to_vec(),
         li: Box::new(li),
+        journal: Box::new(ring.into_journal()),
     });
 }

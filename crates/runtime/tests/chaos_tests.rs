@@ -14,6 +14,7 @@
 
 use fastjoin_baselines::SystemKind;
 use fastjoin_core::config::FastJoinConfig;
+use fastjoin_core::trace::TraceConfig;
 use fastjoin_core::tuple::{Side, Tuple};
 use fastjoin_runtime::{
     try_run_topology, ChaosPolicy, CrashFault, CrashPhase, FaultPlan, RuntimeConfig, RuntimeReport,
@@ -70,6 +71,7 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
             ..SupervisionConfig::default()
         },
         faults,
+        trace: TraceConfig::default(),
     }
 }
 

@@ -259,3 +259,99 @@ fn dropping_the_result_receiver_is_harmless() {
     );
     assert_eq!(report.results_total, 3 * 10 * 10);
 }
+
+#[test]
+fn trace_journal_reconstructs_migration_round_timelines() {
+    use fastjoin_core::trace::{ActorKind, TraceKind};
+    // Same shape as skewed_workload_triggers_real_migrations: a hot key,
+    // throttled spout, several monitor periods — enough for real rounds.
+    let mut tuples = Vec::new();
+    for i in 0..30_000u64 {
+        let key = if i % 4 != 0 { 999 } else { i % 97 };
+        if i % 5 == 0 {
+            tuples.push(Tuple::r(key, 0, i));
+        } else {
+            tuples.push(Tuple::s(key, 0, i));
+        }
+    }
+    let mut c = cfg(SystemKind::FastJoin, 4);
+    c.rate_limit = Some(60_000.0);
+    let report = run_topology(&c, tuples);
+    assert!(report.migrations() > 0, "need at least one round to trace");
+
+    let journal = &report.trace;
+    assert!(!journal.is_empty(), "tracing is on by default");
+    assert_eq!(journal.dropped(), 0, "default ring size must not drop events in a smoke run");
+    // The registry carries the same counters the JSON report exposes.
+    assert_eq!(report.registry.counter("trace.events"), journal.len() as u64);
+    assert_eq!(report.registry.counter("trace.dropped"), 0);
+    // Sampled data-plane events and the dispatcher EOS marker are present.
+    let kinds: Vec<TraceKind> = journal.events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&TraceKind::Ingest), "sampled ingest events");
+    assert!(kinds.contains(&TraceKind::Eos), "dispatcher EOS marker");
+
+    // Every completed round's journal slice tells the full §III-D story:
+    // trigger at the monitor, MigrateCmd at the source, MigStart/MigStore
+    // at the target, a staged + committed route flip, and MigEnd → MigDone.
+    let done_rounds: Vec<(u8, u64)> = journal
+        .events()
+        .iter()
+        .filter(|e| e.kind == TraceKind::MigDone && e.aux > 0)
+        .map(|e| (e.actor.group, e.epoch))
+        .collect();
+    assert!(!done_rounds.is_empty(), "at least one effective round completed");
+    for &(group, epoch) in &done_rounds {
+        let round = journal.round_in(group, epoch);
+        let has = |k: TraceKind| round.iter().any(|e| e.kind == k);
+        for k in [
+            TraceKind::MigTrigger,
+            TraceKind::MigCmd,
+            TraceKind::MigStart,
+            TraceKind::MigStore,
+            TraceKind::RouteStaged,
+            TraceKind::RouteUpdated,
+            TraceKind::MigEnd,
+            TraceKind::MigDone,
+        ] {
+            assert!(has(k), "round {group}/{epoch} is missing a {} event: {round:?}", k.name());
+        }
+        // Causal order within the round (the journal is time-sorted).
+        let first = |k: TraceKind| round.iter().position(|e| e.kind == k).unwrap();
+        assert!(first(TraceKind::MigTrigger) < first(TraceKind::MigStart));
+        assert!(first(TraceKind::MigStart) < first(TraceKind::RouteUpdated));
+        assert!(first(TraceKind::RouteUpdated) <= first(TraceKind::MigDone));
+    }
+    // Committed route versions are strictly monotone per group — the
+    // correlator a journal reader uses to order flips.
+    for group in 0..2u64 {
+        let versions: Vec<u64> = journal
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == TraceKind::RouteUpdated
+                    && e.actor.kind == ActorKind::Dispatcher
+                    && e.aux2 == group
+            })
+            .map(|e| e.aux)
+            .collect();
+        for w in versions.windows(2) {
+            assert!(w[0] < w[1], "route versions must be monotone: {versions:?}");
+        }
+    }
+
+    // Stage-latency attribution made it into the merged registry.
+    let reg_json = report.registry.to_json().to_string_compact();
+    for stage in ["stage.dispatch_us", "stage.queue_wait_us", "stage.probe_us", "stage.emit_us"] {
+        assert!(reg_json.contains(stage), "missing {stage} in registry");
+    }
+}
+
+#[test]
+fn disabling_tracing_yields_an_empty_journal() {
+    let mut c = cfg(SystemKind::FastJoin, 2);
+    c.trace = fastjoin_core::trace::TraceConfig::disabled();
+    let report = run_topology(&c, uniform_workload(5, 10));
+    assert_eq!(report.results_total, 5 * 10 * 10);
+    assert!(report.trace.is_empty(), "disabled tracing must journal nothing");
+    assert_eq!(report.trace.dropped(), 0);
+}

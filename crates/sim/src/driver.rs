@@ -27,7 +27,7 @@ use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
 use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
 use fastjoin_core::instance::{JoinInstance, Work};
-use fastjoin_core::metrics::RunMetrics;
+use fastjoin_core::metrics::{MetricsRegistry, RunMetrics};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg};
 use fastjoin_core::selection::{make_selector, KeySelector};
@@ -114,6 +114,12 @@ pub struct SimReport {
     /// Completed migration-round spans per group, oldest first (empty for
     /// static systems). Clock fields are simulated microseconds.
     pub migration_spans: [Vec<fastjoin_core::metrics::MigrationSpan>; 2],
+    /// Per-stage latency attribution, mirroring the runtime's `stage.*`
+    /// histograms: `stage.queue_wait_us` (delivery → service start),
+    /// `stage.probe_us` / `stage.store_us` (modelled service time), and
+    /// `stage.mig_pause_us` (key-selection pauses, §III-C). All values are
+    /// simulated microseconds.
+    pub stages: MetricsRegistry,
 }
 
 impl SimReport {
@@ -186,6 +192,7 @@ impl SimReport {
             ("latency_us", self.metrics.latency_hist.to_json()),
             ("throughput", self.metrics.throughput.to_json()),
             ("groups", Json::arr(vec![group(0), group(1)])),
+            ("stages", self.stages.to_json()),
         ])
     }
 }
@@ -244,6 +251,8 @@ pub struct Simulation<W: Iterator<Item = Tuple>> {
     aborted_epochs: [std::collections::HashSet<u64>; 2],
     /// Remaining `MigrateCmd` triggers to drop (fault injection).
     drop_triggers: u64,
+    /// Per-stage latency histograms (see [`SimReport::stages`]).
+    stages: MetricsRegistry,
 }
 
 impl<W: Iterator<Item = Tuple>> Simulation<W> {
@@ -320,6 +329,7 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
             routed_epochs: Default::default(),
             aborted_epochs: Default::default(),
             drop_triggers,
+            stages: MetricsRegistry::new(),
         }
     }
 
@@ -395,6 +405,7 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
                 self.groups[0].monitor.as_ref().map(|m| m.spans().to_vec()).unwrap_or_default(),
                 self.groups[1].monitor.as_ref().map(|m| m.spans().to_vec()).unwrap_or_default(),
             ],
+            stages: self.stages,
         }
     }
 
@@ -459,7 +470,9 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
         // stop executing the store and join operations").
         let selection_pause = if matches!(msg, InstanceMsg::MigrateCmd { .. }) {
             let keys = self.groups[group].servers[dest].inst.key_stats().len();
-            self.cfg.cost.selection_us(keys) as SimTime
+            let pause = self.cfg.cost.selection_us(keys) as SimTime;
+            self.stages.histogram_record("stage.mig_pause_us", pause);
+            pause
         } else {
             0
         };
@@ -543,12 +556,22 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
         }
         let work = server.inst.process_next(&mut self.fx).expect("pending_len > 0 implies work");
         let cost = self.cfg.cost.service_us(&work).max(0.01) as SimTime;
+        // Ingest → service-start minus the constant network hop is the
+        // tuple's queue wait at this instance (dispatch is instantaneous in
+        // the simulator's cost model).
+        let net = self.cfg.cost.network_latency as SimTime;
         match work {
-            Work::Store { .. } => {
+            Work::Store { tuple } => {
+                let wait = self.now.saturating_sub(tuple.ts).saturating_sub(net);
+                self.stages.histogram_record("stage.queue_wait_us", wait);
+                self.stages.histogram_record("stage.store_us", cost.max(1));
                 server.in_service_matches = 0;
                 server.in_service_probe = None;
             }
             Work::Probe { tuple, matches, .. } => {
+                let wait = self.now.saturating_sub(tuple.ts).saturating_sub(net);
+                self.stages.histogram_record("stage.queue_wait_us", wait);
+                self.stages.histogram_record("stage.probe_us", cost.max(1));
                 server.in_service_matches = matches;
                 server.in_service_probe = Some((tuple.seq, tuple.ts));
             }
@@ -836,6 +859,27 @@ mod tests {
         for key in ["\"duration_us\"", "\"latency_us\"", "\"migration_spans\"", "\"imbalance\""] {
             assert!(rendered.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn stage_attribution_covers_migrated_runs() {
+        let mut cfg = base_cfg(4);
+        cfg.fastjoin.theta = 1.5;
+        let (tuples, _) = skewed_workload(4000);
+        let report = Simulation::new(cfg, tuples.into_iter()).run();
+        assert!(report.migrations() > 0);
+        // Every service started attributes a queue wait and a service-time
+        // sample; key selection pauses show up once per triggered round.
+        let hist = |name: &str| match report.stages.get(name) {
+            Some(fastjoin_core::metrics::MetricValue::Histogram(h)) => h.count(),
+            other => panic!("{name} missing or not a histogram: {other:?}"),
+        };
+        assert_eq!(hist("stage.store_us") + hist("stage.probe_us"), hist("stage.queue_wait_us"));
+        assert!(hist("stage.probe_us") >= report.tuples_ingested, "every tuple probes");
+        assert!(hist("stage.mig_pause_us") >= report.migrations());
+        let rendered = report.to_json().to_string_compact();
+        assert!(rendered.contains("\"stages\""));
+        assert!(rendered.contains("stage.queue_wait_us"));
     }
 
     #[test]

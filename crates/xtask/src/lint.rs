@@ -21,6 +21,13 @@
 //!    channel is a *normal* event under supervision (a peer crashed or
 //!    shut down first); panicking on it turns one executor's failure into
 //!    a cascade. Handle the `Err` (stop the loop, report the failure).
+//! 6. **hot-path-alloc** — functions marked `#[lint(hot_path)]` (the
+//!    inert marker from the `lintmarks` crate, used on trace-emission
+//!    entry points) must not allocate: no `format!`, `to_string`,
+//!    `to_owned`, `String::`/`Vec::` constructors, `vec!`, `Box::new`,
+//!    or `collect`. The tracing plane promises the data plane it never
+//!    pays an allocator round-trip per tuple; this rule keeps that
+//!    promise honest as the code evolves.
 //!
 //! Sites that are genuinely unreachable or deliberately fatal are excused
 //! with a `// lint:allow(reason)` comment on the same line or the line
@@ -614,6 +621,103 @@ fn check_missing_docs(file: &str, src: &MaskedSource, in_test: &[bool], out: &mu
     }
 }
 
+/// Rule 6: no heap allocation inside `#[lint(hot_path)]` functions.
+///
+/// The scanner finds each `#[lint(hot_path)]` attribute, brace-matches the
+/// body of the function it marks, and flags allocating constructs inside.
+/// `lint:allow` on the offending line (or the line above) excuses a site,
+/// as everywhere else.
+fn check_hot_path_alloc(
+    file: &str,
+    src: &MaskedSource,
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const NEEDLES: &[(&str, &str)] = &[
+        ("format!", "format! allocates a String"),
+        (".to_string(", "to_string() allocates"),
+        (".to_owned(", "to_owned() allocates"),
+        ("String::new", "String constructor allocates on growth"),
+        ("String::from", "String::from allocates"),
+        ("String::with_capacity", "String::with_capacity allocates"),
+        ("vec!", "vec! allocates"),
+        ("Vec::new", "Vec constructor allocates on growth"),
+        ("Vec::with_capacity", "Vec::with_capacity allocates"),
+        ("Box::new", "Box::new allocates"),
+        (".collect(", "collect() allocates a container"),
+    ];
+    const MARKER: &str = "#[lint(hot_path)]";
+    let text = &src.masked;
+    let bytes = text.as_bytes();
+    let mut line_of = vec![1usize; bytes.len() + 1];
+    let mut l = 1usize;
+    for (i, &c) in bytes.iter().enumerate() {
+        line_of[i] = l;
+        if c == b'\n' {
+            l += 1;
+        }
+    }
+    if let Some(last) = line_of.last_mut() {
+        *last = l;
+    }
+    let mut start = 0usize;
+    while let Some(p) = text[start..].find(MARKER) {
+        let pos = start + p;
+        start = pos + MARKER.len();
+        // The function body: first `{` after the marker (the signature of
+        // a marked fn never contains braces in this codebase), matched to
+        // its closing brace.
+        let Some(open_rel) = text[pos..].find('{') else { continue };
+        let open = pos + open_rel;
+        let mut depth = 0i64;
+        let mut close = open;
+        for (j, &c) in bytes.iter().enumerate().skip(open) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body_first = line_of[open];
+        let body_last = line_of[close];
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if lineno < body_first || lineno > body_last {
+                continue;
+            }
+            if in_test.get(lineno).copied().unwrap_or(false) || allowed(&src.allow_lines, lineno) {
+                continue;
+            }
+            for (needle, why) in NEEDLES {
+                let mut from = 0usize;
+                while let Some(q) = line[from..].find(needle) {
+                    let at = from + q;
+                    if needle.starts_with('.') || boundary_before(line, at) {
+                        out.push(Diagnostic {
+                            file: file.to_string(),
+                            line: lineno,
+                            rule: "hot-path-alloc",
+                            msg: format!(
+                                "`{}` inside a #[lint(hot_path)] fn: {}",
+                                needle.trim_start_matches('.'),
+                                why
+                            ),
+                        });
+                        break; // one diagnostic per needle per line
+                    }
+                    from = at + needle.len();
+                }
+            }
+        }
+    }
+}
+
 /// Lints one file's source text. `repo_rel` is the path relative to the
 /// repo root (used to decide which rules apply).
 #[must_use]
@@ -632,6 +736,7 @@ pub fn lint_source(repo_rel: &str, source: &str) -> Vec<Diagnostic> {
     if repo_rel.starts_with("crates/runtime/") {
         check_no_channel_unwrap(repo_rel, &masked, &in_test, &mut out);
     }
+    check_hot_path_alloc(repo_rel, &masked, &in_test, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -819,6 +924,39 @@ mod tests {
                    tx.send(1).unwrap();\n    }\n}\n";
         let d = lint_source("crates/runtime/src/fake.rs", src);
         assert!(!rules(&d).contains(&"no-channel-unwrap"), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_fn_may_not_allocate() {
+        let src = "#[lint(hot_path)]\nfn emit(&mut self, n: u64) {\n    \
+                   let s = format!(\"{n}\");\n    let v: Vec<u64> = (0..n).collect();\n    \
+                   drop((s, v));\n}\n";
+        let d = lint_source("crates/core/src/fake.rs", src);
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == "hot-path-alloc").collect();
+        assert_eq!(hits.len(), 2, "{d:?}");
+        assert_eq!(hits[0].line, 3);
+        assert_eq!(hits[1].line, 4);
+    }
+
+    #[test]
+    fn unmarked_fn_may_allocate_and_lint_allow_excuses() {
+        let src = "fn cold() -> String {\n    format!(\"fine\")\n}\n\n\
+                   #[lint(hot_path)]\nfn emit(&mut self) {\n    \
+                   // lint:allow(cold slow path after ring overflow)\n    \
+                   let _ = String::new();\n}\n";
+        let d = lint_source("crates/core/src/fake.rs", src);
+        assert!(!rules(&d).contains(&"hot-path-alloc"), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_scan_stops_at_the_marked_fn_body() {
+        // The allocation sits in the NEXT function, outside the marked
+        // body; it must not be flagged.
+        let src = "#[lint(hot_path)]\nfn emit(&mut self, x: u64) {\n    \
+                   self.total += x;\n}\n\nfn summarize() -> String {\n    \
+                   String::from(\"ok\")\n}\n";
+        let d = lint_source("crates/core/src/fake.rs", src);
+        assert!(!rules(&d).contains(&"hot-path-alloc"), "{d:?}");
     }
 
     #[test]

@@ -13,10 +13,17 @@
 //! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
 //! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
 //! fastjoin-cli bench    [--out PATH] [--deadline-secs N]
+//!                       [--trace-out PATH] [--prom-out PATH]
 //!                       # observability smoke suite → BENCH_smoke.json;
 //!                       # any scenario over the wall-clock deadline fails
 //! fastjoin-cli chaos    [--seeds N] [--tuples N] [--out PATH] [--class NAME]
-//!                       # seeded fault-schedule matrix → CHAOS_report.json
+//!                       [--trace-out PATH]
+//!                       # seeded fault-schedule matrix → CHAOS_report.json;
+//!                       # --trace-out ships the first failing run's journal
+//! fastjoin-cli trace    --journal PATH [--round N] [--group r|s]
+//!                       [--kind NAME] [--actor LABEL]
+//!                       # summarize a trace journal, or reconstruct one
+//!                       # migration round's phase timeline
 //! ```
 //!
 //! The `chaos` command replays the fault classes of the in-tree chaos
@@ -318,18 +325,52 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     for _ in 0..3 {
         let mut cfg = base(4);
         cfg.rate_limit = Some(60_000.0);
+        let run_started = std::time::Instant::now();
         let report = run_topology(&cfg, skewed_workload());
+        let elapsed = run_started.elapsed();
         let has_span = report.migration_spans.iter().any(|s| !s.is_empty());
         let keep = skewed.is_none() || has_span;
         if keep {
-            skewed = Some(report);
+            skewed = Some((report, elapsed));
         }
         if has_span {
             break;
         }
     }
-    let skewed = skewed.expect("at least one skewed run completed");
+    let (skewed, skewed_elapsed) = skewed.expect("at least one skewed run completed");
     deadline_check("skewed", started);
+
+    // Tracing overhead check: the same skewed workload with tracing off.
+    // Both runs are throttled to 60k tuples/s, so their throughput should
+    // be indistinguishable; a >10% gap means tracing leaked real work onto
+    // the hot path and fails the suite. Dropped events at the default ring
+    // size fail it too — the journal must be complete to be trustworthy.
+    let started = std::time::Instant::now();
+    let untraced_elapsed = {
+        let mut cfg = base(4);
+        cfg.rate_limit = Some(60_000.0);
+        cfg.trace = fastjoin::core::trace::TraceConfig::disabled();
+        let run_started = std::time::Instant::now();
+        let _ = run_topology(&cfg, skewed_workload());
+        run_started.elapsed()
+    };
+    deadline_check("skewed-untraced", started);
+    let traced_tps = 30_000.0 / skewed_elapsed.as_secs_f64().max(1e-9);
+    let untraced_tps = 30_000.0 / untraced_elapsed.as_secs_f64().max(1e-9);
+    let overhead_pct = (untraced_tps - traced_tps) / untraced_tps * 100.0;
+    let mut trace_failures = Vec::new();
+    if traced_tps < untraced_tps * 0.9 {
+        trace_failures.push(format!(
+            "tracing overhead: traced skewed run achieved {traced_tps:.0} tuples/s \
+             vs {untraced_tps:.0} untraced ({overhead_pct:.1}% slower; budget is 10%)"
+        ));
+    }
+    if skewed.trace.dropped() != 0 {
+        trace_failures.push(format!(
+            "tracing dropped {} events at the default ring size",
+            skewed.trace.dropped()
+        ));
+    }
 
     // Uniform: every key equally hot; exercises the static happy path.
     let uniform: Vec<Tuple> = (0..20u64)
@@ -349,6 +390,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let started = std::time::Instant::now();
     let windowed = run_topology(&wcfg, windowed_workload);
     deadline_check("windowed", started);
+    failures.append(&mut trace_failures);
 
     // Validate before writing: the suite's contract with CI.
     let mut check = |name: &str, r: &RuntimeReport, expect_migration: bool| {
@@ -387,6 +429,16 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         ("schema_version", Json::uint(1)),
         ("suite", Json::str("fastjoin bench smoke")),
         (
+            "tracing",
+            Json::obj(vec![
+                ("events", Json::uint(skewed.trace.len() as u64)),
+                ("dropped", Json::uint(skewed.trace.dropped())),
+                ("traced_tuples_per_sec", Json::Num(traced_tps)),
+                ("untraced_tuples_per_sec", Json::Num(untraced_tps)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
+        (
             "workloads",
             Json::obj(vec![
                 ("skewed", skewed.to_json()),
@@ -397,6 +449,17 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     ]);
     std::fs::write(&out, doc.to_string_pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    if let Some(path) = args.flags.get("trace-out") {
+        std::fs::write(path, skewed.trace.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} ({} trace events)", skewed.trace.len());
+    }
+    if let Some(path) = args.flags.get("prom-out") {
+        let text = skewed.registry.to_prometheus();
+        fastjoin::core::telemetry::validate_prometheus(&text)
+            .map_err(|e| format!("prometheus output failed validation: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
     println!(
         "skewed : {} results, {} migrations, {} spans, p99 latency {} µs",
         skewed.results_total,
@@ -493,6 +556,10 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 
     let mut runs = 0u64;
     let mut failures: Vec<Json> = Vec::new();
+    // Journal of the first run that violated the oracle, kept for
+    // `--trace-out`. Runs that die outright (`Err` from the runtime)
+    // never produced a report, so they have no journal to ship.
+    let mut failing_journal: Option<String> = None;
     let started = std::time::Instant::now();
     for (name, plan_for) in classes {
         if let Some(filter) = &only {
@@ -523,6 +590,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                     ..SupervisionConfig::default()
                 },
                 faults: plan_for(seed),
+                trace: fastjoin::core::trace::TraceConfig::default(),
             };
             let verdict: Result<(), String> = match try_run_topology(&cfg, tuples) {
                 Err(e) => Err(format!("run failed: {e}")),
@@ -555,6 +623,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                     if problems.is_empty() {
                         Ok(())
                     } else {
+                        if failing_journal.is_none() && !report.trace.is_empty() {
+                            failing_journal = Some(report.trace.to_jsonl());
+                        }
                         Err(problems.join("; "))
                     }
                 }
@@ -593,6 +664,15 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         started.elapsed().as_secs_f64(),
         failures.len()
     );
+    if let Some(path) = args.flags.get("trace-out") {
+        match &failing_journal {
+            Some(jsonl) => {
+                std::fs::write(path, jsonl).map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote {path} (trace journal of the first failing run)");
+            }
+            None => println!("no failing run produced a trace journal; {path} not written"),
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -600,8 +680,225 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Reads a trace journal (the JSONL written by `--trace-out`) and either
+/// summarizes it or reconstructs one migration round's phase timeline
+/// (§III-D: trigger → buffer → forward → route flip → drain/abort). The
+/// round view exits non-zero when the timeline is causally inconsistent —
+/// phases out of order or committed route versions not monotone — so CI
+/// can assert a journal tells a coherent story.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use fastjoin::core::trace::{ActorKind, TraceJournal, TraceKind};
+
+    let path =
+        args.flags.get("journal").ok_or_else(|| "trace requires --journal PATH".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut journal = TraceJournal::from_jsonl(&text)?;
+    journal.sort();
+    println!("{path}: {} events, {} dropped", journal.len(), journal.dropped());
+
+    if let Some(round) = args.flags.get("round") {
+        let epoch: u64 = round.parse().map_err(|_| format!("bad --round {round:?}"))?;
+        let group = match args.flags.get("group").map(String::as_str) {
+            Some("r" | "0") => Some(0u8),
+            Some("s" | "1") => Some(1u8),
+            Some(other) => return Err(format!("bad --group {other:?} (expected r or s)")),
+            None => None,
+        };
+        // Round ids are only unique per group; pick the group or demand one.
+        let group = match group {
+            Some(g) => g,
+            None => {
+                let in_group = |g: u8| !journal.round_in(g, epoch).is_empty();
+                match (in_group(0), in_group(1)) {
+                    (true, false) => 0,
+                    (false, true) => 1,
+                    (true, true) => {
+                        return Err(format!(
+                            "round {epoch} exists in both groups; disambiguate with --group r|s"
+                        ))
+                    }
+                    (false, false) => return Err(format!("no events for round {epoch}")),
+                }
+            }
+        };
+        let events = journal.round_in(group, epoch);
+        if events.is_empty() {
+            return Err(format!(
+                "no events for round {epoch} of group {}",
+                if group == 0 { "r" } else { "s" }
+            ));
+        }
+        let t0 = events[0].at_us;
+        println!(
+            "round {epoch} of group {} — {} events over {} µs:",
+            if group == 0 { "r" } else { "s" },
+            events.len(),
+            events.last().map_or(0, |e| e.at_us - t0)
+        );
+        for e in &events {
+            let detail = match e.kind {
+                TraceKind::MigTrigger => format!("source={} target={}", e.aux, e.aux2),
+                TraceKind::MigCmd => format!("target={}", e.aux),
+                TraceKind::MigStart => format!("from={} keys={}", e.aux, e.aux2),
+                TraceKind::MigStore | TraceKind::MigForward => format!("tuples={}", e.aux),
+                TraceKind::RouteStaged => format!("version={}", e.aux),
+                TraceKind::RouteUpdated => {
+                    if e.actor.kind == ActorKind::Dispatcher {
+                        format!("committed version={}", e.aux)
+                    } else {
+                        format!("buffered-flushed={}", e.aux)
+                    }
+                }
+                TraceKind::MigEnd => format!("from={}", e.aux),
+                TraceKind::MigAbort => {
+                    if e.actor.kind == ActorKind::Dispatcher {
+                        format!("accepted, source={}", e.aux)
+                    } else {
+                        String::new()
+                    }
+                }
+                TraceKind::MigReturn => format!("stored={} inflight={}", e.aux, e.aux2),
+                TraceKind::MigDone => format!("tuples_moved={}", e.aux),
+                TraceKind::AbortRequest => format!("source={}", e.aux),
+                TraceKind::AbortOutcome => {
+                    format!("aborted={}", if e.aux == 1 { "yes" } else { "refused" })
+                }
+                TraceKind::FaultDropTrigger => format!("source={} target={}", e.aux, e.aux2),
+                TraceKind::FaultRestart => format!("restarts={}", e.aux),
+                TraceKind::Ingest
+                | TraceKind::StoreDone
+                | TraceKind::ProbeDone
+                | TraceKind::Eos
+                | TraceKind::FaultCrash => String::new(),
+            };
+            println!(
+                "  +{:>8} µs  {:<12} {:<16} {detail}",
+                e.at_us - t0,
+                e.actor.label(),
+                e.kind.name()
+            );
+        }
+        // Causal checks: the §III-D phase order, and monotone committed
+        // route versions across the whole journal for this group.
+        let mut problems = Vec::new();
+        let first = |k: TraceKind| events.iter().position(|e| e.kind == k);
+        let order = [
+            (TraceKind::MigTrigger, TraceKind::MigCmd),
+            (TraceKind::MigCmd, TraceKind::MigStart),
+            (TraceKind::MigStart, TraceKind::MigStore),
+            (TraceKind::MigStore, TraceKind::RouteStaged),
+            (TraceKind::RouteStaged, TraceKind::MigEnd),
+            (TraceKind::MigEnd, TraceKind::MigDone),
+            (TraceKind::AbortRequest, TraceKind::AbortOutcome),
+            (TraceKind::MigAbort, TraceKind::MigReturn),
+        ];
+        for (a, b) in order {
+            if let (Some(ia), Some(ib)) = (first(a), first(b)) {
+                if ia > ib {
+                    problems.push(format!("{} appears after {}", a.name(), b.name()));
+                }
+            }
+        }
+        let versions: Vec<u64> = journal
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == TraceKind::RouteUpdated
+                    && e.actor.kind == ActorKind::Dispatcher
+                    && e.aux2 == u64::from(group)
+            })
+            .map(|e| e.aux)
+            .collect();
+        if versions.windows(2).any(|w| w[0] >= w[1]) {
+            problems.push(format!("committed route versions not monotone: {versions:?}"));
+        }
+        if problems.is_empty() {
+            println!("timeline OK: phases in causal order, route versions monotone");
+            return Ok(());
+        }
+        return Err(format!("inconsistent timeline:\n  {}", problems.join("\n  ")));
+    }
+
+    // Summary mode: counts per kind and per actor, then the rounds seen.
+    let kind_filter = args.flags.get("kind").cloned();
+    let actor_filter = args.flags.get("actor").cloned();
+    let mut by_kind: Vec<(String, u64)> = Vec::new();
+    let mut by_actor: Vec<(String, u64)> = Vec::new();
+    let mut rounds: Vec<(u8, u64, usize, bool)> = Vec::new();
+    for e in journal.events() {
+        if let Some(k) = &kind_filter {
+            if e.kind.name() != k {
+                continue;
+            }
+        }
+        if let Some(a) = &actor_filter {
+            if &e.actor.label() != a {
+                continue;
+            }
+        }
+        let kname = e.kind.name().to_string();
+        match by_kind.iter_mut().find(|(n, _)| *n == kname) {
+            Some((_, c)) => *c += 1,
+            None => by_kind.push((kname, 1)),
+        }
+        let aname = e.actor.label();
+        match by_actor.iter_mut().find(|(n, _)| *n == aname) {
+            Some((_, c)) => *c += 1,
+            None => by_actor.push((aname, 1)),
+        }
+    }
+    for group in 0..2u8 {
+        let mut epochs: Vec<u64> = journal
+            .events()
+            .iter()
+            .filter(|e| {
+                e.epoch != 0
+                    && e.kind == fastjoin::core::trace::TraceKind::MigTrigger
+                    && e.actor.group == group
+            })
+            .map(|e| e.epoch)
+            .collect();
+        epochs.dedup();
+        for epoch in epochs {
+            let evs = journal.round_in(group, epoch);
+            let done =
+                evs.iter().any(|e| matches!(e.kind, TraceKind::MigDone | TraceKind::AbortOutcome));
+            rounds.push((group, epoch, evs.len(), done));
+        }
+    }
+    println!("events by kind:");
+    for (name, count) in &by_kind {
+        println!("  {name:<18} {count}");
+    }
+    println!("events by actor:");
+    for (name, count) in &by_actor {
+        println!("  {name:<12} {count}");
+    }
+    if !rounds.is_empty() {
+        println!("migration rounds (inspect with --round N --group r|s):");
+        for (group, epoch, n, done) in rounds {
+            println!(
+                "  group {} round {epoch}: {n} events, {}",
+                if group == 0 { "r" } else { "s" },
+                if done { "closed" } else { "open" }
+            );
+        }
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
-    "usage: fastjoin-cli <simulate|compare|topology|census|gen|bench|chaos> [--flag value]...\n\
+    "usage: fastjoin-cli <command> [--flag value]...\n\
+     \n\
+     commands:\n\
+       simulate   discrete-event simulation of one system over a workload\n\
+       compare    run the paper's headline systems side by side\n\
+       topology   threaded runtime over a ride-hailing workload\n\
+       census     key-skew statistics of a generated workload\n\
+       gen        write a workload trace to a file (--out PATH)\n\
+       bench      observability smoke suite -> BENCH_smoke.json\n\
+       chaos      seeded fault-schedule matrix -> CHAOS_report.json\n\
+       trace      inspect a trace journal written by --trace-out\n\
      \n\
      fault-injection (chaos) knobs, all seed-deterministic via FaultPlan:\n\
        --seeds N       seeds per fault class (default 100)\n\
@@ -610,9 +907,19 @@ fn usage() -> &'static str {
                        crash-handoff-forward | crash-pre-route-flip |\n\
                        crash-steady-state | channel-chaos | stalled-round\n\
        --out PATH      failure-report JSON (default CHAOS_report.json)\n\
+       --trace-out P   write the first failing run's trace journal to P\n\
      bench:\n\
        --deadline-secs N   wall-clock deadline per scenario (default 120);\n\
                            breach exits non-zero\n\
+       --trace-out PATH    write the skewed run's trace journal (JSONL)\n\
+       --prom-out PATH     write the skewed run's metrics in Prometheus\n\
+                           text format\n\
+     trace:\n\
+       --journal PATH  the JSONL journal to read (required)\n\
+       --round N       reconstruct migration round N's phase timeline\n\
+       --group r|s     which group's round N (required if both have one)\n\
+       --kind NAME     filter the summary to one event kind\n\
+       --actor LABEL   filter the summary to one actor (e.g. inst.r3)\n\
      see the module docs (cargo doc) or the README for the full flag list"
 }
 
@@ -630,6 +937,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "bench" => cmd_bench(&args),
         "chaos" => cmd_chaos(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     });
     match result {
