@@ -153,7 +153,19 @@ impl KillSwitch {
     /// Returns `true` exactly once, immediately before the message that
     /// matches the armed phase would be processed.
     pub fn should_crash(&mut self, msg: &RtMsg) -> bool {
-        self.msgs_seen += 1;
+        // Steady-state progress is counted in *tuples*, not channel
+        // messages, so a batched run crashes at the same point in the
+        // stream as its unbatched twin (a batch itself is a valid crash
+        // point: fail-stop at a message boundary retries the whole batch).
+        self.msgs_seen += match msg {
+            RtMsg::DataBatch(tuples) => tuples.len() as u64,
+            RtMsg::ProbeBatch(entries) => entries.len() as u64,
+            RtMsg::Inst(_)
+            | RtMsg::Probe(..)
+            | RtMsg::ProbeHandoff(_)
+            | RtMsg::ReportRequest
+            | RtMsg::Eos => 1,
+        };
         let Some(phase) = self.phase else { return false };
         let fire = match phase {
             CrashPhase::PreMigStart => matches!(msg, RtMsg::Inst(InstanceMsg::MigStart { .. })),
@@ -175,6 +187,36 @@ impl KillSwitch {
     }
 }
 
+/// Splits a batched data-plane message into its scalar equivalents, in
+/// order, or returns any other message untouched. Installed on instance
+/// [`ChaosReceiver`]s so chaos perturbs at *tuple* granularity: a batched
+/// run exposes the same per-tuple fault space (delays between any two
+/// tuples) as the unbatched message stream the chaos seed matrix was
+/// calibrated against.
+///
+/// # Errors
+/// The original message, when it is not a batch (nothing to split).
+pub fn split_rt_batches(msg: RtMsg) -> Result<Vec<RtMsg>, RtMsg> {
+    match msg {
+        RtMsg::DataBatch(tuples) => {
+            Ok(tuples.into_iter().map(|t| RtMsg::Inst(InstanceMsg::Data(t))).collect())
+        }
+        RtMsg::ProbeBatch(entries) => {
+            Ok(entries.into_iter().map(|(t, f)| RtMsg::Probe(t, f)).collect())
+        }
+        RtMsg::Inst(_)
+        | RtMsg::Probe(..)
+        | RtMsg::ProbeHandoff(_)
+        | RtMsg::ReportRequest
+        | RtMsg::Eos => Err(msg),
+    }
+}
+
+/// Splits a batch message into its scalar equivalents (`Ok`), or returns
+/// the message unsplit (`Err`) when it is not a batch. See
+/// [`split_rt_batches`] for the canonical implementation.
+pub type BatchSplitter<T> = fn(T) -> Result<Vec<T>, T>;
+
 /// A receiver wrapped with seed-driven delay/drop/duplicate/reorder
 /// faults. `eligible` gates which messages may be dropped, duplicated, or
 /// reordered; *delay* (a sleep before delivery) applies to any message —
@@ -184,6 +226,13 @@ pub struct ChaosReceiver<T: Clone> {
     policy: ChaosPolicy,
     rng: StdRng,
     eligible: fn(&T) -> bool,
+    /// Optional batch splitter (see [`split_rt_batches`]): under an active
+    /// policy, incoming messages are split to their scalar equivalents so
+    /// faults apply at tuple granularity. `Err` returns the message
+    /// unsplit; `Ok` yields the parts in order.
+    splitter: Option<BatchSplitter<T>>,
+    /// Parts of a split batch awaiting the fault pipeline, in order.
+    presplit: std::collections::VecDeque<T>,
     /// A message displaced by a reorder: delivered after its successor.
     stash: Option<T>,
     /// Duplicates and displaced messages awaiting redelivery.
@@ -208,6 +257,8 @@ impl<T: Clone> ChaosReceiver<T> {
             policy,
             rng,
             eligible,
+            splitter: None,
+            presplit: std::collections::VecDeque::new(),
             stash: None,
             pending: std::collections::VecDeque::new(),
             delays: 0,
@@ -215,6 +266,15 @@ impl<T: Clone> ChaosReceiver<T> {
             dups: 0,
             reorders: 0,
         }
+    }
+
+    /// Installs a batch splitter. Only consulted while the policy is
+    /// active: a no-op receiver stays a pure pass-through and batches
+    /// cross it intact.
+    #[must_use]
+    pub fn with_splitter(mut self, splitter: BatchSplitter<T>) -> Self {
+        self.splitter = Some(splitter);
+        self
     }
 
     /// How many faults this receiver actually applied, as
@@ -226,10 +286,11 @@ impl<T: Clone> ChaosReceiver<T> {
         (self.delays, self.drops, self.dups, self.reorders)
     }
 
-    /// Current queue length of the underlying channel (for depth gauges).
+    /// Current queue length of the underlying channel plus messages the
+    /// fault pipeline is still holding (for depth gauges).
     #[must_use]
     pub fn queue_len(&self) -> usize {
-        self.rx.len()
+        self.rx.len() + self.presplit.len() + self.pending.len() + usize::from(self.stash.is_some())
     }
 
     fn roll(&mut self, one_in: u64) -> bool {
@@ -249,16 +310,33 @@ impl<T: Clone> ChaosReceiver<T> {
             return Ok(m);
         }
         loop {
-            let msg = match self.rx.recv_timeout(timeout) {
-                Ok(m) => m,
-                Err(e) => {
-                    // Nothing live arrived: flush a displaced message
-                    // rather than holding it across an idle period.
-                    if let Some(m) = self.stash.take() {
-                        return Ok(m);
+            let msg = if let Some(m) = self.presplit.pop_front() {
+                m
+            } else {
+                match self.rx.recv_timeout(timeout) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        // Nothing live arrived: flush a displaced message
+                        // rather than holding it across an idle period.
+                        if let Some(m) = self.stash.take() {
+                            return Ok(m);
+                        }
+                        return Err(e);
                     }
-                    return Err(e);
                 }
+            };
+            // Split batches before rolling any fault so chaos decisions
+            // are per tuple, exactly as in an unbatched run; each part
+            // re-enters the pipeline in order (FIFO preserved).
+            let msg = match self.splitter.filter(|_| !self.policy.is_noop()) {
+                Some(split) => match split(msg) {
+                    Ok(parts) => {
+                        self.presplit.extend(parts);
+                        continue;
+                    }
+                    Err(m) => m,
+                },
+                None => msg,
             };
             if self.policy.delay_max_us > 0 && self.roll(self.policy.delay_1_in) {
                 let us = self.rng.gen_range(0..=self.policy.delay_max_us);
@@ -353,6 +431,64 @@ mod tests {
         assert!(!ks.should_crash(&RtMsg::ReportRequest));
         assert!(!ks.should_crash(&RtMsg::ReportRequest));
         assert!(ks.should_crash(&RtMsg::ReportRequest));
+    }
+
+    #[test]
+    fn steady_state_counts_tuples_inside_batches() {
+        use fastjoin_core::tuple::Tuple;
+        let mut ks = KillSwitch::new(Some(CrashPhase::SteadyState { after_msgs: 2 }));
+        // One 3-tuple batch crosses the threshold on its own.
+        let batch = RtMsg::DataBatch(vec![Tuple::r(1, 0, 0), Tuple::r(2, 0, 0), Tuple::r(3, 0, 0)]);
+        assert!(ks.should_crash(&batch), "3 tuples > after_msgs = 2");
+        assert!(!ks.should_crash(&batch), "single fire");
+    }
+
+    #[test]
+    fn split_rt_batches_yields_scalar_equivalents_in_order() {
+        use fastjoin_core::tuple::Tuple;
+        let parts = split_rt_batches(RtMsg::ProbeBatch(vec![
+            (Tuple::r(1, 0, 10), 2),
+            (Tuple::s(2, 0, 11), 3),
+        ]))
+        .expect("batches split");
+        match parts.as_slice() {
+            [RtMsg::Probe(t0, 2), RtMsg::Probe(t1, 3)] => {
+                assert_eq!(t0.payload, 10);
+                assert_eq!(t1.payload, 11);
+            }
+            other => panic!("unexpected split: {other:?}"),
+        }
+        assert!(split_rt_batches(RtMsg::ReportRequest).is_err(), "non-batches pass through");
+    }
+
+    #[test]
+    fn splitter_unpacks_batches_under_an_active_policy() {
+        use fastjoin_core::tuple::Tuple;
+        let (tx, rx) = unbounded::<RtMsg>();
+        // Delay-only policy (what instance inboxes get): non-noop, FIFO.
+        let policy = ChaosPolicy { delay_1_in: 1000, delay_max_us: 1, ..Default::default() };
+        let mut chaos = ChaosReceiver::new(rx, policy, plan_with_seed(3).rng_for(9), |_| false)
+            .with_splitter(split_rt_batches);
+        tx.send(RtMsg::DataBatch(vec![Tuple::r(1, 0, 0), Tuple::r(2, 0, 1)])).unwrap();
+        tx.send(RtMsg::Eos).unwrap();
+        let a = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        let c = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(matches!(a, RtMsg::Inst(InstanceMsg::Data(t)) if t.payload == 0));
+        assert!(matches!(b, RtMsg::Inst(InstanceMsg::Data(t)) if t.payload == 1));
+        assert!(matches!(c, RtMsg::Eos));
+    }
+
+    #[test]
+    fn splitter_is_bypassed_when_the_policy_is_noop() {
+        use fastjoin_core::tuple::Tuple;
+        let (tx, rx) = unbounded::<RtMsg>();
+        let mut chaos =
+            ChaosReceiver::new(rx, ChaosPolicy::default(), plan_with_seed(3).rng_for(9), |_| false)
+                .with_splitter(split_rt_batches);
+        tx.send(RtMsg::DataBatch(vec![Tuple::r(1, 0, 0), Tuple::r(2, 0, 1)])).unwrap();
+        let m = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(matches!(m, RtMsg::DataBatch(b) if b.len() == 2), "no policy, no split");
     }
 
     #[test]

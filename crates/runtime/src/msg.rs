@@ -4,6 +4,14 @@
 //! [`RtMsg`]; keeping data and control on the same FIFO channel is what
 //! gives the per-channel ordering the migration protocol requires (the
 //! same property Storm gives messages between two bolts).
+//!
+//! Data-plane messages come in scalar and batched forms
+//! ([`RtMsg::Probe`]/[`RtMsg::ProbeBatch`], `Data`/[`RtMsg::DataBatch`],
+//! [`DispatcherMsg::Ingest`]/[`DispatcherMsg::IngestBatch`]). A batch is
+//! *defined* as equivalent to that many consecutive scalar messages on the
+//! same channel — every consumer (executors, kill switches, chaos
+//! receivers, checkpoints) must preserve that equivalence, which is what
+//! lets the migration protocol ignore batching entirely.
 
 use fastjoin_core::load::InstanceLoad;
 use fastjoin_core::protocol::{InstanceMsg, MigrationDone, RouteRequest};
@@ -22,6 +30,17 @@ pub enum RtMsg {
     /// fan-out parts complete — the straggler penalty of broadcast-style
     /// strategies.
     Probe(fastjoin_core::tuple::Tuple, u32),
+    /// A run of store-side tuples for this instance, shipped as one
+    /// message — equivalent to that many consecutive
+    /// [`InstanceMsg::Data`] messages. The dispatcher accumulates
+    /// per-destination runs (see `RuntimeConfig::batch_size`) to amortize
+    /// per-message channel overhead; flushes preserve the per-channel
+    /// arrival order, so batching is invisible to the protocol.
+    DataBatch(Vec<fastjoin_core::tuple::Tuple>),
+    /// A run of probe-side tuples with their dispatch fan-outs, shipped as
+    /// one message — the batched form of [`RtMsg::Probe`], with the same
+    /// ordering guarantee as [`RtMsg::DataBatch`].
+    ProbeBatch(Vec<(fastjoin_core::tuple::Tuple, u32)>),
     /// Fan-out entries `(seq, fanout)` for probe tuples a migration source
     /// is about to forward in a `MigForward`. Sent on the same
     /// source → target channel *immediately before* the `MigForward`, so
@@ -40,8 +59,14 @@ pub enum RtMsg {
 /// Input to the dispatcher executor.
 #[derive(Debug)]
 pub enum DispatcherMsg {
-    /// A raw tuple from a spout (timestamp assigned by the dispatcher).
+    /// A raw tuple from a spout. Event time (`ts`) is stamped by the
+    /// spout at pacing time, *before* any batching, so inter-tuple gaps
+    /// survive into the stream's event time.
     Ingest(fastjoin_core::tuple::Tuple),
+    /// A run of spout tuples accumulated up to `RuntimeConfig::batch_size`
+    /// before crossing the spout → dispatcher channel; equivalent to that
+    /// many consecutive [`DispatcherMsg::Ingest`] messages.
+    IngestBatch(Vec<fastjoin_core::tuple::Tuple>),
     /// A routing update from a migration source.
     Route {
         /// Which group's table to update (0 = R, 1 = S).

@@ -12,6 +12,31 @@
 //! wait-for cycle (dispatcher blocked on a full instance queue while that
 //! instance publishes a routing update).
 //!
+//! # Data-plane batching
+//!
+//! The hot path is batched end to end: the spout accumulates up to
+//! [`RuntimeConfig::batch_size`] tuples per spout → dispatcher message,
+//! and the dispatcher accumulates per-destination runs flushed as
+//! [`RtMsg::DataBatch`]/[`RtMsg::ProbeBatch`] when a destination reaches
+//! `batch_size` or its oldest pending tuple ages past [`DISPATCH_TICK`].
+//! The send-ordering discipline that keeps batching invisible to the
+//! migration protocol (enforced by `DispatcherCore`, tested in this
+//! module, documented in ARCHITECTURE.md):
+//!
+//! 1. a destination's pending batch is flushed *before* any control
+//!    message (`RouteUpdated`, `MigAbort`, `Eos`) is sent to it, so
+//!    per-channel FIFO means what it meant unbatched;
+//! 2. control messages never wait behind a full data channel *at the
+//!    dispatcher* because they travel dispatcher → instance on the same
+//!    bounded channel only after that destination's data was flushed, and
+//!    instance → dispatcher control stays unbounded (no wait-for cycle);
+//! 3. batches are *equivalent to their scalar expansion* everywhere else:
+//!    tuple-granularity crash points ([`crate::fault::KillSwitch`]),
+//!    chaos perturbation via batch splitting
+//!    ([`crate::fault::split_rt_batches`]), per-tuple `stage.*`
+//!    attribution, per-tuple trace sampling, and checkpoint/replay (the
+//!    replay log stores whole batches and replays them identically).
+//!
 //! # Failure model & supervision
 //!
 //! Join-instance executors are *supervised*: every message is processed
@@ -46,7 +71,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
@@ -118,6 +143,12 @@ pub struct RuntimeConfig {
     pub fastjoin: FastJoinConfig,
     /// Capacity of each instance's input channel (backpressure bound).
     pub queue_cap: usize,
+    /// Data-plane batch size: tuples accumulated per spout → dispatcher
+    /// message and per dispatcher → instance flush. 1 reproduces the
+    /// unbatched per-tuple message stream exactly; larger values amortize
+    /// per-message channel overhead at the cost of up to one
+    /// [`DISPATCH_TICK`] of added latency per tuple.
+    pub batch_size: usize,
     /// Monitor sampling period in wall-clock milliseconds.
     pub monitor_period_ms: u64,
     /// Optional spout rate limit, tuples/second (None = full speed).
@@ -137,12 +168,40 @@ impl Default for RuntimeConfig {
             system: SystemKind::FastJoin,
             fastjoin: FastJoinConfig::default(),
             queue_cap: 4096,
+            batch_size: 64,
             monitor_period_ms: 100,
             rate_limit: None,
             supervision: SupervisionConfig::default(),
             faults: FaultPlan::default(),
             trace: TraceConfig::default(),
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Checks the runtime knobs for consistency (the wrapped
+    /// [`FastJoinConfig`] is validated too). Called by every `run_topology`
+    /// entry point before any thread is spawned.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.fastjoin.validate()?;
+        if self.queue_cap == 0 {
+            return Err("queue_cap must be ≥ 1 (channels are bounded)".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be ≥ 1 (1 = unbatched)".into());
+        }
+        if self.batch_size > self.queue_cap {
+            return Err(format!(
+                "batch_size ({}) must not exceed queue_cap ({}): a full batch is one message, \
+                 but the spout fills batches tuple-by-tuple and a channel smaller than the \
+                 batch rate bound starves the dispatcher",
+                self.batch_size, self.queue_cap
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -262,7 +321,7 @@ fn run_topology_inner(
     workload: impl IntoIterator<Item = Tuple>,
     results: Option<Sender<JoinedPair>>,
 ) -> Result<RuntimeReport, RunError> {
-    cfg.fastjoin.validate().expect("invalid configuration"); // lint:allow(startup config validation, before any data flows)
+    cfg.validate().expect("invalid configuration"); // lint:allow(startup config validation, before any data flows)
     let n = cfg.fastjoin.instances_per_group;
     let sup = cfg.supervision;
     let (r_part, s_part, dynamic) = build_partitioners(cfg.system, &cfg.fastjoin);
@@ -314,6 +373,7 @@ fn run_topology_inner(
         let data_rx = disp_data_rx;
         let ctrl_rx = disp_ctrl_rx;
         let collector = collector_tx.clone();
+        let batch_size = cfg.batch_size;
         let thread_name = name.clone();
         handles.push((
             name,
@@ -322,8 +382,8 @@ fn run_topology_inner(
                 .spawn(move || {
                     let body = catch_unwind(AssertUnwindSafe(|| {
                         dispatcher_loop(
-                            r_part, s_part, &data_rx, &ctrl_rx, &inst_txs, &mon_txs, &collector,
-                            &now_us, trace_cfg, &hb, &kill,
+                            r_part, s_part, batch_size, &data_rx, &ctrl_rx, &inst_txs, mon_txs,
+                            &collector, &now_us, trace_cfg, &hb, &kill,
                         );
                     }));
                     if let Err(p) = body {
@@ -389,7 +449,11 @@ fn run_topology_inner(
                             collector: &collector,
                             results,
                         };
-                        let chaos_rx = ChaosReceiver::new(rx, chaos, chaos_rng, |_| false);
+                        // Chaos perturbs at tuple granularity: batches are
+                        // split to their scalar equivalents first (only
+                        // under an active policy — see `fault`).
+                        let chaos_rx = ChaosReceiver::new(rx, chaos, chaos_rng, |_| false)
+                            .with_splitter(crate::fault::split_rt_batches);
                         let body = catch_unwind(AssertUnwindSafe(|| {
                             instance_executor(&io, chaos_rx, sup, crash, trace_cfg, &hb, &kill);
                         }));
@@ -481,10 +545,12 @@ fn run_topology_inner(
     // spin only the last stretch (the scheduler cannot be trusted below
     // ~100 µs, but a pure busy-wait burned a full core at low rates).
     const SPIN_WINDOW: Duration = Duration::from_micros(150);
+    let batch = cfg.batch_size.max(1);
     let mut ingested = 0u64;
+    let mut buf: Vec<Tuple> = Vec::with_capacity(if batch > 1 { batch } else { 0 });
     let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
     let mut next_send = Instant::now();
-    for t in workload {
+    for mut t in workload {
         if kill.load(Ordering::Relaxed) {
             break;
         }
@@ -503,12 +569,35 @@ fn run_topology_inner(
             }
             next_send += gap;
         }
-        if disp_data_tx.send(DispatcherMsg::Ingest(t)).is_err() {
-            // Dispatcher gone mid-stream: the failure that killed it is in
-            // the collector queue; stop feeding and go diagnose.
-            break;
-        }
+        // Event time is stamped here, at pacing time and before any
+        // batching, so inter-tuple gaps survive into the stream's event
+        // time (a batch stamped at dispatch would compress them).
+        t.ts = now_us();
         ingested += 1;
+        if batch == 1 {
+            if disp_data_tx.send(DispatcherMsg::Ingest(t)).is_err() {
+                // Dispatcher gone mid-stream: the failure that killed it is
+                // in the collector queue; stop feeding and go diagnose.
+                ingested -= 1;
+                break;
+            }
+        } else {
+            buf.push(t);
+            if buf.len() >= batch {
+                let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+                let len = full.len() as u64;
+                if disp_data_tx.send(DispatcherMsg::IngestBatch(full)).is_err() {
+                    ingested -= len;
+                    break;
+                }
+            }
+        }
+    }
+    if !buf.is_empty() {
+        let len = buf.len() as u64;
+        if disp_data_tx.send(DispatcherMsg::IngestBatch(buf)).is_err() {
+            ingested -= len;
+        }
     }
 
     let fail = |kill: &AtomicBool,
@@ -561,7 +650,13 @@ fn run_topology_inner(
     // and are patched into the matching monitor span after MonitorDone.
     let mut route_flips: Vec<(usize, u64, u64)> = Vec::new();
     let mut first_error: Option<RunError> = None;
-    while done < 2 * n {
+    // One loop collects everything: instances exit first (on Eos), then
+    // the monitors (their inboxes disconnect), and the dispatcher last —
+    // it keeps serving late control messages after broadcasting Eos and
+    // only reports once every control sender is gone.
+    let mut monitors_done = if dynamic { 0 } else { 2 };
+    let mut dispatcher_done = false;
+    while done < 2 * n || monitors_done < 2 || !dispatcher_done {
         match collector_rx.recv_timeout(COLLECT_TICK) {
             Ok(CollectorMsg::Probe { seq, fanout, record }) => {
                 results_total += record.matches;
@@ -591,10 +686,12 @@ fn run_topology_inner(
                 migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
                 imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
                 trace.absorb(*journal);
+                monitors_done += 1;
             }
             Ok(CollectorMsg::DispatcherDone { registry: r, journal }) => {
                 registry.merge_prefixed("dispatcher.", &r);
                 trace.absorb(*journal);
+                dispatcher_done = true;
             }
             Ok(CollectorMsg::ExecutorFailure { name, error, fatal, restarts }) => {
                 registry.counter_add("supervisor.executor_failures", 1);
@@ -621,33 +718,6 @@ fn run_topology_inner(
     }
     if let Some(e) = first_error {
         return fail(&kill, handles, e);
-    }
-    // Monitors report their stats after the last instance exits.
-    if dynamic {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while monitor_stats.iter().any(Option::is_none) {
-            let left = deadline.saturating_duration_since(Instant::now());
-            match collector_rx.recv_timeout(left) {
-                Ok(CollectorMsg::MonitorDone { group, stats, spans, li, journal }) => {
-                    monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
-                    migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
-                    imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
-                    trace.absorb(*journal);
-                }
-                Ok(CollectorMsg::RouteFlip { group, epoch, us }) => {
-                    route_flips.push((group, epoch, us));
-                }
-                Ok(CollectorMsg::ExecutorFailure { name, error, fatal: true, .. }) => {
-                    return fail(&kill, handles, RunError::ExecutorFailed { name, error });
-                }
-                Ok(_) => {}
-                Err(_) => {
-                    let e = drain_fatal(&collector_rx)
-                        .unwrap_or(RunError::ExecutorHung { name: "monitor (stats)".into() });
-                    return fail(&kill, handles, e);
-                }
-            }
-        }
     }
 
     if let Some(e) = bounded_join(handles, Duration::from_millis(sup.join_grace_ms)) {
@@ -826,122 +896,261 @@ fn bounded_join(
 // Dispatcher
 // ---------------------------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-fn dispatcher_loop(
-    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
-    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
-    data_rx: &Receiver<DispatcherMsg>,
-    ctrl_rx: &Receiver<DispatcherMsg>,
-    inst_txs: &[Vec<Sender<RtMsg>>; 2],
-    mon_txs: &[Option<Sender<MonitorMsg>>; 2],
-    collector: &Sender<CollectorMsg>,
-    now_us: &dyn Fn() -> u64,
-    trace_cfg: TraceConfig,
-    hb: &AtomicU64,
-    kill: &AtomicBool,
-) {
-    let mut dispatcher = Dispatcher::new(r_part, s_part);
-    let mut scratch = Dispatch::default();
-    let mut reg = MetricsRegistry::new();
-    let mut ring = TraceRing::new(Actor::dispatcher(), &trace_cfg);
-    // Routing epochs whose flip was applied (abort refused from then on)
-    // and epochs whose abort won (their late `Route` is discarded).
-    // Entries retire when the monitor's `Commit` closes the round.
-    let mut routed: [HashSet<u64>; 2] = [HashSet::new(), HashSet::new()];
-    let mut aborted: [HashSet<u64>; 2] = [HashSet::new(), HashSet::new()];
-    loop {
-        hb.store(now_us(), Ordering::Relaxed);
-        if kill.load(Ordering::Relaxed) {
-            break;
+/// One queued data-plane item awaiting flush to a destination.
+enum PendingItem {
+    /// A tuple stored at the destination.
+    Store(Tuple),
+    /// A tuple probing the destination, with its dispatch fan-out.
+    Probe(Tuple, u32),
+}
+
+/// A destination's accumulation buffer. Store and probe tuples share one
+/// ordered queue so their relative arrival order survives batching.
+#[derive(Default)]
+struct PendingBatch {
+    items: Vec<PendingItem>,
+    /// `now_us` when the oldest queued item was enqueued (deadline flush).
+    oldest_us: u64,
+}
+
+/// Dispatcher state plus outbound wiring, factored out of
+/// [`dispatcher_loop`] so the data loop, the control drain, and the
+/// post-EOS epilogue share one implementation of every message — and so
+/// the send-ordering discipline lives in exactly one place:
+///
+/// * data for a destination accumulates in its [`PendingBatch`] and is
+///   flushed when the queue reaches `batch_size` or its oldest tuple ages
+///   past [`DISPATCH_TICK`];
+/// * any control message to a destination (`RouteUpdated`, `MigAbort`,
+///   `Eos`) flushes that destination's pending data *first*, so the
+///   batched channel carries the exact message order of an unbatched run;
+/// * flushes ship maximal same-kind runs as one `DataBatch`/`ProbeBatch`
+///   message, and single-item runs as the scalar variants — `batch_size
+///   = 1` reproduces the pre-batching message stream bit for bit.
+struct DispatcherCore<'a> {
+    dispatcher: Dispatcher,
+    scratch: Dispatch,
+    reg: MetricsRegistry,
+    ring: TraceRing,
+    /// Routing epochs whose flip was applied (abort refused from then on)
+    /// and epochs whose abort won (their late `Route` is discarded).
+    /// Entries retire when the monitor's `Commit` closes the round.
+    routed: [HashSet<u64>; 2],
+    aborted: [HashSet<u64>; 2],
+    /// Per-group, per-destination pending data.
+    pending: [Vec<PendingBatch>; 2],
+    batch_size: usize,
+    inst_txs: &'a [Vec<Sender<RtMsg>>; 2],
+    /// Owned so the EOS epilogue can drop them: the monitors exit on
+    /// inbox disconnect, which requires every sender — including the
+    /// dispatcher's — to be gone.
+    mon_txs: [Option<Sender<MonitorMsg>>; 2],
+    now_us: &'a dyn Fn() -> u64,
+}
+
+impl DispatcherCore<'_> {
+    /// Routes one spout tuple into the per-destination pending queues
+    /// (assigning its dispatch seq), flushing any queue that fills.
+    fn ingest(&mut self, t: Tuple) {
+        self.dispatcher.dispatch_into(t, &mut self.scratch);
+        let t = self.scratch.tuple;
+        let own = t.side.index();
+        let opp = t.side.opposite().index();
+        let fanout = self.scratch.probe_dests.len() as u32;
+        self.reg.counter_add("tuples_ingested", 1);
+        self.reg.counter_add("probe_copies", u64::from(fanout));
+        let now = (self.now_us)();
+        let store_dest = self.scratch.store_dest;
+        self.enqueue(own, store_dest, PendingItem::Store(t), now);
+        let dests = std::mem::take(&mut self.scratch.probe_dests);
+        for &d in &dests {
+            self.enqueue(opp, d, PendingItem::Probe(t, fanout), now);
         }
-        // Control has priority; between control polls, block briefly on
-        // data. Whichever order messages are served in, an instance's
-        // buffer catches any selected-key data routed before the table
-        // update (see core::instance).
-        let msg = match ctrl_rx.try_recv() {
-            Ok(m) => m,
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
-                match data_rx.recv_timeout(DISPATCH_TICK) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => break,
+        self.scratch.probe_dests = dests;
+        self.ring.push_sampled(TraceEvent {
+            at_us: now,
+            actor: Actor::dispatcher(),
+            kind: TraceKind::Ingest,
+            seq: t.seq,
+            epoch: 0,
+            aux: u64::from(fanout),
+            aux2: 0,
+        });
+    }
+
+    fn enqueue(&mut self, group: usize, dest: usize, item: PendingItem, now: u64) {
+        // lint:allow(partitioner contract: routes are < instances())
+        let q = &mut self.pending[group][dest];
+        if q.items.is_empty() {
+            q.oldest_us = now;
+        }
+        q.items.push(item);
+        if q.items.len() >= self.batch_size {
+            self.flush_dest(group, dest);
+        }
+    }
+
+    /// Ships a destination's pending items in arrival order: maximal
+    /// same-kind runs leave as one batch message, single-item runs as the
+    /// scalar variants. Always called before any control message to the
+    /// same destination.
+    fn flush_dest(&mut self, group: usize, dest: usize) {
+        // lint:allow(callers pass destinations that exist by construction)
+        let items = std::mem::take(&mut self.pending[group][dest].items);
+        if items.is_empty() {
+            return;
+        }
+        let flushed_at = (self.now_us)();
+        for item in &items {
+            let ts = match item {
+                PendingItem::Store(t) | PendingItem::Probe(t, _) => t.ts,
+            };
+            // Per-tuple dispatch attribution: spout stamp → flush (covers
+            // spout-batch residency, queue wait, and batching delay).
+            self.reg.histogram_record("stage.dispatch_us", flushed_at.saturating_sub(ts));
+        }
+        let tx = &self.inst_txs[group][dest]; // lint:allow(callers pass destinations that exist by construction)
+        let mut stores: Vec<Tuple> = Vec::new();
+        let mut probes: Vec<(Tuple, u32)> = Vec::new();
+        for item in items {
+            match item {
+                PendingItem::Store(t) => {
+                    Self::ship_probes(tx, &mut probes);
+                    stores.push(t);
+                }
+                PendingItem::Probe(t, f) => {
+                    Self::ship_stores(tx, &mut stores);
+                    probes.push((t, f));
                 }
             }
-        };
-        match msg {
-            DispatcherMsg::Ingest(mut t) => {
-                // The shuffler stamps tuples at ingest (§V).
-                t.ts = now_us();
-                dispatcher.dispatch_into(t, &mut scratch);
-                let t = scratch.tuple;
-                let own = t.side.index();
-                let opp = t.side.opposite().index();
-                let fanout = scratch.probe_dests.len() as u32;
-                reg.counter_add("tuples_ingested", 1);
-                reg.counter_add("probe_copies", u64::from(fanout));
-                let _ = inst_txs[own][scratch.store_dest] // lint:allow(partitioner contract: routes are < instances())
-                    .send(RtMsg::Inst(InstanceMsg::Data(t)));
-                for &d in &scratch.probe_dests {
-                    let _ = inst_txs[opp][d].send(RtMsg::Probe(t, fanout)); // lint:allow(partitioner contract: routes are < instances())
+        }
+        Self::ship_stores(tx, &mut stores);
+        Self::ship_probes(tx, &mut probes);
+    }
+
+    fn ship_stores(tx: &Sender<RtMsg>, stores: &mut Vec<Tuple>) {
+        match stores.len() {
+            0 => {}
+            1 => {
+                if let Some(t) = stores.pop() {
+                    let _ = tx.send(RtMsg::Inst(InstanceMsg::Data(t)));
                 }
-                let done = now_us();
-                reg.histogram_record("stage.dispatch_us", done.saturating_sub(t.ts));
-                ring.push_sampled(TraceEvent {
-                    at_us: done,
-                    actor: Actor::dispatcher(),
-                    kind: TraceKind::Ingest,
-                    seq: t.seq,
-                    epoch: 0,
-                    aux: u64::from(fanout),
-                    aux2: 0,
-                });
+            }
+            _ => {
+                let _ = tx.send(RtMsg::DataBatch(std::mem::take(stores)));
+            }
+        }
+    }
+
+    fn ship_probes(tx: &Sender<RtMsg>, probes: &mut Vec<(Tuple, u32)>) {
+        match probes.len() {
+            0 => {}
+            1 => {
+                if let Some((t, f)) = probes.pop() {
+                    let _ = tx.send(RtMsg::Probe(t, f));
+                }
+            }
+            _ => {
+                let _ = tx.send(RtMsg::ProbeBatch(std::mem::take(probes)));
+            }
+        }
+    }
+
+    /// Flushes every destination whose oldest pending tuple has waited
+    /// longer than [`DISPATCH_TICK`] — the latency bound batching adds.
+    fn flush_overdue(&mut self, now: u64) {
+        let deadline = DISPATCH_TICK.as_micros() as u64;
+        for group in 0..2 {
+            // lint:allow(group is 0 or 1 by construction)
+            for dest in 0..self.pending[group].len() {
+                // lint:allow(dest ranges over this group's destinations)
+                let q = &self.pending[group][dest];
+                if !q.items.is_empty() && now.saturating_sub(q.oldest_us) >= deadline {
+                    self.flush_dest(group, dest);
+                }
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for group in 0..2 {
+            // lint:allow(group is 0 or 1 by construction)
+            for dest in 0..self.pending[group].len() {
+                self.flush_dest(group, dest);
+            }
+        }
+    }
+
+    /// Applies one dispatcher message. Returns `true` when it was the
+    /// end-of-stream marker (the caller owns the EOS epilogue).
+    fn on_msg(&mut self, msg: DispatcherMsg) -> bool {
+        let now_us = self.now_us;
+        match msg {
+            DispatcherMsg::Ingest(t) => self.ingest(t),
+            DispatcherMsg::IngestBatch(tuples) => {
+                for t in tuples {
+                    self.ingest(t);
+                }
             }
             DispatcherMsg::Route { group, req } => {
                 let side = if group == 0 { Side::R } else { Side::S };
                 // lint:allow(group is 0 or 1: monitors and targets send their own group id)
-                if aborted[group].contains(&req.epoch) {
+                if self.aborted[group].contains(&req.epoch) {
                     // The abort beat this flip to the serialization point:
                     // stage-and-revert leaves the table at its last
                     // committed contents (version bumped twice) and the
                     // source never sees `RouteUpdated` — it already got
                     // `MigAbort` on the same channel.
-                    let ok = dispatcher.stage_route(side, &req);
+                    let ok = self.dispatcher.stage_route(side, &req);
                     assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
-                    let reverted = dispatcher.revert_route(side, req.epoch);
+                    let reverted = self.dispatcher.revert_route(side, req.epoch);
                     debug_assert!(reverted);
-                    reg.counter_add("route_reverts", 1);
+                    self.reg.counter_add("route_reverts", 1);
                     let mut ev = TraceEvent::control(
                         now_us(),
                         Actor::dispatcher(),
                         TraceKind::RouteStaged,
                         req.epoch,
-                        dispatcher.route_version(side),
+                        self.dispatcher.route_version(side),
                     );
                     ev.aux2 = group as u64;
-                    ring.push(ev);
+                    self.ring.push(ev);
                 } else {
-                    let ok = dispatcher.stage_route(side, &req);
+                    let ok = self.dispatcher.stage_route(side, &req);
                     assert!(ok, "route update on non-migratable partitioner"); // lint:allow(config contract: dynamic mode implies a migratable partitioner)
-                    routed[group].insert(req.epoch);
-                    reg.counter_add("route_updates", 1);
+                    self.routed[group].insert(req.epoch);
+                    self.reg.counter_add("route_updates", 1);
                     let mut ev = TraceEvent::control(
                         now_us(),
                         Actor::dispatcher(),
                         TraceKind::RouteStaged,
                         req.epoch,
-                        dispatcher.route_version(side),
+                        self.dispatcher.route_version(side),
                     );
                     ev.aux2 = group as u64;
-                    ring.push(ev);
-                    let _ = inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
+                    self.ring.push(ev);
+                    // Ordering discipline: the source's pending data goes
+                    // out before its RouteUpdated.
+                    self.flush_dest(group, req.source);
+                    let _ = self.inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
                         .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
                 }
             }
             DispatcherMsg::Abort { group, epoch, source } => {
-                let accept = !routed[group].contains(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                let accept = !self.routed[group].contains(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                                                                   // The verdict goes to the monitor BEFORE `MigAbort` goes to
+                                                                   // the source: the source's rollback ack (a `MigrationDone`)
+                                                                   // races the verdict on the monitor's inbox, and with short
+                                                                   // bounded inboxes an idle source can ack within
+                                                                   // microseconds — if the ack won, the monitor would close
+                                                                   // the round as abandoned instead of aborted.
+                                                                   // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                if let Some(mon) = &self.mon_txs[group] {
+                    let _ = mon.send(MonitorMsg::AbortOutcome { epoch, aborted: accept });
+                }
                 if accept {
-                    aborted[group].insert(epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
-                    reg.counter_add("migration_aborts", 1);
+                    self.aborted[group].insert(epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                    self.reg.counter_add("migration_aborts", 1);
                     let mut ev = TraceEvent::control(
                         now_us(),
                         Actor::dispatcher(),
@@ -950,56 +1159,142 @@ fn dispatcher_loop(
                         source as u64,
                     );
                     ev.aux2 = group as u64;
-                    ring.push(ev);
-                    let _ = inst_txs[group][source] // lint:allow(AbortRequest.source is a valid instance id)
+                    self.ring.push(ev);
+                    // Ordering discipline: flush before the control send.
+                    self.flush_dest(group, source);
+                    let _ = self.inst_txs[group][source] // lint:allow(AbortRequest.source is a valid instance id)
                         .send(RtMsg::Inst(InstanceMsg::MigAbort { epoch }));
-                }
-                // lint:allow(group is 0 or 1: the monitor sends its own group id)
-                if let Some(mon) = &mon_txs[group] {
-                    let _ = mon.send(MonitorMsg::AbortOutcome { epoch, aborted: accept });
                 }
             }
             DispatcherMsg::Commit { group, epoch } => {
                 let side = if group == 0 { Side::R } else { Side::S };
-                if dispatcher.commit_route(side, epoch) {
-                    reg.counter_add("route_commits", 1);
+                if self.dispatcher.commit_route(side, epoch) {
+                    self.reg.counter_add("route_commits", 1);
                     let mut ev = TraceEvent::control(
                         now_us(),
                         Actor::dispatcher(),
                         TraceKind::RouteUpdated,
                         epoch,
-                        dispatcher.route_version(side),
+                        self.dispatcher.route_version(side),
                     );
                     ev.aux2 = group as u64;
-                    ring.push(ev);
+                    self.ring.push(ev);
                 }
-                routed[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
-                aborted[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                self.routed[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
+                self.aborted[group].remove(&epoch); // lint:allow(group is 0 or 1: the monitor sends its own group id)
             }
             DispatcherMsg::Eos => {
-                ring.push(TraceEvent::control(now_us(), Actor::dispatcher(), TraceKind::Eos, 0, 0));
-                // Ship the dispatcher's metrics before any instance can
-                // see EOS: enqueuing first guarantees DispatcherDone
-                // precedes the final InstanceDone in the collector.
-                let _ = collector.send(CollectorMsg::DispatcherDone {
-                    registry: Box::new(std::mem::take(&mut reg)),
-                    journal: Box::new(
-                        std::mem::replace(
-                            &mut ring,
-                            TraceRing::new(Actor::dispatcher(), &TraceConfig::disabled()),
-                        )
-                        .into_journal(),
-                    ),
-                });
-                for group in inst_txs {
-                    for tx in group {
-                        let _ = tx.send(RtMsg::Eos);
-                    }
+                self.flush_all();
+                self.ring.push(TraceEvent::control(
+                    now_us(),
+                    Actor::dispatcher(),
+                    TraceKind::Eos,
+                    0,
+                    0,
+                ));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatcher_loop(
+    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    batch_size: usize,
+    data_rx: &Receiver<DispatcherMsg>,
+    ctrl_rx: &Receiver<DispatcherMsg>,
+    inst_txs: &[Vec<Sender<RtMsg>>; 2],
+    mon_txs: [Option<Sender<MonitorMsg>>; 2],
+    collector: &Sender<CollectorMsg>,
+    now_us: &dyn Fn() -> u64,
+    trace_cfg: TraceConfig,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
+) {
+    let mut core = DispatcherCore {
+        dispatcher: Dispatcher::new(r_part, s_part),
+        scratch: Dispatch::default(),
+        reg: MetricsRegistry::new(),
+        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
+        routed: [HashSet::new(), HashSet::new()],
+        aborted: [HashSet::new(), HashSet::new()],
+        pending: [
+            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+        ],
+        batch_size: batch_size.max(1),
+        inst_txs,
+        mon_txs,
+        now_us,
+    };
+    let mut saw_eos = false;
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
+        // Control has priority and is drained to empty every iteration —
+        // queued route flips, aborts, and commits are all served before
+        // the next data message (the old poll took at most one, delaying
+        // the k-th queued control message by k data messages). Whichever
+        // order messages are served in, an instance's buffer catches any
+        // selected-key data routed before the table update (see
+        // core::instance).
+        while let Ok(m) = ctrl_rx.try_recv() {
+            let _ = core.on_msg(m);
+        }
+        match data_rx.recv_timeout(DISPATCH_TICK) {
+            Ok(m) => {
+                if core.on_msg(m) {
+                    saw_eos = true;
+                    break;
                 }
+                core.flush_overdue(now_us());
+            }
+            Err(RecvTimeoutError::Timeout) => core.flush_overdue(now_us()),
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if saw_eos && !kill.load(Ordering::Relaxed) {
+        // EOS epilogue. Bugfix: the old loop broke out right after
+        // broadcasting Eos without ever reading ctrl_rx again, so a
+        // Route/Abort/Commit racing the shutdown handshake was silently
+        // dropped and its source never saw RouteUpdated/MigAbort. Now:
+        // drain what is already queued, broadcast Eos (pending data was
+        // flushed by the Eos arm, preserving the ordering discipline),
+        // then keep serving control until every sender disconnects.
+        while let Ok(m) = ctrl_rx.try_recv() {
+            let _ = core.on_msg(m);
+        }
+        for group in inst_txs {
+            for tx in group {
+                let _ = tx.send(RtMsg::Eos);
+            }
+        }
+        // Monitors exit on inbox disconnect; release our senders so they
+        // can (they in turn release ctrl_rx, ending the loop below).
+        core.mon_txs = [None, None];
+        loop {
+            hb.store(now_us(), Ordering::Relaxed);
+            if kill.load(Ordering::Relaxed) {
                 break;
+            }
+            match ctrl_rx.recv_timeout(DISPATCH_TICK) {
+                Ok(m) => {
+                    let _ = core.on_msg(m);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
     }
+    let _ = collector.send(CollectorMsg::DispatcherDone {
+        registry: Box::new(core.reg),
+        journal: Box::new(core.ring.into_journal()),
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -1161,6 +1456,30 @@ impl InstanceState {
                     .handle(InstanceMsg::Data(t), self.selector.as_mut(), fj.theta_gap, fx)
                     // lint:allow(Data never returns a protocol error)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+            }
+            RtMsg::DataBatch(tuples) => {
+                // Equivalent to that many consecutive Data messages: the
+                // whole batch is absorbed here, then the shared work loop
+                // below drains its probes/stores with per-tuple sampling.
+                // Queue-wait attribution stays per tuple (t.ts is the
+                // spout stamp; the whole batch waited equally).
+                for t in tuples {
+                    self.reg.histogram_record("stage.queue_wait_us", now_us().saturating_sub(t.ts));
+                    self.inst
+                        .handle(InstanceMsg::Data(t), self.selector.as_mut(), fj.theta_gap, fx)
+                        // lint:allow(Data never returns a protocol error)
+                        .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+                }
+            }
+            RtMsg::ProbeBatch(entries) => {
+                for (t, fanout) in entries {
+                    self.reg.histogram_record("stage.queue_wait_us", now_us().saturating_sub(t.ts));
+                    self.probe_fanout.insert(t.seq, fanout);
+                    self.inst
+                        .handle(InstanceMsg::Data(t), self.selector.as_mut(), fj.theta_gap, fx)
+                        // lint:allow(Data never returns a protocol error)
+                        .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+                }
             }
             RtMsg::ProbeHandoff(entries) => {
                 // Fan-outs of probes a migration source is about to forward
@@ -1584,4 +1903,228 @@ fn monitor_loop(
         li: Box::new(li),
         journal: Box::new(ring.into_journal()),
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastjoin_core::protocol::RouteRequest;
+
+    /// A dispatcher thread wired to hand-built channels, so tests control
+    /// both inputs and observe every instance inbox directly.
+    struct Harness {
+        data_tx: Sender<DispatcherMsg>,
+        ctrl_tx: Sender<DispatcherMsg>,
+        rxs: [Vec<Receiver<RtMsg>>; 2],
+        /// Extra senders to the instance inboxes (to pre-fill them).
+        extra_txs: [Vec<Sender<RtMsg>>; 2],
+        collector_rx: Receiver<CollectorMsg>,
+        handle: thread::JoinHandle<()>,
+    }
+
+    fn spawn_dispatcher(n: usize, cap: usize, batch_size: usize) -> Harness {
+        let fj = FastJoinConfig { instances_per_group: n, ..FastJoinConfig::default() };
+        let (r_part, s_part, _) = build_partitioners(SystemKind::FastJoin, &fj);
+        let (data_tx, data_rx) = bounded::<DispatcherMsg>(64);
+        let (ctrl_tx, ctrl_rx) = unbounded::<DispatcherMsg>();
+        let mut txs: [Vec<Sender<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+        let mut rxs: [Vec<Receiver<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+        for g in 0..2 {
+            for _ in 0..n {
+                let (tx, rx) = bounded::<RtMsg>(cap);
+                txs[g].push(tx);
+                rxs[g].push(rx);
+            }
+        }
+        let (collector_tx, collector_rx) = unbounded::<CollectorMsg>();
+        let extra_txs = [txs[0].clone(), txs[1].clone()];
+        let start = Instant::now();
+        let handle = thread::Builder::new()
+            .name("test-dispatcher".into())
+            .spawn(move || {
+                let hb = AtomicU64::new(0);
+                let kill = AtomicBool::new(false);
+                let now_us = move || start.elapsed().as_micros() as u64;
+                dispatcher_loop(
+                    r_part,
+                    s_part,
+                    batch_size,
+                    &data_rx,
+                    &ctrl_rx,
+                    &txs,
+                    [None, None],
+                    &collector_tx,
+                    &now_us,
+                    TraceConfig::default(),
+                    &hb,
+                    &kill,
+                );
+            })
+            .expect("spawn test dispatcher");
+        Harness { data_tx, ctrl_tx, rxs, extra_txs, collector_rx, handle }
+    }
+
+    fn recv(rx: &Receiver<RtMsg>, what: &str) -> RtMsg {
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_else(|e| panic!("{what}: {e}"))
+    }
+
+    fn shutdown(h: Harness) {
+        drop(h.data_tx);
+        drop(h.ctrl_tx);
+        drop(h.extra_txs);
+        // Serving loop exits on ctrl disconnect and reports last.
+        let done = h
+            .collector_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("dispatcher reports DispatcherDone at exit");
+        assert!(matches!(done, CollectorMsg::DispatcherDone { .. }));
+        h.handle.join().expect("dispatcher thread exits cleanly");
+    }
+
+    /// Regression test (EOS control drain). A `Route` that reaches the
+    /// dispatcher while it is broadcasting `Eos` must still be applied and
+    /// answered with `RouteUpdated`. The pre-fix dispatcher broke out of
+    /// its loop immediately after the broadcast without reading `ctrl_rx`
+    /// again, so the update was silently dropped — this test fails there
+    /// deterministically: the broadcast is parked on a full inbox while
+    /// the Route is queued, guaranteeing it arrives before the old code's
+    /// `break` could run.
+    #[test]
+    fn eos_applies_control_arriving_during_shutdown() {
+        let h = spawn_dispatcher(2, 1, 4);
+        // Occupy inst[0][1]'s single slot so the Eos broadcast blocks
+        // there, right after Eos lands at inst[0][0].
+        h.extra_txs[0][1].send(RtMsg::ReportRequest).expect("pre-fill");
+        h.data_tx.send(DispatcherMsg::Eos).expect("send Eos");
+        // Once Eos shows up at inst[0][0] the dispatcher is provably at or
+        // before the blocked inst[0][1] send — past the point of no return
+        // for the pre-fix code, which can only break out after this.
+        assert!(matches!(recv(&h.rxs[0][0], "Eos at inst[0][0]"), RtMsg::Eos));
+        let req = RouteRequest { epoch: 7, keys: Vec::new(), target: 1, source: 0 };
+        h.ctrl_tx.send(DispatcherMsg::Route { group: 0, req }).expect("send Route");
+        // Unblock the broadcast only now: the Route is already queued.
+        assert!(matches!(recv(&h.rxs[0][1], "pre-fill drain"), RtMsg::ReportRequest));
+        assert!(matches!(recv(&h.rxs[0][1], "Eos at inst[0][1]"), RtMsg::Eos));
+        let got = recv(&h.rxs[0][0], "RouteUpdated for the late Route");
+        assert!(
+            matches!(got, RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: 7 })),
+            "late Route must still produce RouteUpdated, got {got:?}"
+        );
+        for rx in &h.rxs[1] {
+            assert!(matches!(recv(rx, "Eos at group 1"), RtMsg::Eos));
+        }
+        shutdown(h);
+    }
+
+    /// Regression test (control-priority drain). Control queued at the
+    /// dispatcher is drained *to empty* before the next data message. The
+    /// pre-fix poll served at most one control message per data message,
+    /// so the k-th queued flip trailed k−1 data messages: with two Routes
+    /// queued behind a parked send, the old code delivered
+    /// `flip(1), t2, flip(2)` — the second assertion below fails there.
+    #[test]
+    fn queued_control_is_served_before_the_next_data_message() {
+        let h = spawn_dispatcher(1, 2, 1);
+        // Fill inst[0][0] so the first tuple's store send parks the
+        // dispatcher mid-data, while control and more data queue up.
+        h.extra_txs[0][0].send(RtMsg::ReportRequest).expect("pre-fill");
+        h.extra_txs[0][0].send(RtMsg::ReportRequest).expect("pre-fill");
+        h.data_tx.send(DispatcherMsg::Ingest(Tuple::r(1, 0, 100))).expect("t1");
+        // Give the dispatcher time to park on the full inbox before the
+        // control messages and the second tuple are enqueued.
+        thread::sleep(Duration::from_millis(50));
+        for epoch in [1, 2] {
+            let req = RouteRequest { epoch, keys: Vec::new(), target: 0, source: 0 };
+            h.ctrl_tx.send(DispatcherMsg::Route { group: 0, req }).expect("route");
+        }
+        h.data_tx.send(DispatcherMsg::Ingest(Tuple::s(2, 0, 200))).expect("t2");
+        h.data_tx.send(DispatcherMsg::Eos).expect("eos");
+        let mut order = Vec::new();
+        loop {
+            match recv(&h.rxs[0][0], "inst[0][0] stream") {
+                RtMsg::Eos => break,
+                m => order.push(m),
+            }
+        }
+        let flip_pos = |epoch: u64| {
+            order
+                .iter()
+                .position(
+                    |m| matches!(m, RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: e }) if *e == epoch),
+                )
+                .unwrap_or_else(|| panic!("RouteUpdated {epoch} delivered"))
+        };
+        let t2_probe = order
+            .iter()
+            .position(|m| matches!(m, RtMsg::Probe(t, _) if t.payload == 200))
+            .expect("t2's probe delivered");
+        assert!(flip_pos(1) < t2_probe, "queued control must precede later data: got {order:?}");
+        assert!(
+            flip_pos(2) < t2_probe,
+            "ALL queued control must precede later data, not just the first: got {order:?}"
+        );
+        // Drain group 1 (t1's probe, t2's store) so the dispatcher exits.
+        loop {
+            if matches!(recv(&h.rxs[1][0], "inst[1][0] stream"), RtMsg::Eos) {
+                break;
+            }
+        }
+        shutdown(h);
+    }
+
+    /// Batched dispatch ships per-destination runs as batch messages while
+    /// preserving arrival order and per-tuple identity (seq, fan-out).
+    #[test]
+    fn flushes_ship_ordered_runs_as_batches() {
+        let h = spawn_dispatcher(1, 64, 4);
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::r(i, 0, i)).collect();
+        h.data_tx.send(DispatcherMsg::IngestBatch(tuples)).expect("batch");
+        h.data_tx.send(DispatcherMsg::Eos).expect("eos");
+        let mut stored = Vec::new();
+        let mut data_batches = 0;
+        loop {
+            match recv(&h.rxs[0][0], "store stream") {
+                RtMsg::Inst(InstanceMsg::Data(t)) => stored.push(t),
+                RtMsg::DataBatch(b) => {
+                    data_batches += 1;
+                    stored.extend(b);
+                }
+                RtMsg::Eos => break,
+                other => panic!("unexpected on store channel: {other:?}"),
+            }
+        }
+        assert_eq!(
+            stored.iter().map(|t| t.payload).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert!(data_batches >= 2, "10 tuples at batch 4 must ship in batch messages");
+        assert!(stored.windows(2).all(|w| w[0].seq < w[1].seq), "dispatch seqs stay ordered");
+        let mut probed = Vec::new();
+        loop {
+            match recv(&h.rxs[1][0], "probe stream") {
+                RtMsg::Probe(t, f) => probed.push((t, f)),
+                RtMsg::ProbeBatch(b) => probed.extend(b),
+                RtMsg::Eos => break,
+                other => panic!("unexpected on probe channel: {other:?}"),
+            }
+        }
+        assert_eq!(probed.len(), 10);
+        assert!(probed.iter().all(|(_, f)| *f == 1), "n = 1: every probe has fan-out 1");
+        assert_eq!(
+            probed.iter().map(|(t, _)| t.payload).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        shutdown(h);
+    }
+
+    #[test]
+    fn runtime_config_validate_rejects_bad_batching_knobs() {
+        assert!(RuntimeConfig::default().validate().is_ok());
+        let zero = RuntimeConfig { batch_size: 0, ..RuntimeConfig::default() };
+        assert!(zero.validate().is_err(), "batch_size 0 must be rejected");
+        let oversized = RuntimeConfig { batch_size: 8, queue_cap: 4, ..RuntimeConfig::default() };
+        assert!(oversized.validate().is_err(), "batch larger than channel must be rejected");
+        let no_queue = RuntimeConfig { queue_cap: 0, ..RuntimeConfig::default() };
+        assert!(no_queue.validate().is_err(), "queue_cap 0 must be rejected");
+    }
 }

@@ -62,6 +62,7 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
             ..FastJoinConfig::default()
         },
         queue_cap: 256,
+        batch_size: 1,
         monitor_period_ms: 2,
         rate_limit: Some(120_000.0),
         supervision: SupervisionConfig {
@@ -73,6 +74,13 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
         faults,
         trace: TraceConfig::default(),
     }
+}
+
+/// Same chaos tuning with data-plane batching enabled: batches are flushed
+/// at `batch` tuples (or the dispatch tick) and must stay indistinguishable
+/// from the scalar stream to the protocol and the oracle.
+fn batched_cfg(faults: FaultPlan, batch: usize) -> RuntimeConfig {
+    RuntimeConfig { batch_size: batch, ..chaos_cfg(faults) }
 }
 
 /// Crash faults for every instance of both groups at `phase` — whichever
@@ -109,6 +117,32 @@ fn fault_free_supervised_run_matches_oracle() {
     assert_exactly_once(&report, expected, 8_000, "fault-free");
 }
 
+/// Runs the crash-at-`phase` matrix at the given batch size: every run is
+/// oracle-checked, and when the base seeds never reach the phase (a loaded
+/// or single-core host can miss a migration window on timing alone) the
+/// matrix widens seed by seed until a crash fires, up to 12 seeds. The
+/// phase must be reachable somewhere in the widened matrix.
+fn assert_phase_crashes_recover(label: &str, phase: CrashPhase, batch: usize, base_seeds: u64) {
+    let mut crashes_fired = 0u64;
+    for seed in 0..12u64 {
+        let tuples = skewed_workload(seed, 8_000);
+        let expected = oracle(&tuples);
+        let plan = FaultPlan { seed, crashes: crash_everywhere(phase), ..FaultPlan::default() };
+        let report = try_run_topology(&batched_cfg(plan, batch), tuples)
+            .unwrap_or_else(|e| panic!("{label} seed {seed}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 8_000, &format!("{label} seed {seed}"));
+        crashes_fired += report.registry.counter_sum("supervisor.executor_failures");
+        if seed + 1 >= base_seeds && crashes_fired > 0 {
+            break;
+        }
+    }
+    assert!(
+        crashes_fired > 0,
+        "{label}: no scheduled crash fired in 12 seeds — the phase was never reached; \
+         tune the workload"
+    );
+}
+
 #[test]
 fn crashes_at_every_protocol_phase_recover_exactly_once() {
     let phases = [
@@ -118,21 +152,7 @@ fn crashes_at_every_protocol_phase_recover_exactly_once() {
         ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
     ];
     for (label, phase) in phases {
-        let mut crashes_fired = 0u64;
-        for seed in 0..4u64 {
-            let tuples = skewed_workload(seed, 8_000);
-            let expected = oracle(&tuples);
-            let plan = FaultPlan { seed, crashes: crash_everywhere(phase), ..FaultPlan::default() };
-            let report = try_run_topology(&chaos_cfg(plan), tuples)
-                .unwrap_or_else(|e| panic!("{label} seed {seed}: run failed: {e}"));
-            assert_exactly_once(&report, expected, 8_000, &format!("{label} seed {seed}"));
-            crashes_fired += report.registry.counter_sum("supervisor.executor_failures");
-        }
-        assert!(
-            crashes_fired > 0,
-            "{label}: no scheduled crash ever fired — the phase was never reached; \
-             tune the workload"
-        );
+        assert_phase_crashes_recover(label, phase, 1, 4);
     }
 }
 
@@ -213,4 +233,67 @@ fn crash_between_handoff_and_forward_keeps_the_probe_ledger_exact() {
         }
     }
     assert!(observed, "no attempt crashed a target inside the handoff window; tune the workload");
+}
+
+#[test]
+fn batched_fault_free_runs_match_oracle_across_batch_sizes() {
+    // Batching must be invisible to the join: a mid-size batch, a batch
+    // that never divides the stream evenly, and the default production
+    // size all have to reproduce the scalar-mode results exactly.
+    for batch in [2usize, 7, 64] {
+        for seed in 0..3u64 {
+            let tuples = skewed_workload(seed, 8_000);
+            let expected = oracle(&tuples);
+            let report = try_run_topology(&batched_cfg(FaultPlan::default(), batch), tuples)
+                .unwrap_or_else(|e| panic!("batch {batch} seed {seed}: run failed: {e}"));
+            assert_exactly_once(&report, expected, 8_000, &format!("batch {batch} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn batched_crashes_at_every_protocol_phase_recover_exactly_once() {
+    // Batch size 7 never divides the per-destination runs evenly, so
+    // flushed batches regularly straddle `ProbeHandoff`/`MigForward`
+    // boundaries: crash-triggered replay must re-feed whole batches and
+    // still land on the oracle.
+    let phases = [
+        ("pre-MigStart", CrashPhase::PreMigStart),
+        ("handoff/forward window", CrashPhase::BetweenHandoffAndForward),
+        ("pre-route-flip", CrashPhase::PreRouteFlip),
+        ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
+    ];
+    for (label, phase) in phases {
+        assert_phase_crashes_recover(&format!("batched {label}"), phase, 7, 3);
+    }
+}
+
+#[test]
+fn batched_channel_chaos_preserves_exactly_once() {
+    // An active chaos policy makes the ChaosReceiver split every batch
+    // back into scalar messages before perturbing, so delay faults land at
+    // tuple granularity exactly as they do unbatched.
+    for seed in 0..8u64 {
+        let tuples = skewed_workload(seed, 6_000);
+        let expected = oracle(&tuples);
+        let plan = FaultPlan {
+            seed,
+            instance_chaos: ChaosPolicy {
+                delay_1_in: 64,
+                delay_max_us: 300,
+                ..ChaosPolicy::default()
+            },
+            monitor_chaos: ChaosPolicy {
+                delay_1_in: 16,
+                delay_max_us: 500,
+                drop_1_in: 4,
+                dup_1_in: 4,
+                reorder_1_in: 4,
+            },
+            ..FaultPlan::default()
+        };
+        let report = try_run_topology(&batched_cfg(plan, 7), tuples)
+            .unwrap_or_else(|e| panic!("batched chaos seed {seed}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 6_000, &format!("batched chaos seed {seed}"));
+    }
 }

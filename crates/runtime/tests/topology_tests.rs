@@ -159,6 +159,48 @@ fn migrated_probes_account_exactly_once() {
 }
 
 #[test]
+fn batched_and_unbatched_runs_are_equivalent() {
+    // Batching is a transport optimization: for every system, a batched
+    // run must produce exactly the results, probe completions, and latency
+    // sample counts of the scalar run on the same workload.
+    let tuples = uniform_workload(9, 25);
+    for system in [SystemKind::FastJoin, SystemKind::BiStream, SystemKind::Broadcast] {
+        let scalar = {
+            let mut c = cfg(system, 4);
+            c.batch_size = 1;
+            run_topology(&c, tuples.clone())
+        };
+        let batched = {
+            let mut c = cfg(system, 4);
+            c.batch_size = 7; // never divides the runs evenly
+            run_topology(&c, tuples.clone())
+        };
+        assert_eq!(batched.tuples_ingested, scalar.tuples_ingested, "{system:?} ingest");
+        assert_eq!(batched.results_total, scalar.results_total, "{system:?} results");
+        assert_eq!(batched.probes_total, scalar.probes_total, "{system:?} probes");
+        assert_eq!(batched.latency.count(), scalar.latency.count(), "{system:?} latency samples");
+        assert_eq!(batched.registry.counter_sum("probe_fanout_leaked"), 0);
+    }
+}
+
+#[test]
+fn batched_stage_attribution_and_trace_sampling_survive_batching() {
+    // Per-tuple observability must not degrade when tuples ride batches:
+    // dispatch/queue-wait stage histograms and sampled data-plane trace
+    // events are recorded per tuple, not per message.
+    let mut c = cfg(SystemKind::FastJoin, 2);
+    c.batch_size = 16;
+    let report = run_topology(&c, uniform_workload(10, 20));
+    assert_eq!(report.results_total, 10 * 20 * 20);
+    let reg_json = report.registry.to_json().to_string_compact();
+    for stage in ["stage.dispatch_us", "stage.queue_wait_us", "stage.probe_us", "stage.emit_us"] {
+        assert!(reg_json.contains(stage), "missing {stage} in registry under batching");
+    }
+    assert!(!report.trace.is_empty(), "trace sampling must keep working under batching");
+    assert_eq!(report.trace.dropped(), 0);
+}
+
+#[test]
 fn windowed_topology_respects_the_window() {
     // All R tuples are ingested (and thus timestamped) well before the S
     // probes; with a tiny window nothing matches, with a huge one all do.

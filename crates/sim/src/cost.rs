@@ -48,6 +48,12 @@ pub struct CostModel {
     /// Key-selection pause per key examined, µs (`O(K log K)` is modeled
     /// linearly; the log factor is far below the noise floor).
     pub selection_per_key: f64,
+    /// Fixed per-message channel overhead, µs, amortized across the
+    /// message's batch (see [`CostModel::message_overhead_us`]). Zero by
+    /// default so unbatched simulations reproduce the historical numbers
+    /// bit-for-bit; the runtime's batched-vs-unbatched bench is the
+    /// empirical counterpart.
+    pub per_message: f64,
 }
 
 impl Default for CostModel {
@@ -61,6 +67,7 @@ impl Default for CostModel {
             network_latency: 200.0,
             migration_per_tuple: 0.2,
             selection_per_key: 0.05,
+            per_message: 0.0,
         }
     }
 }
@@ -102,6 +109,17 @@ impl CostModel {
     #[must_use]
     pub fn migration_us(&self, tuples: u64) -> f64 {
         self.migration_per_tuple * tuples as f64
+    }
+
+    /// Per-tuple share of the fixed per-message channel overhead when
+    /// tuples ride in batches of `batch_size`: the whole message costs
+    /// `per_message` µs once, so each of its tuples carries
+    /// `per_message / batch_size`. With `batch_size = 1` the tuple pays
+    /// the full overhead — the unbatched baseline the runtime bench
+    /// compares against.
+    #[must_use]
+    pub fn message_overhead_us(&self, batch_size: u64) -> f64 {
+        self.per_message / batch_size.max(1) as f64
     }
 }
 
@@ -145,6 +163,16 @@ mod tests {
         let without = m.service_us(&probe_work(100, 5, 0));
         let with = m.service_us(&probe_work(100, 5, 20));
         assert!((with - without - 20.0 * m.per_match).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_overhead_amortizes_across_the_batch() {
+        let m = CostModel { per_message: 50.0, ..CostModel::default() };
+        assert_eq!(m.message_overhead_us(1), 50.0);
+        assert_eq!(m.message_overhead_us(10), 5.0);
+        assert_eq!(m.message_overhead_us(0), 50.0, "degenerate batch size clamps to 1");
+        let free = CostModel::default();
+        assert_eq!(free.message_overhead_us(1), 0.0, "overhead is off by default");
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct SimConfig {
     /// instance will ever complete — the stalled-round scenario the
     /// watchdog exists for.
     pub drop_migrate_cmds: u64,
+    /// Modeled data-plane batch size: each tuple's delivery pays
+    /// `cost.per_message / batch_size` of the fixed per-message channel
+    /// overhead (see [`CostModel::message_overhead_us`]), mirroring the
+    /// runtime's `RuntimeConfig::batch_size`. 1 = unbatched.
+    pub batch_size: u64,
 }
 
 impl Default for SimConfig {
@@ -80,6 +85,7 @@ impl Default for SimConfig {
             record_instance_loads: false,
             round_timeout: 0,
             drop_migrate_cmds: 0,
+            batch_size: 1,
         }
     }
 }
@@ -429,7 +435,11 @@ impl<W: Iterator<Item = Tuple>> Simulation<W> {
         let t = self.scratch.tuple;
         let own = t.side.index();
         let opp = t.side.opposite().index();
-        let latency = self.cfg.cost.network_latency as SimTime;
+        // Each delivery pays its amortized share of the fixed per-message
+        // channel overhead on top of the one-way network latency.
+        let latency = (self.cfg.cost.network_latency
+            + self.cfg.cost.message_overhead_us(self.cfg.batch_size))
+            as SimTime;
         let store_dest = self.scratch.store_dest;
         let delivery = self.channels.send(
             Endpoint::Dispatcher,
@@ -804,6 +814,41 @@ mod tests {
         let report = Simulation::new(base_cfg(2), uniform_workload(200, 5, 2000).into_iter()).run();
         assert!(report.metrics.latency_hist.count() > 0);
         assert!(report.metrics.latency_hist.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_per_message_overhead() {
+        // With a real per-message cost, every tuple in a batched run pays
+        // only 1/batch of the overhead on delivery, so end-to-end latency
+        // must drop (by ~per_message · (1 - 1/batch) µs) and the join must
+        // be untouched.
+        let run = |batch: u64| {
+            let mut cfg = base_cfg(4);
+            cfg.cost.per_message = 50.0;
+            cfg.batch_size = batch;
+            Simulation::new(cfg, uniform_workload(500, 10, 5000).into_iter()).run()
+        };
+        let unbatched = run(1);
+        let batched = run(64);
+        assert_eq!(batched.results_total, unbatched.results_total, "batching changed the join");
+        let mean = |r: &SimReport| r.metrics.latency_hist.mean().unwrap();
+        assert!(
+            mean(&batched) + 40.0 < mean(&unbatched),
+            "amortized overhead must cut delivery latency: {} vs {} µs",
+            mean(&batched),
+            mean(&unbatched)
+        );
+        // per_message defaults to 0, so historical configs are unaffected
+        // by the batch knob at all.
+        let free = Simulation::new(base_cfg(4), uniform_workload(500, 10, 5000).into_iter()).run();
+        let free_batched = {
+            let mut cfg = base_cfg(4);
+            cfg.batch_size = 64;
+            Simulation::new(cfg, uniform_workload(500, 10, 5000).into_iter()).run()
+        };
+        assert_eq!(free.duration, free_batched.duration);
+        assert_eq!(free.results_total, free_batched.results_total);
+        assert_eq!(mean(&free), mean(&free_batched));
     }
 
     #[test]

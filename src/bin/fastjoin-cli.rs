@@ -13,10 +13,14 @@
 //! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
 //! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
 //! fastjoin-cli bench    [--out PATH] [--deadline-secs N]
+//!                       [--batch-size N] [--channel-cap N]
 //!                       [--trace-out PATH] [--prom-out PATH]
 //!                       # observability smoke suite → BENCH_smoke.json;
-//!                       # any scenario over the wall-clock deadline fails
+//!                       # includes a batched-vs-unbatched comparison and
+//!                       # fails if batching loses or a scenario blows the
+//!                       # wall-clock deadline
 //! fastjoin-cli chaos    [--seeds N] [--tuples N] [--out PATH] [--class NAME]
+//!                       [--batch-size N] [--channel-cap N]
 //!                       [--trace-out PATH]
 //!                       # seeded fault-schedule matrix → CHAOS_report.json;
 //!                       # --trace-out ships the first failing run's journal
@@ -280,6 +284,24 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     // Wall-clock budget per scenario: a wedged or pathologically slow run
     // must fail the suite (non-zero exit) instead of stalling CI.
     let deadline = std::time::Duration::from_secs(args.get("deadline-secs", 120)?);
+    // Data-plane knobs under test: every scenario runs batched at
+    // `--batch-size` over `--channel-cap`-bounded channels, and the suite
+    // also runs batched-vs-unbatched twins of the skewed workload to
+    // measure (and gate) the batching win.
+    let batch_size: usize = args.get("batch-size", RuntimeConfig::default().batch_size)?;
+    let channel_cap: usize = args.get("channel-cap", 256)?;
+    if batch_size < 2 {
+        return Err(format!(
+            "--batch-size must be ≥ 2 so the batched run differs from the \
+             unbatched baseline (got {batch_size})"
+        ));
+    }
+    if channel_cap < batch_size {
+        return Err(format!(
+            "--channel-cap ({channel_cap}) must be at least --batch-size ({batch_size}): \
+             a channel smaller than one batch starves the dispatcher"
+        ));
+    }
     let mut failures = Vec::new();
     let mut deadline_check = |name: &str, started: std::time::Instant| {
         let took = started.elapsed();
@@ -299,7 +321,8 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             migration_cooldown: 50_000,
             ..FastJoinConfig::default()
         },
-        queue_cap: 256,
+        queue_cap: channel_cap,
+        batch_size,
         monitor_period_ms: 20,
         rate_limit: None,
         ..RuntimeConfig::default()
@@ -372,6 +395,81 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         ));
     }
 
+    // Batched-vs-unbatched comparison, two angles:
+    //
+    //  * throughput — unthrottled skewed runs, best of three per mode so a
+    //    scheduler hiccup doesn't decide the verdict; batching must beat
+    //    the scalar baseline or the suite fails (amortizing per-message
+    //    channel overhead is the whole point of the batch plane);
+    //  * route-flip latency — a throttled unbatched twin of the skewed
+    //    scenario above; draining control to empty every dispatcher
+    //    iteration must keep flips fast even when data rides batches, so
+    //    a grossly slower batched flip median fails the suite.
+    let mut batch_failures = Vec::new();
+    let started = std::time::Instant::now();
+    let measure = |batch: usize| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let mut cfg = base(4);
+            cfg.batch_size = batch;
+            let run_started = std::time::Instant::now();
+            let report = run_topology(&cfg, skewed_workload());
+            let tps = report.tuples_ingested as f64 / run_started.elapsed().as_secs_f64().max(1e-9);
+            best = best.max(tps);
+        }
+        best
+    };
+    let unbatched_tps = measure(1);
+    let batched_tps = measure(batch_size);
+    deadline_check("batching-throughput", started);
+    if batched_tps <= unbatched_tps {
+        batch_failures.push(format!(
+            "batching regression: batch_size {batch_size} achieved {batched_tps:.0} tuples/s \
+             vs {unbatched_tps:.0} unbatched on the skewed workload"
+        ));
+    }
+
+    let started = std::time::Instant::now();
+    let mut unbatched_skewed = None;
+    for _ in 0..3 {
+        let mut cfg = base(4);
+        cfg.batch_size = 1;
+        cfg.rate_limit = Some(60_000.0);
+        let report = run_topology(&cfg, skewed_workload());
+        let has_span = report.migration_spans.iter().any(|s| !s.is_empty());
+        let keep = unbatched_skewed.is_none() || has_span;
+        if keep {
+            unbatched_skewed = Some(report);
+        }
+        if has_span {
+            break;
+        }
+    }
+    let unbatched_skewed = unbatched_skewed.expect("at least one unbatched skewed run completed");
+    deadline_check("skewed-unbatched", started);
+    let median_flip = |r: &RuntimeReport| -> Option<u64> {
+        let mut flips: Vec<u64> =
+            r.migration_spans.iter().flatten().filter_map(|s| s.route_flip_us).collect();
+        if flips.is_empty() {
+            return None;
+        }
+        flips.sort_unstable();
+        Some(flips[flips.len() / 2])
+    };
+    let flip_batched = median_flip(&skewed);
+    let flip_unbatched = median_flip(&unbatched_skewed);
+    if let (Some(b), Some(u)) = (flip_batched, flip_unbatched) {
+        // Loose non-regression bound: flips are scheduler-noisy at smoke
+        // scale, so only an order-of-magnitude blowout (plus a 10 ms
+        // absolute floor) counts as a regression.
+        if b > u * 10 + 10_000 {
+            batch_failures.push(format!(
+                "route-flip latency regressed under batching: p50 {b} µs batched \
+                 vs {u} µs unbatched (budget: 10x + 10 ms)"
+            ));
+        }
+    }
+
     // Uniform: every key equally hot; exercises the static happy path.
     let uniform: Vec<Tuple> = (0..20u64)
         .flat_map(|i| (0..10u64).flat_map(move |k| [Tuple::r(k, 0, i), Tuple::s(k, 0, i)]))
@@ -391,6 +489,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let windowed = run_topology(&wcfg, windowed_workload);
     deadline_check("windowed", started);
     failures.append(&mut trace_failures);
+    failures.append(&mut batch_failures);
 
     // Validate before writing: the suite's contract with CI.
     let mut check = |name: &str, r: &RuntimeReport, expect_migration: bool| {
@@ -439,6 +538,18 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             ]),
         ),
         (
+            "batching",
+            Json::obj(vec![
+                ("batch_size", Json::uint(batch_size as u64)),
+                ("channel_cap", Json::uint(channel_cap as u64)),
+                ("batched_tuples_per_sec", Json::Num(batched_tps)),
+                ("unbatched_tuples_per_sec", Json::Num(unbatched_tps)),
+                ("speedup_pct", Json::Num((batched_tps / unbatched_tps.max(1.0) - 1.0) * 100.0)),
+                ("route_flip_p50_us_batched", flip_batched.map_or(Json::Null, Json::uint)),
+                ("route_flip_p50_us_unbatched", flip_unbatched.map_or(Json::Null, Json::uint)),
+            ]),
+        ),
+        (
             "workloads",
             Json::obj(vec![
                 ("skewed", skewed.to_json()),
@@ -469,6 +580,11 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     );
     println!("uniform: {} results", uniform.results_total);
     println!("windowed: {} results", windowed.results_total);
+    println!(
+        "batching: {batched_tps:.0} tuples/s at batch {batch_size} \
+         vs {unbatched_tps:.0} unbatched ({:+.1} %)",
+        (batched_tps / unbatched_tps.max(1.0) - 1.0) * 100.0
+    );
     if failures.is_empty() {
         Ok(())
     } else {
@@ -495,6 +611,20 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let tuples_n: u64 = args.get("tuples", 6_000)?;
     let out = args.get_str("out", "CHAOS_report.json");
     let only = args.flags.get("class").cloned();
+    // Data-plane knobs: CI runs the matrix once unbatched (`--batch-size
+    // 1`, the historical fault space) and once batched, so batch
+    // boundaries straddling protocol messages get the full seed sweep.
+    let batch_size: usize = args.get("batch-size", 1)?;
+    let channel_cap: usize = args.get("channel-cap", 256)?;
+    if batch_size < 1 {
+        return Err(format!("--batch-size must be ≥ 1 (1 = unbatched), got {batch_size}"));
+    }
+    if channel_cap < batch_size {
+        return Err(format!(
+            "--channel-cap ({channel_cap}) must be at least --batch-size ({batch_size}): \
+             a channel smaller than one batch starves the dispatcher"
+        ));
+    }
 
     fn crash_everywhere(seed: u64, phase: CrashPhase) -> FaultPlan {
         let crashes = (0..2)
@@ -580,7 +710,8 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                     migration_cooldown: 2_000,
                     ..FastJoinConfig::default()
                 },
-                queue_cap: 256,
+                queue_cap: channel_cap,
+                batch_size,
                 monitor_period_ms: 2,
                 rate_limit: Some(120_000.0),
                 supervision: SupervisionConfig {
@@ -653,6 +784,8 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         ("suite", Json::str("fastjoin chaos matrix")),
         ("seeds_per_class", Json::uint(seeds)),
         ("tuples_per_run", Json::uint(tuples_n)),
+        ("batch_size", Json::uint(batch_size as u64)),
+        ("channel_cap", Json::uint(channel_cap as u64)),
         ("runs", Json::uint(runs)),
         ("failed", Json::uint(failures.len() as u64)),
         ("wall_clock_secs", Json::uint(started.elapsed().as_secs())),
@@ -908,9 +1041,16 @@ fn usage() -> &'static str {
                        crash-steady-state | channel-chaos | stalled-round\n\
        --out PATH      failure-report JSON (default CHAOS_report.json)\n\
        --trace-out P   write the first failing run's trace journal to P\n\
+       --batch-size N  data-plane batch size for every run (default 1;\n\
+                       CI also sweeps the matrix batched)\n\
+       --channel-cap N bounded-channel capacity (default 256)\n\
      bench:\n\
        --deadline-secs N   wall-clock deadline per scenario (default 120);\n\
                            breach exits non-zero\n\
+       --batch-size N      data-plane batch size (default 64, must be >= 2);\n\
+                           compared against an unbatched twin, which must\n\
+                           be slower or the suite fails\n\
+       --channel-cap N     bounded-channel capacity (default 256)\n\
        --trace-out PATH    write the skewed run's trace journal (JSONL)\n\
        --prom-out PATH     write the skewed run's metrics in Prometheus\n\
                            text format\n\
