@@ -12,6 +12,7 @@
 
 use crate::partition::Partitioner;
 use crate::protocol::RouteRequest;
+use crate::routing::RouteSnapshot;
 use crate::tuple::{Seq, Side, Tuple};
 
 /// Where one tuple must be delivered: its storing destination and the probe
@@ -78,9 +79,19 @@ impl Dispatcher {
     /// Routes one tuple, assigning its sequence number. The result is
     /// written into `out` (probe fan-out reused, no allocation for hash
     /// strategies).
-    pub fn dispatch_into(&mut self, mut tuple: Tuple, out: &mut Dispatch) {
-        tuple.seq = self.next_seq;
+    pub fn dispatch_into(&mut self, tuple: Tuple, out: &mut Dispatch) {
+        let seq = self.next_seq;
         self.next_seq += 1;
+        self.dispatch_into_with_seq(tuple, seq, out);
+    }
+
+    /// Routes one tuple under an externally assigned sequence number,
+    /// bypassing the internal counter. The sharded dispatch plane draws
+    /// seqs from one shared atomic counter so they stay globally unique
+    /// across shards; per-key ordering is preserved because every tuple of
+    /// a key flows through the same shard.
+    pub fn dispatch_into_with_seq(&mut self, mut tuple: Tuple, seq: Seq, out: &mut Dispatch) {
+        tuple.seq = seq;
 
         let own = tuple.side;
         let opp = own.opposite();
@@ -161,6 +172,30 @@ impl Dispatcher {
     #[must_use]
     pub fn route_version(&self, group_side: Side) -> u64 {
         self.parts[group_side.index()].route_version() // lint:allow(Side::index is 0 or 1; parts is a [_; 2])
+    }
+
+    /// Captures the current routing state of both groups as an
+    /// epoch-versioned [`RouteSnapshot`] (partitioner clones plus the
+    /// per-group table versions). The control sequencer publishes these to
+    /// dispatcher shards after staging a route flip.
+    #[must_use]
+    pub fn route_snapshot(&self, epoch: u64) -> RouteSnapshot {
+        RouteSnapshot {
+            epoch,
+            versions: [self.route_version(Side::R), self.route_version(Side::S)],
+            parts: [self.parts[0].clone(), self.parts[1].clone()], // lint:allow(parts is a [_; 2])
+        }
+    }
+
+    /// Replaces this dispatcher's partitioners with a published snapshot's
+    /// clones (shard side of the snapshot protocol). Delivery counters are
+    /// resized if the snapshot saw a group grow; the sequence counter is
+    /// untouched (sharded dispatchers draw seqs externally anyway).
+    pub fn install_routes(&mut self, snap: RouteSnapshot) {
+        let [r, s] = snap.parts;
+        self.counts.r_group.resize(r.instances().max(self.counts.r_group.len()), 0);
+        self.counts.s_group.resize(s.instances().max(self.counts.s_group.len()), 0);
+        self.parts = [r, s];
     }
 }
 
@@ -272,6 +307,43 @@ mod tests {
         assert!(d.commit_route(Side::R, 4));
         assert!(!d.revert_route(Side::R, 4));
         assert_eq!(d.dispatch(Tuple::r(key, 3, 0)).store_dest, target);
+    }
+
+    #[test]
+    fn external_seqs_bypass_the_internal_counter() {
+        let mut d = hash_dispatcher(4);
+        let mut out = Dispatch::default();
+        d.dispatch_into_with_seq(Tuple::r(1, 0, 0), 500, &mut out);
+        assert_eq!(out.tuple.seq, 500);
+        // The internal counter is untouched: the next internal dispatch
+        // still starts at 1.
+        assert_eq!(d.dispatch(Tuple::r(2, 0, 0)).tuple.seq, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_routing_state() {
+        let mut d = hash_dispatcher(4);
+        let key = 7;
+        let home = d.dispatch(Tuple::r(key, 0, 0)).store_dest;
+        let target = (home + 1) % 4;
+        assert!(d.stage_route(
+            Side::R,
+            &RouteRequest { epoch: 1, keys: vec![key], target, source: home }
+        ));
+        let snap = d.route_snapshot(9);
+        assert_eq!(snap.epoch, 9);
+        assert_eq!(snap.versions[0], d.route_version(Side::R));
+        // A fresh dispatcher installing the snapshot routes identically.
+        let mut shard = hash_dispatcher(4);
+        assert_eq!(shard.dispatch(Tuple::r(key, 1, 0)).store_dest, home, "pre-install");
+        shard.install_routes(snap.clone());
+        assert_eq!(shard.dispatch(Tuple::r(key, 2, 0)).store_dest, target, "post-install");
+        // Snapshots clone deeply: mutating the original does not leak into
+        // an installed clone.
+        assert!(d.revert_route(Side::R, 1));
+        assert_eq!(d.dispatch(Tuple::r(key, 3, 0)).store_dest, home);
+        assert_eq!(shard.dispatch(Tuple::r(key, 4, 0)).store_dest, target);
+        assert!(format!("{snap:?}").contains("epoch"));
     }
 
     #[test]

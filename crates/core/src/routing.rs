@@ -12,7 +12,53 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::partition_salted;
+use crate::partition::Partitioner;
 use crate::tuple::Key;
+
+/// A consistent, epoch-versioned snapshot of both groups' routing state.
+///
+/// The sharded dispatch plane routes every batch under exactly one
+/// snapshot: the control sequencer owns the authoritative tables, and on
+/// every route flip it publishes a fresh `RouteSnapshot` (with a strictly
+/// increasing `epoch`) to each dispatcher shard. A shard must flush every
+/// batch it accumulated under the older snapshot *before* installing the
+/// new one and acknowledging the epoch — the consistent-read rule that
+/// keeps per-channel FIFO meaningful when routing changes mid-stream.
+pub struct RouteSnapshot {
+    /// Publication epoch: strictly increasing across publications, one
+    /// per route flip the sequencer stages. Independent of the per-group
+    /// table versions below (aborted rounds bump versions twice without
+    /// a publication).
+    pub epoch: u64,
+    /// The per-group routing-table versions captured at snapshot time
+    /// (`[R-storing, S-storing]`), for tracing and debugging.
+    pub versions: [u64; 2],
+    /// Partitioner clones indexed by storing side. Owned clones rather
+    /// than shared references because routing is stateful (`store_route`
+    /// takes `&mut self`: randomized strategies draw from an RNG).
+    pub parts: [Box<dyn Partitioner + Send>; 2],
+}
+
+impl Clone for RouteSnapshot {
+    fn clone(&self) -> Self {
+        RouteSnapshot {
+            epoch: self.epoch,
+            versions: self.versions,
+            parts: [self.parts[0].clone(), self.parts[1].clone()], // lint:allow(parts is a [_; 2])
+        }
+    }
+}
+
+impl std::fmt::Debug for RouteSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteSnapshot")
+            .field("epoch", &self.epoch)
+            .field("versions", &self.versions)
+            .field("r_strategy", &self.parts[0].name()) // lint:allow(parts is a [_; 2])
+            .field("s_strategy", &self.parts[1].name()) // lint:allow(parts is a [_; 2])
+            .finish()
+    }
+}
 
 /// The override values a staged migration replaced, kept so the stage can
 /// be reverted if the round aborts before its route flip is acknowledged.

@@ -273,6 +273,15 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
+    /// Epoch sentinel for protocol events that belong to no migration
+    /// round (e.g. a `Data` wrapper or any message whose `round_id()` is
+    /// `None`). Distinct from 0 — which the journal also never uses for a
+    /// genuine round, since monitors allocate epochs from 1 — so round
+    /// reconstruction can tell "no round" apart from "round 0" instead of
+    /// silently mixing both into `--round 0`. [`TraceJournal::round`] and
+    /// [`TraceJournal::round_in`] exclude it.
+    pub const NO_ROUND: u64 = u64::MAX;
+
     /// A control-plane event with no tuple correlation.
     #[must_use]
     pub fn control(at_us: u64, actor: Actor, kind: TraceKind, epoch: u64, aux: u64) -> TraceEvent {
@@ -500,7 +509,11 @@ impl TraceJournal {
     /// [`TraceJournal::round_in`] when both groups migrate.
     #[must_use]
     pub fn round(&self, epoch: u64) -> Vec<TraceEvent> {
-        self.events.iter().filter(|e| e.epoch == epoch && e.epoch != 0).copied().collect()
+        self.events
+            .iter()
+            .filter(|e| e.epoch == epoch && e.epoch != 0 && e.epoch != TraceEvent::NO_ROUND)
+            .copied()
+            .collect()
     }
 
     /// Only the events of migration round `epoch` of `group` (0 = R,
@@ -513,6 +526,7 @@ impl TraceJournal {
             .filter(|e| {
                 e.epoch == epoch
                     && e.epoch != 0
+                    && e.epoch != TraceEvent::NO_ROUND
                     && match e.actor.kind {
                         ActorKind::Dispatcher => e.aux2 == u64::from(group),
                         ActorKind::Instance | ActorKind::Monitor => e.actor.group == group,
@@ -709,6 +723,24 @@ mod tests {
         assert_eq!(kinds, [TraceKind::MigTrigger, TraceKind::RouteStaged]);
         assert_eq!(journal.round(2).len(), 2);
         assert!(journal.round(9).is_empty());
+    }
+
+    #[test]
+    fn no_round_sentinel_is_excluded_from_round_reconstruction() {
+        let cfg = TraceConfig { enabled: true, ring_capacity: 8, sample_1_in: 1 };
+        let mut ring = TraceRing::new(Actor::instance(0, 0), &cfg);
+        // A genuine round-1 event, plus events that belong to no round:
+        // legacy epoch-0 mappings and the explicit NO_ROUND sentinel.
+        ring.push(ev(1, TraceKind::MigStart, 1));
+        ring.push(ev(2, TraceKind::StoreDone, 0));
+        ring.push(ev(3, TraceKind::StoreDone, TraceEvent::NO_ROUND));
+        let journal = ring.into_journal();
+        assert_eq!(journal.round(1).len(), 1);
+        // Asking for the sentinel epochs directly must not resurrect them.
+        assert!(journal.round(0).is_empty());
+        assert!(journal.round(TraceEvent::NO_ROUND).is_empty());
+        assert!(journal.round_in(0, 0).is_empty());
+        assert!(journal.round_in(0, TraceEvent::NO_ROUND).is_empty());
     }
 
     #[test]

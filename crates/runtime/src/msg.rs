@@ -101,6 +101,45 @@ pub enum DispatcherMsg {
     },
 }
 
+/// Sequencer → shard control, used only when `dispatcher_shards >= 2`.
+///
+/// Shards never mutate routing state on their own: the control sequencer
+/// owns the authoritative [`fastjoin_core::dispatcher::Dispatcher`] and
+/// publishes each net route change as a whole-table
+/// [`fastjoin_core::routing::RouteSnapshot`]. A shard installs the
+/// snapshot atomically between batches, so every tuple in a batch routes
+/// under exactly one epoch (the snapshot-per-batch rule).
+#[derive(Debug)]
+pub enum ShardCtrl {
+    /// Flush everything buffered under the current snapshot, install this
+    /// one, then acknowledge with [`ShardNote::SnapshotLive`].
+    Publish(fastjoin_core::routing::RouteSnapshot),
+}
+
+/// Shard → sequencer notifications, used only when `dispatcher_shards >= 2`.
+#[derive(Debug, Clone, Copy)]
+pub enum ShardNote {
+    /// Shard `shard` has flushed all batches buffered under snapshots
+    /// older than `epoch` and is now routing under `epoch`. The sequencer
+    /// withholds the source's `RouteUpdated` until every shard reports
+    /// this, which is the barrier that keeps per-channel FIFO meaningful
+    /// across shards: all data routed under the old table is already in
+    /// the source's inbox when the flip notification lands.
+    SnapshotLive {
+        /// The acknowledging shard.
+        shard: usize,
+        /// The epoch of the snapshot now live on that shard.
+        epoch: u64,
+    },
+    /// Shard `shard` drained its data channel and observed end-of-stream;
+    /// it will keep acknowledging publishes (nothing can be pending) until
+    /// the control channel disconnects.
+    Eos {
+        /// The finished shard.
+        shard: usize,
+    },
+}
+
 /// Input to a monitor executor.
 ///
 /// `Clone` so the fault-injection plane can duplicate load reports (the

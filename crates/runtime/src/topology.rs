@@ -76,27 +76,53 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
 use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
+use fastjoin_core::hash::mix64;
 use fastjoin_core::instance::JoinInstance;
 use fastjoin_core::instance::Work;
 use fastjoin_core::metrics::{MetricsRegistry, MigrationSpan, TimeSeries};
 use fastjoin_core::monitor::{Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationState};
+use fastjoin_core::routing::RouteSnapshot;
 use fastjoin_core::selection::{make_selector, KeySelector};
 use fastjoin_core::trace::{Actor, TraceConfig, TraceEvent, TraceJournal, TraceKind, TraceRing};
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
+use lintmarks::lint;
 
 use crate::accounting::ProbeAccountant;
 use crate::fault::{ChaosPolicy, ChaosReceiver, CrashPhase, FaultPlan, KillSwitch};
-use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg};
+use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg, ShardCtrl, ShardNote};
 use crate::report::RuntimeReport;
 
 /// How often blocked executors wake to refresh their heartbeat and check
 /// the emergency kill flag.
 const EXECUTOR_TICK: Duration = Duration::from_millis(25);
 /// Dispatcher wait on the data channel between control-channel polls.
+/// This bounds how long a queued control message (a route flip, an abort)
+/// can sit unserved while the dispatcher blocks on an idle data channel —
+/// control arrives on a separate channel and does not wake the data wait.
+/// [`DISPATCH_TICK`] (1ms) here was the PR 5 route-flip latency
+/// regression: flips waited out the data timeout at p50 ≈ tick/2.
+const CTRL_TICK: Duration = Duration::from_micros(100);
+/// Batch-age flush deadline: the maximum extra latency batching may add
+/// to a tuple parked in a partially-filled per-destination batch.
 const DISPATCH_TICK: Duration = Duration::from_millis(1);
 /// Collector wait between liveness sweeps.
 const COLLECT_TICK: Duration = Duration::from_millis(50);
+
+/// Role salt for [`executor_seed`]: the per-instance key selector RNG.
+const SEED_ROLE_SELECTOR: u64 = 1;
+/// Role salt for [`executor_seed`]: the per-instance chaos-receiver RNG.
+const SEED_ROLE_CHAOS: u64 = 2;
+
+/// Derives a per-executor RNG seed by hashing (base, group, id, role)
+/// through the SplitMix64 finalizer. The old affine derivation
+/// (`seed + group + id*97`) made distinct executor coordinates collide
+/// (e.g. `(group+97, id)` and `(group, id+1)`) and produced correlated
+/// streams; chaining a bijective mixer per component cannot collide two
+/// distinct `(group, id, role)` triples for the same base.
+fn executor_seed(base: u64, group: u64, id: u64, role: u64) -> u64 {
+    mix64(mix64(mix64(mix64(base) ^ group) ^ id) ^ role)
+}
 
 /// Supervision and shutdown-watchdog knobs. The defaults preserve the
 /// pre-supervision semantics: no restarts (any executor panic fails the
@@ -149,6 +175,14 @@ pub struct RuntimeConfig {
     /// per-message channel overhead at the cost of up to one
     /// [`DISPATCH_TICK`] of added latency per tuple.
     pub batch_size: usize,
+    /// Dispatcher shard count. 1 (the default) runs the single
+    /// dispatcher thread exactly as before. N ≥ 2 spawns N shard threads
+    /// routing disjoint key ranges (`mix64(key) % N`, so both sides of
+    /// any matching pair cross the same shard) under per-batch routing
+    /// snapshots, plus a control sequencer that owns the authoritative
+    /// routing table and serializes route flips across the shards (see
+    /// ARCHITECTURE.md, "Sharded dispatch & routing epochs").
+    pub dispatcher_shards: usize,
     /// Monitor sampling period in wall-clock milliseconds.
     pub monitor_period_ms: u64,
     /// Optional spout rate limit, tuples/second (None = full speed).
@@ -169,6 +203,7 @@ impl Default for RuntimeConfig {
             fastjoin: FastJoinConfig::default(),
             queue_cap: 4096,
             batch_size: 64,
+            dispatcher_shards: 1,
             monitor_period_ms: 100,
             rate_limit: None,
             supervision: SupervisionConfig::default(),
@@ -192,6 +227,9 @@ impl RuntimeConfig {
         }
         if self.batch_size == 0 {
             return Err("batch_size must be ≥ 1 (1 = unbatched)".into());
+        }
+        if self.dispatcher_shards == 0 {
+            return Err("dispatcher_shards must be ≥ 1 (1 = the single-threaded dispatcher)".into());
         }
         if self.batch_size > self.queue_cap {
             return Err(format!(
@@ -332,7 +370,16 @@ fn run_topology_inner(
     }
 
     // Channels.
-    let (disp_data_tx, disp_data_rx) = bounded::<DispatcherMsg>(cfg.queue_cap);
+    let shards = cfg.dispatcher_shards.max(1);
+    // One bounded spout → dispatcher data channel per shard (exactly one
+    // when unsharded): backpressure propagates to the spout per shard.
+    let mut shard_data_txs: Vec<Sender<DispatcherMsg>> = Vec::new();
+    let mut shard_data_rxs: Vec<Receiver<DispatcherMsg>> = Vec::new();
+    for _ in 0..shards {
+        let (tx, rx) = bounded::<DispatcherMsg>(cfg.queue_cap);
+        shard_data_txs.push(tx);
+        shard_data_rxs.push(rx);
+    }
     let (disp_ctrl_tx, disp_ctrl_rx) = unbounded::<DispatcherMsg>();
     let mut inst_txs: [Vec<Sender<RtMsg>>; 2] = [Vec::new(), Vec::new()];
     let mut inst_rxs: [Vec<Receiver<RtMsg>>; 2] = [Vec::new(), Vec::new()];
@@ -362,15 +409,15 @@ fn run_topology_inner(
         hb
     };
 
-    // --- Dispatcher executor ------------------------------------------
-    {
+    // --- Dispatcher executor(s) ---------------------------------------
+    if shards == 1 {
         let name = "dispatcher".to_string();
         let hb = spawn_hb(&name);
         let kill = kill.clone();
         let trace_cfg = cfg.trace;
         let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
         let mon_txs = mon_txs.clone();
-        let data_rx = disp_data_rx;
+        let data_rx = shard_data_rxs.remove(0);
         let ctrl_rx = disp_ctrl_rx;
         let collector = collector_tx.clone();
         let batch_size = cfg.batch_size;
@@ -398,6 +445,99 @@ fn run_topology_inner(
                 })
                 .expect("spawn dispatcher"), // lint:allow(thread spawn at startup)
         ));
+    } else {
+        // Sharded dispatch: N shard threads route disjoint key ranges
+        // under published snapshots; one sequencer thread owns the
+        // authoritative routing table and all migration control. Dispatch
+        // seqs come from a shared atomic so the collector's exactly-once
+        // probe accounting keys stay unique across shards.
+        let shared_seq = Arc::new(AtomicU64::new(1));
+        let (note_tx, note_rx) = unbounded::<ShardNote>();
+        let mut shard_ctrl_txs: Vec<Sender<ShardCtrl>> = Vec::new();
+        for (k, data_rx) in shard_data_rxs.drain(..).enumerate() {
+            let (sc_tx, sc_rx) = unbounded::<ShardCtrl>();
+            shard_ctrl_txs.push(sc_tx);
+            let name = format!("dispatch-shard-{k}");
+            let hb = spawn_hb(&name);
+            let kill = kill.clone();
+            let trace_cfg = cfg.trace;
+            let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
+            let note_tx = note_tx.clone();
+            let collector = collector_tx.clone();
+            let batch_size = cfg.batch_size;
+            // Each shard owns private partitioner state; consistency
+            // across shards comes from the published snapshots, not from
+            // sharing (partitioner routing methods are `&mut self`).
+            let (r_shard, s_shard, _) = build_partitioners(cfg.system, &cfg.fastjoin);
+            let seq = shared_seq.clone();
+            let thread_name = name.clone();
+            handles.push((
+                name,
+                thread::Builder::new()
+                    .name(thread_name.clone())
+                    .spawn(move || {
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            shard_loop(
+                                k, r_shard, s_shard, batch_size, &data_rx, &sc_rx, &note_tx,
+                                &inst_txs, &collector, &now_us, trace_cfg, &hb, &kill, &seq,
+                            );
+                        }));
+                        if let Err(p) = body {
+                            let _ = collector.send(CollectorMsg::ExecutorFailure {
+                                name: thread_name,
+                                error: panic_text(p.as_ref()),
+                                fatal: true,
+                                restarts: 0,
+                            });
+                        }
+                        hb.store(HB_FINISHED, Ordering::Relaxed);
+                    })
+                    .expect("spawn dispatch shard"), // lint:allow(thread spawn at startup)
+            ));
+        }
+        drop(note_tx);
+        let name = "dispatch-seq".to_string();
+        let hb = spawn_hb(&name);
+        let kill = kill.clone();
+        let trace_cfg = cfg.trace;
+        let inst_txs = [inst_txs[0].clone(), inst_txs[1].clone()]; // lint:allow(both groups exist by construction)
+        let mon_txs = mon_txs.clone();
+        let ctrl_rx = disp_ctrl_rx;
+        let collector = collector_tx.clone();
+        let thread_name = name.clone();
+        handles.push((
+            name,
+            thread::Builder::new()
+                .name(thread_name.clone())
+                .spawn(move || {
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        sequencer_loop(
+                            r_part,
+                            s_part,
+                            &ctrl_rx,
+                            shard_ctrl_txs,
+                            note_rx,
+                            &inst_txs,
+                            mon_txs,
+                            &collector,
+                            &now_us,
+                            trace_cfg,
+                            &hb,
+                            &kill,
+                        );
+                    }));
+                    if let Err(p) = body {
+                        let _ = collector.send(CollectorMsg::ExecutorFailure {
+                            name: thread_name,
+                            error: panic_text(p.as_ref()),
+                            fatal: true,
+                            restarts: 0,
+                        });
+                    }
+                    hb.store(HB_FINISHED, Ordering::Relaxed);
+                })
+                .expect("spawn dispatch sequencer"), // lint:allow(thread spawn at startup)
+        ));
     }
 
     // --- Instance executors -------------------------------------------
@@ -420,7 +560,8 @@ fn run_topology_inner(
             let sample_period_us = cfg.monitor_period_ms.max(1) * 1_000;
             let crash = cfg.faults.crash_for(g, i);
             let trace_cfg = cfg.trace;
-            let chaos_rng = cfg.faults.rng_for((g as u64 + 1).wrapping_mul(1_000_003) + i as u64);
+            let chaos_rng =
+                cfg.faults.rng_for(executor_seed(0, g as u64, i as u64, SEED_ROLE_CHAOS));
             let chaos = ChaosPolicy {
                 // Data-plane channels only ever get delay faults: FIFO and
                 // losslessness are the protocol's correctness backbone.
@@ -547,7 +688,12 @@ fn run_topology_inner(
     const SPIN_WINDOW: Duration = Duration::from_micros(150);
     let batch = cfg.batch_size.max(1);
     let mut ingested = 0u64;
-    let mut buf: Vec<Tuple> = Vec::with_capacity(if batch > 1 { batch } else { 0 });
+    // One accumulation buffer per shard: a batch never mixes shards, so
+    // the shard assignment below is also the batch assignment.
+    let mut bufs: Vec<Vec<Tuple>> = shard_data_txs
+        .iter()
+        .map(|_| Vec::with_capacity(if batch > 1 { batch } else { 0 }))
+        .collect();
     let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
     let mut next_send = Instant::now();
     for mut t in workload {
@@ -574,28 +720,39 @@ fn run_topology_inner(
         // time (a batch stamped at dispatch would compress them).
         t.ts = now_us();
         ingested += 1;
+        // Shard by key hash: both sides of a matching pair share a key,
+        // so they cross the same shard — per-shard ordering plus
+        // per-channel FIFO is all the migration protocol ever relied on.
+        let sh = if shards > 1 { (mix64(t.key) % shards as u64) as usize } else { 0 };
         if batch == 1 {
-            if disp_data_tx.send(DispatcherMsg::Ingest(t)).is_err() {
+            // lint:allow(sh is mix64 % len by construction)
+            if shard_data_txs[sh].send(DispatcherMsg::Ingest(t)).is_err() {
                 // Dispatcher gone mid-stream: the failure that killed it is
                 // in the collector queue; stop feeding and go diagnose.
                 ingested -= 1;
                 break;
             }
         } else {
+            let buf = &mut bufs[sh]; // lint:allow(sh is mix64 % len by construction)
             buf.push(t);
             if buf.len() >= batch {
-                let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+                let full = std::mem::replace(buf, Vec::with_capacity(batch));
                 let len = full.len() as u64;
-                if disp_data_tx.send(DispatcherMsg::IngestBatch(full)).is_err() {
+                // lint:allow(sh is mix64 % len by construction)
+                if shard_data_txs[sh].send(DispatcherMsg::IngestBatch(full)).is_err() {
                     ingested -= len;
                     break;
                 }
             }
         }
     }
-    if !buf.is_empty() {
+    for (sh, buf) in bufs.into_iter().enumerate() {
+        if buf.is_empty() {
+            continue;
+        }
         let len = buf.len() as u64;
-        if disp_data_tx.send(DispatcherMsg::IngestBatch(buf)).is_err() {
+        // lint:allow(sh enumerates the shard buffers)
+        if shard_data_txs[sh].send(DispatcherMsg::IngestBatch(buf)).is_err() {
             ingested -= len;
         }
     }
@@ -632,8 +789,10 @@ fn run_topology_inner(
     }
     mon_txs = [None, None];
     let _ = &mon_txs;
-    let _ = disp_data_tx.send(DispatcherMsg::Eos); // a dead dispatcher is reported below
-    drop(disp_data_tx);
+    for tx in &shard_data_txs {
+        let _ = tx.send(DispatcherMsg::Eos); // a dead dispatcher is reported below
+    }
+    drop(shard_data_txs);
 
     // --- Collect -------------------------------------------------------
     let mut accountant = ProbeAccountant::new();
@@ -655,8 +814,10 @@ fn run_topology_inner(
     // it keeps serving late control messages after broadcasting Eos and
     // only reports once every control sender is gone.
     let mut monitors_done = if dynamic { 0 } else { 2 };
-    let mut dispatcher_done = false;
-    while done < 2 * n || monitors_done < 2 || !dispatcher_done {
+    // Sharded runs report once per shard plus once for the sequencer.
+    let dispatcher_reports_expected = if shards > 1 { shards + 1 } else { 1 };
+    let mut dispatcher_reports = 0usize;
+    while done < 2 * n || monitors_done < 2 || dispatcher_reports < dispatcher_reports_expected {
         match collector_rx.recv_timeout(COLLECT_TICK) {
             Ok(CollectorMsg::Probe { seq, fanout, record }) => {
                 results_total += record.matches;
@@ -689,9 +850,11 @@ fn run_topology_inner(
                 monitors_done += 1;
             }
             Ok(CollectorMsg::DispatcherDone { registry: r, journal }) => {
+                // Counter merges ADD, so per-shard counts (tuples_ingested,
+                // probe_copies, snapshot_installs, …) sum across reports.
                 registry.merge_prefixed("dispatcher.", &r);
                 trace.absorb(*journal);
-                dispatcher_done = true;
+                dispatcher_reports += 1;
             }
             Ok(CollectorMsg::ExecutorFailure { name, error, fatal, restarts }) => {
                 registry.counter_add("supervisor.executor_failures", 1);
@@ -946,13 +1109,42 @@ struct DispatcherCore<'a> {
     /// dispatcher's — to be gone.
     mon_txs: [Option<Sender<MonitorMsg>>; 2],
     now_us: &'a dyn Fn() -> u64,
+    /// Cross-shard dispatch-seq counter (None when unsharded: the
+    /// embedded dispatcher's own counter reproduces today's seqs exactly).
+    shared_seq: Option<&'a AtomicU64>,
+    /// Sequencer-only: the shard control fan-out. None on shards and on
+    /// the unsharded dispatcher, making `publish_snapshot` a no-op there.
+    fanout: Option<ShardFanout<'a>>,
+}
+
+/// The sequencer's handle on its shards: publish channels, the shared
+/// note channel acks and EOS reports come back on, and the publication
+/// epoch counter.
+struct ShardFanout<'a> {
+    ctrl_txs: Vec<Sender<ShardCtrl>>,
+    note_rx: Receiver<ShardNote>,
+    /// Last published epoch; publication epochs start at 1.
+    epoch: u64,
+    /// Shards that reported end-of-stream (they still ack publishes).
+    eos_shards: HashSet<usize>,
+    /// The sequencer's heartbeat/kill pair, so the publication barrier
+    /// stays visible to the stall watchdog and escapes emergency stops.
+    hb: &'a AtomicU64,
+    kill: &'a AtomicBool,
 }
 
 impl DispatcherCore<'_> {
     /// Routes one spout tuple into the per-destination pending queues
     /// (assigning its dispatch seq), flushing any queue that fills.
+    #[lint(hot_path)]
     fn ingest(&mut self, t: Tuple) {
-        self.dispatcher.dispatch_into(t, &mut self.scratch);
+        match self.shared_seq {
+            Some(seq) => {
+                let s = seq.fetch_add(1, Ordering::Relaxed);
+                self.dispatcher.dispatch_into_with_seq(t, s, &mut self.scratch);
+            }
+            None => self.dispatcher.dispatch_into(t, &mut self.scratch),
+        }
         let t = self.scratch.tuple;
         let own = t.side.index();
         let opp = t.side.opposite().index();
@@ -1081,6 +1273,65 @@ impl DispatcherCore<'_> {
         }
     }
 
+    /// Sequencer only: publishes the post-stage routing table to every
+    /// shard and waits until each acks that it is live (the cross-shard
+    /// FIFO barrier). A shard acks only after flushing every batch it
+    /// buffered under older snapshots, so when this returns, all data any
+    /// shard routed under the old table is already in the instances'
+    /// bounded inboxes — the `RouteUpdated` the caller sends next cannot
+    /// overtake an old-routed tuple. No-op when `fanout` is None
+    /// (unsharded, or a shard's own core).
+    fn publish_snapshot(&mut self) {
+        let Some(fanout) = self.fanout.as_mut() else { return };
+        fanout.epoch += 1;
+        let epoch = fanout.epoch;
+        let snap = self.dispatcher.route_snapshot(epoch);
+        let mut expected = 0usize;
+        for tx in &fanout.ctrl_txs {
+            // Post-EOS shards still install and ack (nothing is pending
+            // there); only a dead shard's channel refuses the send, and a
+            // dead shard has already failed the run.
+            if tx.send(ShardCtrl::Publish(snap.clone())).is_ok() {
+                expected += 1;
+            }
+        }
+        self.reg.counter_add("route_publishes", 1);
+        let mut live = 0usize;
+        while live < expected {
+            if fanout.kill.load(Ordering::Relaxed) {
+                return;
+            }
+            match fanout.note_rx.recv_timeout(EXECUTOR_TICK) {
+                Ok(ShardNote::SnapshotLive { epoch: e, .. }) => {
+                    // Acks for superseded epochs (a barrier abandoned by
+                    // an emergency stop) are stale; ignore them.
+                    if e == epoch {
+                        live += 1;
+                    }
+                }
+                Ok(ShardNote::Eos { shard }) => {
+                    fanout.eos_shards.insert(shard);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    fanout.hb.store((self.now_us)(), Ordering::Relaxed);
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Shard only: applies one publication. Flush-then-install is the
+    /// snapshot-per-batch rule — every pending batch drains under the
+    /// snapshot its tuples were routed with, and no batch ever mixes
+    /// epochs — and the ack completes the sequencer's barrier.
+    fn install_snapshot(&mut self, shard: usize, snap: RouteSnapshot, note_tx: &Sender<ShardNote>) {
+        self.flush_all();
+        let epoch = snap.epoch;
+        self.dispatcher.install_routes(snap);
+        self.reg.counter_add("snapshot_installs", 1);
+        let _ = note_tx.send(ShardNote::SnapshotLive { shard, epoch });
+    }
+
     /// Applies one dispatcher message. Returns `true` when it was the
     /// end-of-stream marker (the caller owns the EOS epilogue).
     fn on_msg(&mut self, msg: DispatcherMsg) -> bool {
@@ -1129,6 +1380,10 @@ impl DispatcherCore<'_> {
                     );
                     ev.aux2 = group as u64;
                     self.ring.push(ev);
+                    // Sharded: every shard must be routing under the new
+                    // table — with its old-snapshot batches flushed —
+                    // before the source learns the flip happened.
+                    self.publish_snapshot();
                     // Ordering discipline: the source's pending data goes
                     // out before its RouteUpdated.
                     self.flush_dest(group, req.source);
@@ -1229,6 +1484,8 @@ fn dispatcher_loop(
         inst_txs,
         mon_txs,
         now_us,
+        shared_seq: None,
+        fanout: None,
     };
     let mut saw_eos = false;
     loop {
@@ -1246,7 +1503,13 @@ fn dispatcher_loop(
         while let Ok(m) = ctrl_rx.try_recv() {
             let _ = core.on_msg(m);
         }
-        match data_rx.recv_timeout(DISPATCH_TICK) {
+        // Control fast-path: wait on data in CTRL_TICK slices, not
+        // DISPATCH_TICK ones. A control send does not wake this wait (it
+        // lands on the other channel), so the data timeout bounds
+        // route-flip service latency — at 1ms it *was* the PR 5 flip-p50
+        // regression. Batch aging still uses DISPATCH_TICK inside
+        // flush_overdue; only the poll granularity tightens.
+        match data_rx.recv_timeout(CTRL_TICK) {
             Ok(m) => {
                 if core.on_msg(m) {
                     saw_eos = true;
@@ -1291,6 +1554,202 @@ fn dispatcher_loop(
             }
         }
     }
+    let _ = collector.send(CollectorMsg::DispatcherDone {
+        registry: Box::new(core.reg),
+        journal: Box::new(core.ring.into_journal()),
+    });
+}
+
+/// One dispatcher shard (`dispatcher_shards >= 2`). Routes its key
+/// range's data under the currently installed [`RouteSnapshot`]; all
+/// migration control lives at the sequencer. Publications are served
+/// with priority between data messages, and after end-of-stream the
+/// shard keeps acknowledging them (trivially — nothing is pending) until
+/// the sequencer exits and drops the control channel.
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    shard: usize,
+    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    batch_size: usize,
+    data_rx: &Receiver<DispatcherMsg>,
+    ctrl_rx: &Receiver<ShardCtrl>,
+    note_tx: &Sender<ShardNote>,
+    inst_txs: &[Vec<Sender<RtMsg>>; 2],
+    collector: &Sender<CollectorMsg>,
+    now_us: &dyn Fn() -> u64,
+    trace_cfg: TraceConfig,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
+    shared_seq: &AtomicU64,
+) {
+    let mut core = DispatcherCore {
+        dispatcher: Dispatcher::new(r_part, s_part),
+        scratch: Dispatch::default(),
+        reg: MetricsRegistry::new(),
+        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
+        routed: [HashSet::new(), HashSet::new()],
+        aborted: [HashSet::new(), HashSet::new()],
+        pending: [
+            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+        ],
+        batch_size: batch_size.max(1),
+        inst_txs,
+        mon_txs: [None, None],
+        now_us,
+        shared_seq: Some(shared_seq),
+        fanout: None,
+    };
+    let mut saw_eos = false;
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
+        // Publications have priority and are drained to empty between
+        // data messages, mirroring the unsharded control drain.
+        while let Ok(ShardCtrl::Publish(snap)) = ctrl_rx.try_recv() {
+            core.install_snapshot(shard, snap, note_tx);
+        }
+        match data_rx.recv_timeout(CTRL_TICK) {
+            Ok(m) => {
+                if core.on_msg(m) {
+                    saw_eos = true;
+                    break;
+                }
+                core.flush_overdue(now_us());
+            }
+            Err(RecvTimeoutError::Timeout) => core.flush_overdue(now_us()),
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if saw_eos && !kill.load(Ordering::Relaxed) {
+        // The Eos arm ran flush_all, so everything this shard routed is
+        // already in the instances' inboxes; tell the sequencer (it
+        // broadcasts RtMsg::Eos once every shard has reported), then keep
+        // serving publications until the sequencer drops our channel.
+        let _ = note_tx.send(ShardNote::Eos { shard });
+        loop {
+            hb.store(now_us(), Ordering::Relaxed);
+            if kill.load(Ordering::Relaxed) {
+                break;
+            }
+            match ctrl_rx.recv_timeout(DISPATCH_TICK) {
+                Ok(ShardCtrl::Publish(snap)) => core.install_snapshot(shard, snap, note_tx),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    let _ = collector.send(CollectorMsg::DispatcherDone {
+        registry: Box::new(core.reg),
+        journal: Box::new(core.ring.into_journal()),
+    });
+}
+
+/// The control sequencer (`dispatcher_shards >= 2`): owns the
+/// authoritative routing table and serializes every route flip, abort,
+/// and commit, exactly as the unsharded dispatcher does — reusing
+/// [`DispatcherCore::on_msg`] — except that a flip additionally runs the
+/// publication barrier ([`DispatcherCore::publish_snapshot`]) before the
+/// source's `RouteUpdated` goes out. The sequencer never touches data;
+/// its pending buffers stay empty and its flushes are no-ops.
+#[allow(clippy::too_many_arguments)]
+fn sequencer_loop(
+    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    ctrl_rx: &Receiver<DispatcherMsg>,
+    shard_ctrl_txs: Vec<Sender<ShardCtrl>>,
+    note_rx: Receiver<ShardNote>,
+    inst_txs: &[Vec<Sender<RtMsg>>; 2],
+    mon_txs: [Option<Sender<MonitorMsg>>; 2],
+    collector: &Sender<CollectorMsg>,
+    now_us: &dyn Fn() -> u64,
+    trace_cfg: TraceConfig,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
+) {
+    let shards_total = shard_ctrl_txs.len();
+    let mut core = DispatcherCore {
+        dispatcher: Dispatcher::new(r_part, s_part),
+        scratch: Dispatch::default(),
+        reg: MetricsRegistry::new(),
+        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
+        routed: [HashSet::new(), HashSet::new()],
+        aborted: [HashSet::new(), HashSet::new()],
+        pending: [
+            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+        ],
+        batch_size: 1,
+        inst_txs,
+        mon_txs,
+        now_us,
+        shared_seq: None,
+        fanout: Some(ShardFanout {
+            ctrl_txs: shard_ctrl_txs,
+            note_rx,
+            epoch: 0,
+            eos_shards: HashSet::new(),
+            hb,
+            kill,
+        }),
+    };
+    let mut eos_broadcast = false;
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            break;
+        }
+        // A control send wakes this wait directly (no data channel in
+        // between), so flips are served at channel latency; the timeout
+        // only bounds how late the shard EOS notes below are noticed.
+        match ctrl_rx.recv_timeout(DISPATCH_TICK) {
+            Ok(m) => {
+                let _ = core.on_msg(m);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // Fold in shard EOS reports. Snapshot acks are consumed by the
+        // publication barrier; any still queued here are stale ones from
+        // a barrier abandoned on emergency stop.
+        if let Some(fanout) = core.fanout.as_mut() {
+            while let Ok(note) = fanout.note_rx.try_recv() {
+                if let ShardNote::Eos { shard } = note {
+                    fanout.eos_shards.insert(shard);
+                }
+            }
+        }
+        let all_eos = core.fanout.as_ref().is_some_and(|f| f.eos_shards.len() == shards_total);
+        if all_eos && !eos_broadcast {
+            // Every shard's data is flushed. Mirror the unsharded EOS
+            // epilogue: serve already-queued control, broadcast Eos —
+            // which lands after all shard data on every (FIFO) instance
+            // channel — and release the monitor senders so the monitors
+            // can exit.
+            while let Ok(m) = ctrl_rx.try_recv() {
+                let _ = core.on_msg(m);
+            }
+            core.ring.push(TraceEvent::control(
+                now_us(),
+                Actor::dispatcher(),
+                TraceKind::Eos,
+                0,
+                0,
+            ));
+            for group in inst_txs {
+                for tx in group {
+                    let _ = tx.send(RtMsg::Eos);
+                }
+            }
+            core.mon_txs = [None, None];
+            eos_broadcast = true;
+        }
+    }
+    // Dropping the core drops the shard control channels, ending the
+    // shards' post-EOS serving loops.
     let _ = collector.send(CollectorMsg::DispatcherDone {
         registry: Box::new(core.reg),
         journal: Box::new(core.ring.into_journal()),
@@ -1349,7 +1808,7 @@ impl InstanceState {
         inst.set_emit_pairs(emit_pairs);
         inst.set_migration_mode(fj.migration_mode);
         let selector = make_selector(&FastJoinConfig {
-            seed: fj.seed.wrapping_add(ctx.group as u64).wrapping_add(ctx.id as u64 * 97),
+            seed: executor_seed(fj.seed, ctx.group as u64, ctx.id as u64, SEED_ROLE_SELECTOR),
             ..fj.clone()
         });
         InstanceState {
@@ -1368,7 +1827,10 @@ impl InstanceState {
     /// `ProbeDone`, sampled).
     fn trace_protocol_msg(&self, actor: Actor, at_us: u64, ring: &mut TraceRing, m: &InstanceMsg) {
         let Some(kind) = TraceKind::of_instance_msg(m) else { return };
-        let epoch = m.round_id().unwrap_or(0);
+        // Messages outside any migration round journal under the explicit
+        // sentinel — epoch 0 would be indistinguishable from a (therefore
+        // reserved) genuine round 0 in `fastjoin-cli trace --round`.
+        let epoch = m.round_id().unwrap_or(TraceEvent::NO_ROUND);
         let (aux, aux2) = match m {
             InstanceMsg::Data(_) => (0, 0),
             InstanceMsg::MigrateCmd { target, .. } => (*target as u64, 0),
@@ -1829,7 +2291,7 @@ fn monitor_loop(
                 }
                 if !quiescing {
                     if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
-                        let epoch = trigger.msg.round_id().unwrap_or(0);
+                        let epoch = trigger.msg.round_id().unwrap_or(TraceEvent::NO_ROUND);
                         let target = match &trigger.msg {
                             InstanceMsg::MigrateCmd { target, .. } => *target as u64,
                             InstanceMsg::Data(_)
@@ -2126,5 +2588,288 @@ mod tests {
         assert!(oversized.validate().is_err(), "batch larger than channel must be rejected");
         let no_queue = RuntimeConfig { queue_cap: 0, ..RuntimeConfig::default() };
         assert!(no_queue.validate().is_err(), "queue_cap 0 must be rejected");
+        let no_shards = RuntimeConfig { dispatcher_shards: 0, ..RuntimeConfig::default() };
+        assert!(no_shards.validate().is_err(), "dispatcher_shards 0 must be rejected");
+        let sharded = RuntimeConfig { dispatcher_shards: 4, ..RuntimeConfig::default() };
+        assert!(sharded.validate().is_ok(), "multi-shard configs are valid");
+    }
+
+    /// Satellite bugfix regression: per-executor seeds are derived by
+    /// hashing (base, group, id, role), so no two executor coordinates in
+    /// (or well beyond) any configurable topology share an RNG stream.
+    /// The old affine form `seed + group + id*97` collided coordinates
+    /// like `(group+97, id)` / `(group, id+1)` and made nearby executors'
+    /// streams correlated.
+    #[test]
+    fn executor_seeds_are_pairwise_distinct_across_the_topology_range() {
+        for base in [0u64, 0xFA57_301E, u64::MAX] {
+            let mut seen = HashSet::new();
+            let mut count = 0usize;
+            for group in 0..2u64 {
+                for id in 0..256u64 {
+                    for role in [SEED_ROLE_SELECTOR, SEED_ROLE_CHAOS] {
+                        assert!(
+                            seen.insert(executor_seed(base, group, id, role)),
+                            "seed collision at base={base:#x} group={group} id={id} role={role}"
+                        );
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(seen.len(), count);
+        }
+    }
+
+    /// A sharded dispatcher wired by hand: `shards` shard threads, one
+    /// sequencer, and direct handles on every channel.
+    struct ShardedHarness {
+        data_txs: Vec<Sender<DispatcherMsg>>,
+        ctrl_tx: Sender<DispatcherMsg>,
+        rxs: [Vec<Receiver<RtMsg>>; 2],
+        extra_txs: [Vec<Sender<RtMsg>>; 2],
+        collector_rx: Receiver<CollectorMsg>,
+        handles: Vec<thread::JoinHandle<()>>,
+    }
+
+    fn spawn_sharded(shards: usize, n: usize, cap: usize, batch_size: usize) -> ShardedHarness {
+        let fj = FastJoinConfig { instances_per_group: n, ..FastJoinConfig::default() };
+        let (ctrl_tx, ctrl_rx) = unbounded::<DispatcherMsg>();
+        let mut txs: [Vec<Sender<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+        let mut rxs: [Vec<Receiver<RtMsg>>; 2] = [Vec::new(), Vec::new()];
+        for g in 0..2 {
+            for _ in 0..n {
+                let (tx, rx) = bounded::<RtMsg>(cap);
+                txs[g].push(tx);
+                rxs[g].push(rx);
+            }
+        }
+        let (collector_tx, collector_rx) = unbounded::<CollectorMsg>();
+        let (note_tx, note_rx) = unbounded::<ShardNote>();
+        let shared_seq = Arc::new(AtomicU64::new(1));
+        let extra_txs = [txs[0].clone(), txs[1].clone()];
+        let start = Instant::now();
+        let mut data_txs = Vec::new();
+        let mut shard_ctrls = Vec::new();
+        let mut handles = Vec::new();
+        for k in 0..shards {
+            let (d_tx, d_rx) = bounded::<DispatcherMsg>(64);
+            data_txs.push(d_tx);
+            let (sc_tx, sc_rx) = unbounded::<ShardCtrl>();
+            shard_ctrls.push(sc_tx);
+            let (r_part, s_part, _) = build_partitioners(SystemKind::FastJoin, &fj);
+            let txs = [txs[0].clone(), txs[1].clone()];
+            let collector = collector_tx.clone();
+            let note_tx = note_tx.clone();
+            let seq = shared_seq.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("test-shard-{k}"))
+                    .spawn(move || {
+                        let hb = AtomicU64::new(0);
+                        let kill = AtomicBool::new(false);
+                        let now_us = move || start.elapsed().as_micros() as u64;
+                        shard_loop(
+                            k,
+                            r_part,
+                            s_part,
+                            batch_size,
+                            &d_rx,
+                            &sc_rx,
+                            &note_tx,
+                            &txs,
+                            &collector,
+                            &now_us,
+                            TraceConfig::default(),
+                            &hb,
+                            &kill,
+                            &seq,
+                        );
+                    })
+                    .expect("spawn test shard"),
+            );
+        }
+        drop(note_tx);
+        let (r_part, s_part, _) = build_partitioners(SystemKind::FastJoin, &fj);
+        let seq_txs = [txs[0].clone(), txs[1].clone()];
+        let collector = collector_tx.clone();
+        handles.push(
+            thread::Builder::new()
+                .name("test-sequencer".into())
+                .spawn(move || {
+                    let hb = AtomicU64::new(0);
+                    let kill = AtomicBool::new(false);
+                    let now_us = move || start.elapsed().as_micros() as u64;
+                    sequencer_loop(
+                        r_part,
+                        s_part,
+                        &ctrl_rx,
+                        shard_ctrls,
+                        note_rx,
+                        &seq_txs,
+                        [None, None],
+                        &collector,
+                        &now_us,
+                        TraceConfig::default(),
+                        &hb,
+                        &kill,
+                    );
+                })
+                .expect("spawn test sequencer"),
+        );
+        ShardedHarness { data_txs, ctrl_tx, rxs, extra_txs, collector_rx, handles }
+    }
+
+    fn shutdown_sharded(h: ShardedHarness, shards: usize) {
+        drop(h.data_txs);
+        drop(h.ctrl_tx);
+        drop(h.extra_txs);
+        // One report per shard plus the sequencer's, in any order.
+        for i in 0..=shards {
+            let done = h
+                .collector_rx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|e| panic!("DispatcherDone {i}: {e}"));
+            assert!(matches!(done, CollectorMsg::DispatcherDone { .. }));
+        }
+        for handle in h.handles {
+            handle.join().expect("sharded dispatcher thread exits cleanly");
+        }
+    }
+
+    /// Tentpole regression test (sharded routing consistency). Queues a
+    /// route flip while a shard still holds data routed under the old
+    /// snapshot and asserts the two halves of the snapshot-per-batch
+    /// contract:
+    ///
+    /// (a) the flip's `RouteUpdated` is withheld until every shard has
+    ///     flushed its old-snapshot data — no tuple is ever overtaken by
+    ///     the flip notification, i.e. nothing is delivered as if routed
+    ///     by a snapshot older than its batch's; afterwards, every shard
+    ///     routes strictly under the published snapshot (tuples for a
+    ///     migrated key land on the new owner from every shard);
+    /// (b) an unobstructed flip commits at control-channel latency, not a
+    ///     full [`DISPATCH_TICK`] data-poll round.
+    #[test]
+    fn sharded_flip_waits_for_old_snapshot_data_and_commits_promptly() {
+        let shards = 2;
+        let cap = 8;
+        let h = spawn_sharded(shards, 2, cap, 1);
+        // Find keys with known group-0 store routes via a private
+        // partitioner replica (routing is deterministic per config).
+        let fj = FastJoinConfig { instances_per_group: 2, ..FastJoinConfig::default() };
+        let (mut probe_part, _, _) = build_partitioners(SystemKind::FastJoin, &fj);
+        let key_to = |part: &mut Box<dyn fastjoin_core::partition::Partitioner + Send>,
+                      want: usize| {
+            (0u64..1024).find(|k| part.store_route(*k) == want).expect("a key routing to `want`")
+        };
+        let k_a = key_to(&mut probe_part, 0);
+        let k_b = key_to(&mut probe_part, 1);
+        // Park shard 1: fill inst[0][1]'s inbox, then feed shard 1 a
+        // tuple storing there — its flush blocks mid-send, holding data
+        // routed under the pre-flip snapshot in flight.
+        for _ in 0..cap {
+            h.extra_txs[0][1].send(RtMsg::ReportRequest).expect("pre-fill");
+        }
+        h.data_txs[1].send(DispatcherMsg::Ingest(Tuple::r(k_b, 0, 1))).expect("park shard 1");
+        // Shard 0's tuple flushes immediately (batch_size 1, free inbox).
+        h.data_txs[0].send(DispatcherMsg::Ingest(Tuple::r(k_a, 0, 1))).expect("t via shard 0");
+        assert!(
+            matches!(recv(&h.rxs[0][0], "shard 0 store"), RtMsg::Inst(InstanceMsg::Data(t)) if t.key == k_a),
+            "shard 0's store reaches inst[0][0]"
+        );
+        // Give shard 1 ample time to dequeue its tuple and block in the
+        // flush send before the flip goes in.
+        thread::sleep(Duration::from_millis(100));
+        let req = RouteRequest { epoch: 5, keys: Vec::new(), target: 1, source: 0 };
+        h.ctrl_tx.send(DispatcherMsg::Route { group: 0, req }).expect("send flip");
+        // (a) With shard 1 still holding old-snapshot data, the source
+        // must NOT see RouteUpdated.
+        thread::sleep(Duration::from_millis(30));
+        assert!(
+            h.rxs[0][0].try_recv().is_err(),
+            "RouteUpdated must wait for every shard to flush old-snapshot data"
+        );
+        // Release shard 1: drain the parked inbox. Its flush completes,
+        // it installs the snapshot and acks, and the barrier opens.
+        let mut released = false;
+        for _ in 0..(cap + 1) {
+            match recv(&h.rxs[0][1], "parked inbox") {
+                RtMsg::Inst(InstanceMsg::Data(t)) => {
+                    assert_eq!(t.key, k_b);
+                    released = true;
+                    break;
+                }
+                RtMsg::ReportRequest => {}
+                other => panic!("unexpected in parked inbox: {other:?}"),
+            }
+        }
+        assert!(released, "shard 1's parked store must drain");
+        assert!(
+            matches!(
+                recv(&h.rxs[0][0], "RouteUpdated after barrier"),
+                RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: 5 })
+            ),
+            "flip commits once every shard acked the snapshot"
+        );
+        // (b) Unobstructed flips commit at channel latency. The fastest
+        // of several tries must beat one DISPATCH_TICK — a barrier or
+        // control path that ever waits out a data-poll round cannot.
+        let mut best = Duration::from_secs(1);
+        for epoch in 6..=16u64 {
+            let req = RouteRequest { epoch, keys: Vec::new(), target: 1, source: 0 };
+            let t0 = Instant::now();
+            h.ctrl_tx.send(DispatcherMsg::Route { group: 0, req }).expect("fast flip");
+            assert!(
+                matches!(
+                    recv(&h.rxs[0][0], "fast RouteUpdated"),
+                    RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: e }) if e == epoch
+                ),
+                "fast flip must commit"
+            );
+            best = best.min(t0.elapsed());
+        }
+        assert!(
+            best < DISPATCH_TICK,
+            "an unobstructed flip should commit in well under one DISPATCH_TICK, best was {best:?}"
+        );
+        // Post-flip snapshot consistency: migrate k_a to instance 1 and
+        // verify BOTH shards route it under the published snapshot.
+        let req = RouteRequest { epoch: 20, keys: vec![k_a], target: 1, source: 0 };
+        h.ctrl_tx.send(DispatcherMsg::Route { group: 0, req }).expect("migrating flip");
+        assert!(
+            matches!(
+                recv(&h.rxs[0][0], "migrating RouteUpdated"),
+                RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: 20 })
+            ),
+            "migrating flip commits"
+        );
+        for tx in &h.data_txs {
+            tx.send(DispatcherMsg::Ingest(Tuple::r(k_a, 0, 2))).expect("post-flip tuple");
+        }
+        for tx in &h.data_txs {
+            tx.send(DispatcherMsg::Eos).expect("eos");
+        }
+        // Drain in the sequencer's Eos broadcast order, counting where
+        // the post-flip (payload 2) stores landed per inbox.
+        let mut stores_at = [[0usize; 2]; 2];
+        for (g, row) in stores_at.iter_mut().enumerate() {
+            for (i, rx) in h.rxs[g].iter().enumerate() {
+                loop {
+                    match recv(rx, "drain to Eos") {
+                        RtMsg::Eos => break,
+                        RtMsg::Inst(InstanceMsg::Data(t)) if t.payload == 2 => {
+                            row[i] += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            stores_at[0],
+            [0, 2],
+            "every shard must route the migrated key under the published snapshot"
+        );
+        shutdown_sharded(h, shards);
     }
 }

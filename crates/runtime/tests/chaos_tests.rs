@@ -63,6 +63,7 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
         },
         queue_cap: 256,
         batch_size: 1,
+        dispatcher_shards: 1,
         monitor_period_ms: 2,
         rate_limit: Some(120_000.0),
         supervision: SupervisionConfig {
@@ -81,6 +82,14 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
 /// from the scalar stream to the protocol and the oracle.
 fn batched_cfg(faults: FaultPlan, batch: usize) -> RuntimeConfig {
     RuntimeConfig { batch_size: batch, ..chaos_cfg(faults) }
+}
+
+/// Same chaos tuning with the dispatcher sharded `shards` ways over the
+/// epoch-versioned routing table: the sequencer/shard split must be
+/// invisible to the migration protocol and the oracle at every fault point
+/// batching is already tested at.
+fn sharded_cfg(faults: FaultPlan, shards: usize, batch: usize) -> RuntimeConfig {
+    RuntimeConfig { dispatcher_shards: shards, batch_size: batch, ..chaos_cfg(faults) }
 }
 
 /// Crash faults for every instance of both groups at `phase` — whichever
@@ -122,13 +131,19 @@ fn fault_free_supervised_run_matches_oracle() {
 /// or single-core host can miss a migration window on timing alone) the
 /// matrix widens seed by seed until a crash fires, up to 12 seeds. The
 /// phase must be reachable somewhere in the widened matrix.
-fn assert_phase_crashes_recover(label: &str, phase: CrashPhase, batch: usize, base_seeds: u64) {
+fn assert_phase_crashes_recover(
+    label: &str,
+    phase: CrashPhase,
+    shards: usize,
+    batch: usize,
+    base_seeds: u64,
+) {
     let mut crashes_fired = 0u64;
     for seed in 0..12u64 {
         let tuples = skewed_workload(seed, 8_000);
         let expected = oracle(&tuples);
         let plan = FaultPlan { seed, crashes: crash_everywhere(phase), ..FaultPlan::default() };
-        let report = try_run_topology(&batched_cfg(plan, batch), tuples)
+        let report = try_run_topology(&sharded_cfg(plan, shards, batch), tuples)
             .unwrap_or_else(|e| panic!("{label} seed {seed}: run failed: {e}"));
         assert_exactly_once(&report, expected, 8_000, &format!("{label} seed {seed}"));
         crashes_fired += report.registry.counter_sum("supervisor.executor_failures");
@@ -152,7 +167,7 @@ fn crashes_at_every_protocol_phase_recover_exactly_once() {
         ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
     ];
     for (label, phase) in phases {
-        assert_phase_crashes_recover(label, phase, 1, 4);
+        assert_phase_crashes_recover(label, phase, 1, 1, 4);
     }
 }
 
@@ -264,7 +279,7 @@ fn batched_crashes_at_every_protocol_phase_recover_exactly_once() {
         ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
     ];
     for (label, phase) in phases {
-        assert_phase_crashes_recover(&format!("batched {label}"), phase, 7, 3);
+        assert_phase_crashes_recover(&format!("batched {label}"), phase, 1, 7, 3);
     }
 }
 
@@ -296,4 +311,90 @@ fn batched_channel_chaos_preserves_exactly_once() {
             .unwrap_or_else(|e| panic!("batched chaos seed {seed}: run failed: {e}"));
         assert_exactly_once(&report, expected, 6_000, &format!("batched chaos seed {seed}"));
     }
+}
+
+#[test]
+fn sharded_fault_free_runs_match_oracle_across_shard_counts() {
+    // Sharding must be invisible to the join: tuples route to shards by
+    // key hash, every shard batches independently, and the sequencer owns
+    // the routing table — none of which may change what the collector
+    // counts. Shard counts that do and do not divide the instance count
+    // both have to land on the oracle.
+    for shards in [2usize, 4] {
+        for seed in 0..3u64 {
+            let tuples = skewed_workload(seed, 8_000);
+            let expected = oracle(&tuples);
+            let report = try_run_topology(&sharded_cfg(FaultPlan::default(), shards, 7), tuples)
+                .unwrap_or_else(|e| panic!("shards {shards} seed {seed}: run failed: {e}"));
+            assert_exactly_once(&report, expected, 8_000, &format!("shards {shards} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_crashes_at_every_protocol_phase_recover_exactly_once() {
+    // The full crash matrix again with two dispatcher shards and batching:
+    // crash-triggered replay, the snapshot publication barrier, and
+    // watchdog aborts all have to compose. (Four shards ride the chaos CLI
+    // matrix; in-tree stays at two so `cargo test` stays fast.)
+    let phases = [
+        ("pre-MigStart", CrashPhase::PreMigStart),
+        ("handoff/forward window", CrashPhase::BetweenHandoffAndForward),
+        ("pre-route-flip", CrashPhase::PreRouteFlip),
+        ("steady state", CrashPhase::SteadyState { after_msgs: 400 }),
+    ];
+    for (label, phase) in phases {
+        assert_phase_crashes_recover(&format!("sharded {label}"), phase, 2, 7, 3);
+    }
+}
+
+#[test]
+fn sharded_channel_chaos_preserves_exactly_once() {
+    // Delay/drop/dup/reorder chaos with the dispatcher sharded two ways:
+    // per-shard ChaosReceivers perturb independently, but the per-channel
+    // FIFO each instance sees must still carry a single coherent epoch
+    // order.
+    for seed in 0..6u64 {
+        let tuples = skewed_workload(seed, 6_000);
+        let expected = oracle(&tuples);
+        let plan = FaultPlan {
+            seed,
+            instance_chaos: ChaosPolicy {
+                delay_1_in: 64,
+                delay_max_us: 300,
+                ..ChaosPolicy::default()
+            },
+            monitor_chaos: ChaosPolicy {
+                delay_1_in: 16,
+                delay_max_us: 500,
+                drop_1_in: 4,
+                dup_1_in: 4,
+                reorder_1_in: 4,
+            },
+            ..FaultPlan::default()
+        };
+        let report = try_run_topology(&sharded_cfg(plan, 2, 7), tuples)
+            .unwrap_or_else(|e| panic!("sharded chaos seed {seed}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 6_000, &format!("sharded chaos seed {seed}"));
+    }
+}
+
+#[test]
+fn sharded_stalled_round_is_aborted_by_the_watchdog_and_the_run_completes() {
+    // The watchdog abort path must work when the abort verdict comes from
+    // the control sequencer instead of the single dispatcher thread: the
+    // round's staged routes are reverted at the sequencer only (no net
+    // route change, so no snapshot publication), and shutdown must not
+    // hang on the publication barrier.
+    let tuples = skewed_workload(3, 12_000);
+    let expected = oracle(&tuples);
+    let plan = FaultPlan { seed: 3, drop_migrate_cmds: 2, ..FaultPlan::default() };
+    let mut cfg = sharded_cfg(plan, 2, 1);
+    cfg.supervision.round_timeout_ms = 10;
+    let report =
+        try_run_topology(&cfg, tuples).expect("sharded stalled rounds must not wedge the run");
+    assert_exactly_once(&report, expected, 12_000, "sharded stalled round");
+    let aborted: u64 = report.monitor_stats.iter().flatten().map(|s| s.aborted).sum();
+    assert!(aborted >= 1, "the watchdog must abort the stalled round: {:?}", report.monitor_stats);
+    assert!(report.registry.counter_sum("migration_aborts") >= 1, "sequencer saw no abort");
 }

@@ -389,6 +389,101 @@ fn trace_journal_reconstructs_migration_round_timelines() {
 }
 
 #[test]
+fn sharded_and_unsharded_runs_are_equivalent() {
+    // Dispatcher sharding is a transport optimization, exactly like
+    // batching: for every system, a sharded run must produce the results,
+    // probe completions, and latency sample counts of the single-threaded
+    // dispatcher on the same workload — including a shard count that does
+    // not divide the key space evenly, and sharding combined with
+    // batching.
+    let tuples = uniform_workload(9, 25);
+    for system in [SystemKind::FastJoin, SystemKind::BiStream, SystemKind::Broadcast] {
+        let single = {
+            let mut c = cfg(system, 4);
+            c.dispatcher_shards = 1;
+            run_topology(&c, tuples.clone())
+        };
+        for (shards, batch) in [(2usize, 1usize), (3, 1), (2, 7)] {
+            let sharded = {
+                let mut c = cfg(system, 4);
+                c.dispatcher_shards = shards;
+                c.batch_size = batch;
+                run_topology(&c, tuples.clone())
+            };
+            let label = format!("{system:?} shards={shards} batch={batch}");
+            assert_eq!(sharded.tuples_ingested, single.tuples_ingested, "{label}: ingest");
+            assert_eq!(sharded.results_total, single.results_total, "{label}: results");
+            assert_eq!(sharded.probes_total, single.probes_total, "{label}: probes");
+            assert_eq!(sharded.latency.count(), single.latency.count(), "{label}: samples");
+            assert_eq!(sharded.registry.counter_sum("probe_fanout_leaked"), 0, "{label}");
+        }
+    }
+}
+
+#[test]
+fn sharded_skewed_run_migrates_and_keeps_route_versions_monotone() {
+    use fastjoin_core::trace::{ActorKind, TraceKind};
+    // The skewed-migration scenario with two dispatcher shards: the
+    // sequencer serializes every route flip behind the snapshot barrier,
+    // so completeness must hold and the journal's committed route versions
+    // must stay strictly monotone per group — the same causal invariant
+    // `fastjoin-cli trace` checks on unsharded journals.
+    let mut tuples = Vec::new();
+    for i in 0..30_000u64 {
+        let key = if i % 4 != 0 { 999 } else { i % 97 };
+        if i % 5 == 0 {
+            tuples.push(Tuple::r(key, 0, i));
+        } else {
+            tuples.push(Tuple::s(key, 0, i));
+        }
+    }
+    let mut c = cfg(SystemKind::FastJoin, 4);
+    c.dispatcher_shards = 2;
+    c.batch_size = 8;
+    c.rate_limit = Some(60_000.0);
+    let report = run_topology(&c, tuples.clone());
+
+    let mut r_counts = std::collections::HashMap::new();
+    let mut s_counts = std::collections::HashMap::new();
+    for t in &tuples {
+        match t.side {
+            fastjoin_core::tuple::Side::R => *r_counts.entry(t.key).or_insert(0u64) += 1,
+            fastjoin_core::tuple::Side::S => *s_counts.entry(t.key).or_insert(0u64) += 1,
+        }
+    }
+    let expected: u64 =
+        r_counts.iter().map(|(k, r)| r * s_counts.get(k).copied().unwrap_or(0)).sum();
+    assert_eq!(report.results_total, expected, "sharded migration lost or duplicated joins");
+    assert_eq!(report.probes_total, 30_000, "every tuple probes exactly once");
+    assert!(
+        report.migrations() > 0,
+        "hot key should still trigger migrations under sharding; stats: {:?}",
+        report.monitor_stats
+    );
+    // The sequencer is the only actor emitting dispatcher route events, so
+    // the committed-version correlator survives sharding unchanged.
+    for group in 0..2u64 {
+        let versions: Vec<u64> = report
+            .trace
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == TraceKind::RouteUpdated
+                    && e.actor.kind == ActorKind::Dispatcher
+                    && e.aux2 == group
+            })
+            .map(|e| e.aux)
+            .collect();
+        for w in versions.windows(2) {
+            assert!(w[0] < w[1], "route versions must stay monotone under sharding: {versions:?}");
+        }
+    }
+    // Per-shard registries merged additively: the dispatcher ingest
+    // counter still accounts for every tuple exactly once.
+    assert_eq!(report.registry.counter_sum("dispatcher.tuples_ingested"), 30_000);
+}
+
+#[test]
 fn disabling_tracing_yields_an_empty_journal() {
     let mut c = cfg(SystemKind::FastJoin, 2);
     c.trace = fastjoin_core::trace::TraceConfig::disabled();

@@ -54,6 +54,14 @@ pub struct CostModel {
     /// bit-for-bit; the runtime's batched-vs-unbatched bench is the
     /// empirical counterpart.
     pub per_message: f64,
+    /// Modeled dispatcher shard count, mirroring the runtime's
+    /// `RuntimeConfig::dispatcher_shards`: `N` shard threads drain the
+    /// spout → dispatcher channel concurrently, so the fixed per-message
+    /// overhead is further amortized `N` ways (see
+    /// [`CostModel::message_overhead_us`]). 1 — the default, matching the
+    /// single-threaded dispatcher — reproduces the historical numbers
+    /// bit-for-bit.
+    pub dispatch_shards: u64,
 }
 
 impl Default for CostModel {
@@ -68,6 +76,7 @@ impl Default for CostModel {
             migration_per_tuple: 0.2,
             selection_per_key: 0.05,
             per_message: 0.0,
+            dispatch_shards: 1,
         }
     }
 }
@@ -116,10 +125,14 @@ impl CostModel {
     /// `per_message` µs once, so each of its tuples carries
     /// `per_message / batch_size`. With `batch_size = 1` the tuple pays
     /// the full overhead — the unbatched baseline the runtime bench
-    /// compares against.
+    /// compares against. Sharding the dispatcher
+    /// ([`CostModel::dispatch_shards`]) amortizes the same overhead a
+    /// second way: `N` shard threads pay for messages concurrently, so the
+    /// serialized per-tuple share every tuple observes drops to
+    /// `per_message / (batch_size · N)`.
     #[must_use]
     pub fn message_overhead_us(&self, batch_size: u64) -> f64 {
-        self.per_message / batch_size.max(1) as f64
+        self.per_message / (batch_size.max(1) * self.dispatch_shards.max(1)) as f64
     }
 }
 
@@ -173,6 +186,21 @@ mod tests {
         assert_eq!(m.message_overhead_us(0), 50.0, "degenerate batch size clamps to 1");
         let free = CostModel::default();
         assert_eq!(free.message_overhead_us(1), 0.0, "overhead is off by default");
+    }
+
+    #[test]
+    fn message_overhead_amortizes_across_dispatcher_shards() {
+        let m = CostModel { per_message: 50.0, dispatch_shards: 2, ..CostModel::default() };
+        assert_eq!(m.message_overhead_us(1), 25.0, "2 shards halve the serialized share");
+        assert_eq!(m.message_overhead_us(10), 2.5, "batching and sharding compose");
+        let degenerate =
+            CostModel { per_message: 50.0, dispatch_shards: 0, ..CostModel::default() };
+        assert_eq!(degenerate.message_overhead_us(1), 50.0, "shard count clamps to 1");
+        assert_eq!(
+            CostModel::default().dispatch_shards,
+            1,
+            "default is the single-threaded dispatcher"
+        );
     }
 
     #[test]

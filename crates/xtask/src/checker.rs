@@ -71,6 +71,14 @@ pub enum Variant {
     /// `MigStore` (the stored payload), so forwarded probes reach the
     /// target before the store they must match against.
     ForwardBeforeStore,
+    /// The sharded dispatcher (two shards + control sequencer) with the
+    /// snapshot publication barrier: `RouteUpdated` is withheld until
+    /// every shard has installed the new routing epoch. See [`sharded`].
+    Sharded,
+    /// Known-bad: the sequencer sends `RouteUpdated` at stage time,
+    /// racing shards that still route under the old epoch — stale data
+    /// reaches the source after its store moved away.
+    ShardedNoBarrier,
 }
 
 impl Variant {
@@ -81,6 +89,8 @@ impl Variant {
             "safe" => Some(Variant::Safe),
             "naive-notify-first" => Some(Variant::NaiveNotifyFirst),
             "forward-before-store" => Some(Variant::ForwardBeforeStore),
+            "sharded" => Some(Variant::Sharded),
+            "sharded-no-barrier" => Some(Variant::ShardedNoBarrier),
             _ => None,
         }
     }
@@ -623,6 +633,11 @@ fn rebuild_trace(
 /// `variant` and checks the protocol invariants on each.
 #[must_use]
 pub fn check(variant: Variant) -> CheckOutcome {
+    match variant {
+        Variant::Sharded => return sharded::check(true),
+        Variant::ShardedNoBarrier => return sharded::check(false),
+        Variant::Safe | Variant::NaiveNotifyFirst | Variant::ForwardBeforeStore => {}
+    }
     let mut explorer = Explorer::new(variant);
     let initial = explorer.initial_state();
 
@@ -727,6 +742,519 @@ pub fn report(outcome: &CheckOutcome, variant: Variant) -> i32 {
     }
 }
 
+/// Exhaustive model of the **sharded dispatcher**: two dispatch shards and
+/// the control sequencer interleaving over one epoch-versioned route flip.
+///
+/// The threaded runtime splits the dispatcher into N shard threads that
+/// route data under private replicas of the routing table, plus a control
+/// sequencer that owns the authoritative table and publishes each net
+/// route change as a whole-table snapshot. The correctness argument rests
+/// on two properties this model checks exhaustively:
+///
+/// * **MPSC inbox order** — every join instance has ONE input queue shared
+///   by all shards and the sequencer, so enqueue order is a total order
+///   per instance;
+/// * **the publication barrier** — the sequencer withholds the source's
+///   `RouteUpdated` until every shard has acknowledged installing the new
+///   epoch, which (with the property above) guarantees all data routed
+///   under the old table is already in the source's inbox when the flip
+///   notification lands.
+///
+/// The model: shard 0 scripts four hot-key tuples, shard 1 two cold-key
+/// tuples (shard-by-key puts every tuple of a key on one shard). The
+/// sequencer runs one flip moving the hot key from instance 0 to
+/// instance 1 (`MigStart` to the target, snapshots to both shards, then —
+/// barrier permitting — `RouteUpdated` to the source, which transfers its
+/// hot store and treats later hot arrivals as a checked violation). The
+/// explorer enumerates every interleaving of shard routing, snapshot
+/// installs, sequencer steps, and inbox deliveries; each schedule must
+/// join exactly the expected pairs and never deliver data for a
+/// migrated-away key. With the barrier dropped
+/// ([`Variant::ShardedNoBarrier`]) the stale-delivery race is reachable
+/// and reported with a shortest counterexample.
+mod sharded {
+    use super::{CheckOutcome, HashMap, Key, Side, VecDeque};
+
+    /// Shards in the model.
+    const SHARDS: usize = 2;
+    /// The key the flip moves (all its tuples script on shard 0).
+    const HOT: Key = 0;
+    /// A cold key that stays put (all its tuples script on shard 1).
+    const COLD: Key = 1;
+    /// Flip endpoints: `HOT` moves instance 0 → instance 1.
+    const SOURCE: usize = 0;
+    const TARGET: usize = 1;
+    /// The epoch the flip publishes (initial tables are epoch 1).
+    const NEW_EPOCH: u64 = 2;
+
+    /// Node indices for history bookkeeping (two shards, the sequencer,
+    /// two instances).
+    const NODE_SH0: usize = 0;
+    const NODE_SEQ: usize = 2;
+    const NODE_I0: usize = 3;
+    const NODES: usize = 5;
+
+    /// A modeled tuple: side, key, and its global sequence number.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct STuple {
+        side: Side,
+        key: Key,
+        seq: u64,
+    }
+
+    /// Messages in an instance's single MPSC inbox.
+    #[derive(Debug, Clone, PartialEq)]
+    enum SMsg {
+        /// A shard routed this tuple here.
+        Data(STuple),
+        /// Sequencer → target: the hot key is migrating — buffer its data
+        /// until the store transfer arrives.
+        MigStart,
+        /// Sequencer → source: the flip is live on every shard (barrier
+        /// variant) or merely staged (no-barrier variant); hand the hot
+        /// store to the target.
+        RouteUpdated,
+        /// Source → target: the hot key's stored R sequence numbers.
+        MigStore(Vec<u64>),
+    }
+
+    /// One join instance: R store per key, the migration buffer, and the
+    /// keys whose store has been handed away.
+    #[derive(Debug, Clone)]
+    struct SInst {
+        store: HashMap<Key, Vec<u64>>,
+        /// `Some(buffered)` between `MigStart` and `MigStore`.
+        buffer: Option<Vec<STuple>>,
+        migrated_hot: bool,
+    }
+
+    /// Sequencer lifecycle for the single modeled flip.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum SeqPhase {
+        Idle,
+        /// Snapshots published; `n` acks consumed so far.
+        WaitAcks(usize),
+        Done,
+    }
+
+    /// One global state.
+    #[derive(Clone)]
+    struct SState {
+        /// Next unread position in each shard's script.
+        shard_pos: [usize; SHARDS],
+        /// Each shard's current owner of `HOT` (its private table).
+        shard_hot_owner: [usize; SHARDS],
+        /// Pending snapshot publications, sequencer → shard (FIFO).
+        ctrl: [VecDeque<u64>; SHARDS],
+        /// Pending install acknowledgements, shards → sequencer (MPSC).
+        acks: VecDeque<usize>,
+        seq: SeqPhase,
+        /// The per-instance MPSC inboxes — ONE queue per instance, shared
+        /// by both shards and the sequencer, exactly like the runtime.
+        inboxes: [VecDeque<SMsg>; 2],
+        insts: [SInst; 2],
+        /// Joined `(r_seq, s_seq)` pairs in emission order.
+        joined: Vec<(u64, u64)>,
+        /// Per-node consumed-event histories (interned ids).
+        histories: [Vec<u16>; NODES],
+    }
+
+    /// A transition out of a state.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum SAction {
+        /// Shard `i` routes its next scripted tuple.
+        Route(usize),
+        /// Shard `i` installs its pending snapshot and acknowledges.
+        Install(usize),
+        /// The sequencer stages the flip and publishes snapshots.
+        SeqStart,
+        /// The sequencer consumes one install acknowledgement.
+        SeqAck,
+        /// Instance `i` processes the head of its inbox.
+        Deliver(usize),
+    }
+
+    /// The bounded scenario plus interning state.
+    struct SExplorer {
+        barrier: bool,
+        scripts: [Vec<STuple>; SHARDS],
+        expected: Vec<(u64, u64)>,
+        intern: HashMap<(usize, String), u16>,
+    }
+
+    impl SExplorer {
+        fn new(barrier: bool) -> Self {
+            let r = |key, seq| STuple { side: Side::R, key, seq };
+            let s = |key, seq| STuple { side: Side::S, key, seq };
+            // Shard-by-key: every hot tuple rides shard 0, every cold
+            // tuple shard 1. Hot stores and probes straddle the flip.
+            let scripts =
+                [vec![r(HOT, 1), s(HOT, 2), r(HOT, 3), s(HOT, 4)], vec![r(COLD, 5), s(COLD, 6)]];
+            // Expected pairs: same key, R scripted before S — per-shard
+            // script order is the per-key arrival order, since one shard
+            // carries a key's every tuple.
+            let mut expected = Vec::new();
+            for script in &scripts {
+                for (ri, r) in script.iter().enumerate() {
+                    if r.side != Side::R {
+                        continue;
+                    }
+                    for s in script.iter().skip(ri + 1) {
+                        if s.side == Side::S && s.key == r.key {
+                            expected.push((r.seq, s.seq));
+                        }
+                    }
+                }
+            }
+            expected.sort_unstable();
+            SExplorer { barrier, scripts, expected, intern: HashMap::new() }
+        }
+
+        fn initial_state(&self) -> SState {
+            SState {
+                shard_pos: [0; SHARDS],
+                shard_hot_owner: [SOURCE; SHARDS],
+                ctrl: std::array::from_fn(|_| VecDeque::new()),
+                acks: VecDeque::new(),
+                seq: SeqPhase::Idle,
+                inboxes: std::array::from_fn(|_| VecDeque::new()),
+                insts: std::array::from_fn(|_| SInst {
+                    store: HashMap::new(),
+                    buffer: None,
+                    migrated_hot: false,
+                }),
+                joined: Vec::new(),
+                histories: std::array::from_fn(|_| Vec::new()),
+            }
+        }
+
+        fn intern_event(&mut self, node: usize, desc: &str) -> u16 {
+            if let Some(&id) = self.intern.get(&(node, desc.to_string())) {
+                return id;
+            }
+            let id = u16::try_from(self.intern.len() + 1).expect("event table overflow");
+            self.intern.insert((node, desc.to_string()), id);
+            id
+        }
+
+        fn enabled(&self, s: &SState) -> Vec<SAction> {
+            let mut acts = Vec::new();
+            for i in 0..SHARDS {
+                if s.shard_pos[i] < self.scripts[i].len() {
+                    acts.push(SAction::Route(i));
+                }
+                if !s.ctrl[i].is_empty() {
+                    acts.push(SAction::Install(i));
+                }
+            }
+            if s.seq == SeqPhase::Idle {
+                acts.push(SAction::SeqStart);
+            }
+            if !s.acks.is_empty() {
+                acts.push(SAction::SeqAck);
+            }
+            for (i, inbox) in s.inboxes.iter().enumerate() {
+                if !inbox.is_empty() {
+                    acts.push(SAction::Deliver(i));
+                }
+            }
+            acts
+        }
+
+        /// Applies `action` to a copy of `s`; returns the successor and a
+        /// human-readable description, or the violation hit.
+        fn apply(&mut self, s: &SState, action: SAction) -> Result<(SState, String), String> {
+            let mut n = s.clone();
+            let (node, desc) = match action {
+                SAction::Route(i) => {
+                    let t = self.scripts[i][n.shard_pos[i]];
+                    n.shard_pos[i] += 1;
+                    let owner = if t.key == HOT { n.shard_hot_owner[i] } else { TARGET };
+                    n.inboxes[owner].push_back(SMsg::Data(t));
+                    (NODE_SH0 + i, format!("shard{i} routes {t:?} → inst{owner}"))
+                }
+                SAction::Install(i) => {
+                    let epoch = n.ctrl[i].pop_front().expect("enabled ⇒ non-empty");
+                    n.shard_hot_owner[i] = TARGET;
+                    n.acks.push_back(i);
+                    (NODE_SH0 + i, format!("shard{i} installs epoch {epoch} and acks"))
+                }
+                SAction::SeqStart => {
+                    // MigStart first: it must precede any new-epoch data
+                    // in the target's inbox, and it does — snapshots are
+                    // published (hence installable) only afterwards.
+                    n.inboxes[TARGET].push_back(SMsg::MigStart);
+                    for ctrl in &mut n.ctrl {
+                        ctrl.push_back(NEW_EPOCH);
+                    }
+                    n.seq = SeqPhase::WaitAcks(0);
+                    if self.barrier {
+                        (NODE_SEQ, "sequencer stages flip, publishes snapshots".to_string())
+                    } else {
+                        // The bug under test: notify the source before any
+                        // shard has necessarily installed the new table.
+                        n.inboxes[SOURCE].push_back(SMsg::RouteUpdated);
+                        (
+                            NODE_SEQ,
+                            "sequencer stages flip, publishes snapshots, and sends RouteUpdated \
+                             WITHOUT waiting for installs"
+                                .to_string(),
+                        )
+                    }
+                }
+                SAction::SeqAck => {
+                    let from = n.acks.pop_front().expect("enabled ⇒ non-empty");
+                    let SeqPhase::WaitAcks(done) = n.seq else {
+                        return Err(format!("ack from shard{from} outside a publication round"));
+                    };
+                    let done = done + 1;
+                    if done == SHARDS {
+                        n.seq = SeqPhase::Done;
+                        if self.barrier {
+                            // The barrier releases: every shard routes
+                            // under the new epoch, so everything the old
+                            // table routed to the source is already in its
+                            // inbox ahead of this message.
+                            n.inboxes[SOURCE].push_back(SMsg::RouteUpdated);
+                        }
+                    } else {
+                        n.seq = SeqPhase::WaitAcks(done);
+                    }
+                    (NODE_SEQ, format!("sequencer consumes ack from shard{from} ({done}/{SHARDS})"))
+                }
+                SAction::Deliver(i) => {
+                    let msg = n.inboxes[i].pop_front().expect("enabled ⇒ non-empty");
+                    let desc = format!("inst{i} ← {msg:?}");
+                    self.deliver(&mut n, i, msg)?;
+                    (NODE_I0 + i, desc)
+                }
+            };
+            let id = self.intern_event(node, &desc);
+            n.histories[node].push(id);
+            Ok((n, desc))
+        }
+
+        /// Processes one inbox message at instance `i`.
+        fn deliver(&mut self, n: &mut SState, i: usize, msg: SMsg) -> Result<(), String> {
+            match msg {
+                SMsg::Data(t) => {
+                    if n.insts[i].buffer.is_some() && t.key == HOT {
+                        n.insts[i].buffer.as_mut().expect("checked is_some").push(t);
+                        return Ok(());
+                    }
+                    if n.insts[i].migrated_hot && t.key == HOT {
+                        // The invariant the barrier exists for: no data
+                        // for a migrated-away key may arrive after the
+                        // store left. (In the runtime this tuple would be
+                        // lost or mis-stored — either breaks the join.)
+                        return Err(format!(
+                            "stale delivery: {t:?} reached inst{i} after its hot store migrated \
+                             away — a shard was still routing under the old epoch"
+                        ));
+                    }
+                    Self::process_tuple(n, i, t)?;
+                }
+                SMsg::MigStart => n.insts[i].buffer = Some(Vec::new()),
+                SMsg::RouteUpdated => {
+                    let moved = n.insts[i].store.remove(&HOT).unwrap_or_default();
+                    n.insts[i].migrated_hot = true;
+                    n.inboxes[TARGET].push_back(SMsg::MigStore(moved));
+                }
+                SMsg::MigStore(moved) => {
+                    n.insts[i].store.entry(HOT).or_default().extend(moved);
+                    // Replay everything buffered since MigStart, in inbox
+                    // order — stores then probes exactly as they arrived.
+                    if let Some(buffered) = n.insts[i].buffer.take() {
+                        for t in buffered {
+                            Self::process_tuple(n, i, t)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Stores an R tuple / probes an S tuple at instance `i`.
+        fn process_tuple(n: &mut SState, i: usize, t: STuple) -> Result<(), String> {
+            match t.side {
+                Side::R => n.insts[i].store.entry(t.key).or_default().push(t.seq),
+                Side::S => {
+                    for &r_seq in n.insts[i].store.get(&t.key).map_or(&[][..], Vec::as_slice) {
+                        let pair = (r_seq, t.seq);
+                        if n.joined.contains(&pair) {
+                            return Err(format!("pair {pair:?} joined twice — not exactly-once"));
+                        }
+                        n.joined.push(pair);
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Invariants that must hold once no transition is enabled.
+        fn check_terminal(&self, s: &SState) -> Result<(), String> {
+            if s.seq != SeqPhase::Done {
+                return Err(format!("flip incomplete at quiescence: {:?}", s.seq));
+            }
+            for (i, inst) in s.insts.iter().enumerate() {
+                if inst.buffer.is_some() {
+                    return Err(format!("inst{i} still buffering at quiescence"));
+                }
+            }
+            let mut joined = s.joined.clone();
+            joined.sort_unstable();
+            if joined != self.expected {
+                let missing: Vec<_> =
+                    self.expected.iter().filter(|p| !joined.contains(p)).collect();
+                let extra: Vec<_> = joined.iter().filter(|p| !self.expected.contains(p)).collect();
+                return Err(format!(
+                    "join incomplete: missing pairs {missing:?}, unexpected {extra:?}"
+                ));
+            }
+            Ok(())
+        }
+
+        /// State fingerprint: per-node histories **plus** every queue's
+        /// pending contents. Histories alone are not enough here — the
+        /// MPSC inboxes mean two interleavings with identical per-node
+        /// histories can still differ in cross-sender enqueue order, which
+        /// is exactly the order the barrier argument is about.
+        fn fingerprint(&mut self, s: &SState) -> Box<[u16]> {
+            let mut key = Vec::new();
+            for h in &s.histories {
+                key.extend_from_slice(h);
+                key.push(u16::MAX);
+            }
+            for (i, inbox) in s.inboxes.iter().enumerate() {
+                for m in inbox {
+                    let id = self.intern_event(NODES + i, &format!("{m:?}"));
+                    key.push(id);
+                }
+                key.push(u16::MAX);
+            }
+            for ctrl in &s.ctrl {
+                key.push(u16::try_from(ctrl.len()).expect("tiny queue"));
+            }
+            key.push(u16::MAX);
+            for &a in &s.acks {
+                key.push(u16::try_from(a).expect("shard index"));
+            }
+            key.into_boxed_slice()
+        }
+    }
+
+    /// Replays the parent chain ending at `node` into readable steps.
+    fn rebuild_trace(
+        explorer: &mut SExplorer,
+        parents: &[(u32, SAction)],
+        node: usize,
+        last_action: Option<SAction>,
+    ) -> Vec<String> {
+        let mut actions = Vec::new();
+        if let Some(a) = last_action {
+            actions.push(a);
+        }
+        let mut cur = node;
+        while cur != 0 {
+            let (parent, act) = parents[cur];
+            actions.push(act);
+            cur = parent as usize;
+        }
+        actions.reverse();
+
+        let mut state = explorer.initial_state();
+        let mut out = Vec::with_capacity(actions.len());
+        for (step, act) in actions.iter().enumerate() {
+            match explorer.apply(&state, *act) {
+                Ok((next, desc)) => {
+                    out.push(format!("{:>3}. {desc}", step + 1));
+                    state = next;
+                }
+                Err(why) => {
+                    out.push(format!("{:>3}. <violating step> — {why}", step + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Explores every interleaving of the two shards, the sequencer, and
+    /// the instance inboxes; `barrier = false` drops the publication
+    /// barrier (the known-bad variant).
+    #[must_use]
+    pub fn check(barrier: bool) -> CheckOutcome {
+        let mut explorer = SExplorer::new(barrier);
+        let initial = explorer.initial_state();
+
+        let mut visited: HashMap<Box<[u16]>, u32> = HashMap::new();
+        let mut parents: Vec<(u32, SAction)> = vec![(0, SAction::SeqStart)]; // [0] unused
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut terminal: Vec<bool> = vec![false];
+        let fp0 = explorer.fingerprint(&initial);
+        let mut frontier: Vec<(u32, SState)> = vec![(0, initial)];
+        visited.insert(fp0, 0);
+
+        while !frontier.is_empty() {
+            let mut next_frontier: Vec<(u32, SState)> = Vec::new();
+            for (idx, state) in frontier.drain(..) {
+                let acts = explorer.enabled(&state);
+                if acts.is_empty() {
+                    if let Err(reason) = explorer.check_terminal(&state) {
+                        let trace = rebuild_trace(&mut explorer, &parents, idx as usize, None);
+                        return CheckOutcome::Violation { reason, trace, states: visited.len() };
+                    }
+                    terminal[idx as usize] = true;
+                    continue;
+                }
+                for act in acts {
+                    match explorer.apply(&state, act) {
+                        Ok((next, _desc)) => {
+                            let fp = explorer.fingerprint(&next);
+                            if let Some(&existing) = visited.get(&fp) {
+                                succs[idx as usize].push(existing);
+                                continue;
+                            }
+                            let new_idx =
+                                u32::try_from(parents.len()).expect("state index overflow");
+                            visited.insert(fp, new_idx);
+                            parents.push((idx, act));
+                            succs.push(Vec::new());
+                            terminal.push(false);
+                            succs[idx as usize].push(new_idx);
+                            next_frontier.push((new_idx, next));
+                        }
+                        Err(reason) => {
+                            let trace =
+                                rebuild_trace(&mut explorer, &parents, idx as usize, Some(act));
+                            return CheckOutcome::Violation {
+                                reason,
+                                trace,
+                                states: visited.len(),
+                            };
+                        }
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        let mut paths: Vec<u128> = vec![0; parents.len()];
+        for i in (0..parents.len()).rev() {
+            paths[i] = if terminal[i] {
+                1
+            } else {
+                succs[i].iter().map(|&s| paths[s as usize]).fold(0u128, u128::saturating_add)
+            };
+        }
+
+        CheckOutcome::Pass {
+            states: visited.len(),
+            schedules: paths[0],
+            expected_pairs: explorer.expected.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,6 +1296,41 @@ mod tests {
             }
             CheckOutcome::Pass { .. } => {
                 panic!("forwarding before the store transfer must be caught")
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_dispatcher_with_barrier_passes_exhaustively() {
+        match check(Variant::Sharded) {
+            CheckOutcome::Pass { states, schedules, expected_pairs } => {
+                assert!(states > 100, "scenario too small to be meaningful: {states} states");
+                assert!(schedules > 1_000, "expected many interleavings, got {schedules}");
+                assert_eq!(expected_pairs, 4);
+            }
+            CheckOutcome::Violation { reason, trace, .. } => {
+                panic!("sharded barrier protocol must pass, got: {reason}\n{}", trace.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_without_the_publication_barrier_is_caught() {
+        match check(Variant::ShardedNoBarrier) {
+            CheckOutcome::Violation { reason, trace, .. } => {
+                assert!(!trace.is_empty(), "counterexample trace must not be empty");
+                assert!(
+                    reason.contains("stale delivery") || reason.contains("join incomplete"),
+                    "the failure must be the stale-route race: {reason}"
+                );
+                assert!(
+                    trace.len() <= 40,
+                    "BFS should find a short counterexample, got {} steps",
+                    trace.len()
+                );
+            }
+            CheckOutcome::Pass { .. } => {
+                panic!("skipping the publication barrier must violate completeness")
             }
         }
     }

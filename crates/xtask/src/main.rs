@@ -23,7 +23,8 @@ commands:
                               exhaustively model-check the migration
                               protocol over every FIFO delivery schedule;
                               <v> is one of: safe (default),
-                              naive-notify-first, forward-before-store
+                              naive-notify-first, forward-before-store,
+                              sharded, sharded-no-barrier
   help                        show this message
 ";
 
@@ -92,7 +93,8 @@ fn run_check_protocol(args: &[String]) -> ExitCode {
                 let Some(v) = checker::Variant::parse(name) else {
                     eprintln!(
                         "xtask check-protocol: unknown variant `{name}` (expected safe, \
-                         naive-notify-first, or forward-before-store)"
+                         naive-notify-first, forward-before-store, sharded, or \
+                         sharded-no-barrier)"
                     );
                     return ExitCode::FAILURE;
                 };
