@@ -173,6 +173,18 @@ pub enum TraceKind {
     /// The fault plan swallowed this monitor's `MigrateCmd` for round
     /// `epoch`.
     FaultDropTrigger,
+    /// A dispatcher shard was respawned by its supervisor; `aux` = shard
+    /// index, `aux2` = its epoch fence at restart.
+    ShardRestart,
+    /// The group's monitor died; routing freezes at the last committed
+    /// table until it recovers. `aux` = restart count so far.
+    MonitorDown,
+    /// The group's monitor recovered from its load-stats seed; migrations
+    /// may resume. `aux` = milliseconds spent degraded.
+    MonitorUp,
+    /// The sequencer re-published its current snapshot (epoch in `epoch`)
+    /// to a restarted shard; `aux` = the target shard.
+    SnapshotRepublish,
 }
 
 impl TraceKind {
@@ -200,6 +212,10 @@ impl TraceKind {
             TraceKind::FaultCrash => "FaultCrash",
             TraceKind::FaultRestart => "FaultRestart",
             TraceKind::FaultDropTrigger => "FaultDropTrigger",
+            TraceKind::ShardRestart => "ShardRestart",
+            TraceKind::MonitorDown => "MonitorDown",
+            TraceKind::MonitorUp => "MonitorUp",
+            TraceKind::SnapshotRepublish => "SnapshotRepublish",
         }
     }
 
@@ -227,6 +243,10 @@ impl TraceKind {
             "FaultCrash" => TraceKind::FaultCrash,
             "FaultRestart" => TraceKind::FaultRestart,
             "FaultDropTrigger" => TraceKind::FaultDropTrigger,
+            "ShardRestart" => TraceKind::ShardRestart,
+            "MonitorDown" => TraceKind::MonitorDown,
+            "MonitorUp" => TraceKind::MonitorUp,
+            "SnapshotRepublish" => TraceKind::SnapshotRepublish,
             _ => return None,
         })
     }
@@ -628,6 +648,10 @@ mod tests {
             TraceKind::FaultCrash,
             TraceKind::FaultRestart,
             TraceKind::FaultDropTrigger,
+            TraceKind::ShardRestart,
+            TraceKind::MonitorDown,
+            TraceKind::MonitorUp,
+            TraceKind::SnapshotRepublish,
         ] {
             assert_eq!(TraceKind::parse(kind.name()), Some(kind));
         }

@@ -53,6 +53,49 @@ pub enum CrashPhase {
         /// How many messages the victim processes before the crash.
         after_msgs: u64,
     },
+    /// Control plane: the sequencer crashes immediately before processing
+    /// its `at_publish`-th `Route` request — i.e. before staging the route
+    /// and opening the publication barrier. The supervisor restarts it,
+    /// re-publishes the current snapshot, and replays the in-flight
+    /// message. Ignored by instance executors.
+    SequencerBarrier {
+        /// 1-based index of the `Route` message to die on.
+        at_publish: u64,
+    },
+    /// Control plane: dispatcher shard `CrashFault::instance` crashes
+    /// immediately before installing its `at_install`-th snapshot — after
+    /// the `Publish` was popped from the control channel, before the flush
+    /// and install. The epoch fence survives the restart, so the
+    /// resurrected shard can never acknowledge a superseded snapshot.
+    /// Ignored by instance executors.
+    ShardSnapshotInstall {
+        /// 1-based index of the snapshot install to die on.
+        at_install: u64,
+    },
+    /// Control plane: the monitor of group `CrashFault::group` crashes
+    /// immediately after sending its `at_round`-th `MigrateCmd` — a round
+    /// is in flight with nobody watching its deadline. The supervisor
+    /// reseeds a fresh monitor from the survivor's harvested state (or the
+    /// run degrades to frozen routing when restarts are exhausted).
+    /// Ignored by instance executors.
+    MonitorMidRound {
+        /// 1-based index of the triggered round to die after.
+        at_round: u64,
+    },
+}
+
+impl CrashPhase {
+    /// True for control-plane phases (sequencer / shard / monitor), which
+    /// instance kill switches must ignore.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            CrashPhase::SequencerBarrier { .. }
+                | CrashPhase::ShardSnapshotInstall { .. }
+                | CrashPhase::MonitorMidRound { .. }
+        )
+    }
 }
 
 /// One scheduled executor crash.
@@ -128,9 +171,47 @@ impl FaultPlan {
     }
 
     /// The crash scheduled for instance `(group, id)`, if any.
+    /// Control-plane phases never target instances, so they are skipped.
     #[must_use]
     pub fn crash_for(&self, group: usize, id: usize) -> Option<CrashPhase> {
-        self.crashes.iter().find(|c| c.group == group && c.instance == id).map(|c| c.phase)
+        self.crashes
+            .iter()
+            .find(|c| c.group == group && c.instance == id && !c.phase.is_control())
+            .map(|c| c.phase)
+    }
+
+    /// The sequencer crash scheduled for this run, if any: the 1-based
+    /// `Route` index to die on. (`group`/`instance` are ignored for the
+    /// sequencer — there is exactly one.)
+    #[must_use]
+    pub fn sequencer_crash(&self) -> Option<u64> {
+        self.crashes.iter().find_map(|c| match c.phase {
+            CrashPhase::SequencerBarrier { at_publish } => Some(at_publish),
+            _ => None,
+        })
+    }
+
+    /// The crash scheduled for dispatcher shard `shard` (addressed via
+    /// `CrashFault::instance`), if any: the 1-based install index to die
+    /// on.
+    #[must_use]
+    pub fn shard_crash(&self, shard: usize) -> Option<u64> {
+        self.crashes.iter().find_map(|c| match c.phase {
+            CrashPhase::ShardSnapshotInstall { at_install } if c.instance == shard => {
+                Some(at_install)
+            }
+            _ => None,
+        })
+    }
+
+    /// The crash scheduled for the monitor of `group`, if any: the 1-based
+    /// triggered-round index to die after.
+    #[must_use]
+    pub fn monitor_crash(&self, group: usize) -> Option<u64> {
+        self.crashes.iter().find_map(|c| match c.phase {
+            CrashPhase::MonitorMidRound { at_round } if c.group == group => Some(at_round),
+            _ => None,
+        })
     }
 }
 
@@ -179,11 +260,48 @@ impl KillSwitch {
                 matches!(msg, RtMsg::Inst(InstanceMsg::RouteUpdated { .. }))
             }
             CrashPhase::SteadyState { after_msgs } => self.msgs_seen > after_msgs,
+            // Control-plane phases never fire at an instance.
+            CrashPhase::SequencerBarrier { .. }
+            | CrashPhase::ShardSnapshotInstall { .. }
+            | CrashPhase::MonitorMidRound { .. } => false,
         };
         if fire {
             self.phase = None; // single fire: the retried message must pass
         }
         fire
+    }
+}
+
+/// Single-fire kill switch for control-plane executors (sequencer, shard,
+/// monitor), armed with a 1-based event index rather than a message
+/// pattern: the owner calls [`ControlKillSwitch::should_crash`] once per
+/// matching event (a `Route` processed, a snapshot install, a round
+/// trigger) and crashes when the armed index is reached. Fires at most
+/// once — the restarted incarnation replays the same event and passes.
+#[derive(Debug)]
+pub struct ControlKillSwitch {
+    at: Option<u64>,
+    seen: u64,
+}
+
+impl ControlKillSwitch {
+    /// A switch that fires on the `at`-th event (or never, for `None`).
+    #[must_use]
+    pub fn new(at: Option<u64>) -> Self {
+        ControlKillSwitch { at, seen: 0 }
+    }
+
+    /// Counts one event; returns `true` exactly once, when the armed
+    /// index is reached.
+    pub fn should_crash(&mut self) -> bool {
+        self.seen += 1;
+        let Some(at) = self.at else { return false };
+        if self.seen >= at {
+            self.at = None; // single fire: the replayed event must pass
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -423,6 +541,58 @@ mod tests {
         assert!(!ks.should_crash(&fwd), "no handoff yet");
         assert!(!ks.should_crash(&RtMsg::ProbeHandoff(vec![(1, 2)])));
         assert!(ks.should_crash(&fwd));
+    }
+
+    #[test]
+    fn control_phases_never_fire_at_instances_and_resolve_by_helper() {
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashFault {
+                    group: 0,
+                    instance: 0,
+                    phase: CrashPhase::SequencerBarrier { at_publish: 2 },
+                },
+                CrashFault {
+                    group: 0,
+                    instance: 1,
+                    phase: CrashPhase::ShardSnapshotInstall { at_install: 3 },
+                },
+                CrashFault {
+                    group: 1,
+                    instance: 0,
+                    phase: CrashPhase::MonitorMidRound { at_round: 1 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        // Instance lookup skips control phases entirely…
+        assert_eq!(plan.crash_for(0, 0), None);
+        assert_eq!(plan.crash_for(0, 1), None);
+        assert_eq!(plan.crash_for(1, 0), None);
+        // …while the control-plane helpers resolve them.
+        assert_eq!(plan.sequencer_crash(), Some(2));
+        assert_eq!(plan.shard_crash(1), Some(3));
+        assert_eq!(plan.shard_crash(0), None);
+        assert_eq!(plan.monitor_crash(1), Some(1));
+        assert_eq!(plan.monitor_crash(0), None);
+        // And even if an instance kill switch were armed with one, it
+        // never fires on any message.
+        let mut ks = KillSwitch::new(Some(CrashPhase::SequencerBarrier { at_publish: 1 }));
+        assert!(!ks.should_crash(&RtMsg::ReportRequest));
+        assert!(!ks.should_crash(&RtMsg::Eos));
+    }
+
+    #[test]
+    fn control_kill_switch_fires_once_at_the_armed_index() {
+        let mut ks = ControlKillSwitch::new(Some(3));
+        assert!(!ks.should_crash());
+        assert!(!ks.should_crash());
+        assert!(ks.should_crash(), "fires on the 3rd event");
+        assert!(!ks.should_crash(), "single fire: the replayed event passes");
+        let mut never = ControlKillSwitch::new(None);
+        for _ in 0..10 {
+            assert!(!never.should_crash());
+        }
     }
 
     #[test]

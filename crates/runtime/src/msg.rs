@@ -138,6 +138,20 @@ pub enum ShardNote {
         /// The finished shard.
         shard: usize,
     },
+    /// Shard `shard` panicked and was respawned by its supervisor. `fence`
+    /// is the highest snapshot epoch the dead incarnation installed (the
+    /// epoch fence, kept outside the restarted body). The sequencer
+    /// re-publishes its current snapshot so the fresh incarnation can
+    /// rebuild its routing table, and — when a publication barrier is in
+    /// flight — treats `fence >= barrier epoch` as that shard's
+    /// acknowledgement (the install happened; only the ack was lost with
+    /// the thread).
+    Restarted {
+        /// The respawned shard.
+        shard: usize,
+        /// Highest epoch the dead incarnation had installed.
+        fence: u64,
+    },
 }
 
 /// Input to a monitor executor.

@@ -94,6 +94,32 @@ impl RuntimeReport {
                 ("stored_total", Json::uint(self.stored_total(g))),
             ])
         };
+        // Supervision telemetry: per-executor restart counters plus the
+        // aggregate control-plane health counters (see ARCHITECTURE.md,
+        // "Failure model & recovery"). Pulled out of the flat registry so
+        // dashboards don't have to know the counter naming scheme.
+        let restarts = Json::obj(self.registry.iter().filter_map(|(k, v)| {
+            let name = k.strip_prefix("supervisor.restarts.")?;
+            match v {
+                fastjoin_core::metrics::MetricValue::Counter(c) => {
+                    Some((name.to_string(), Json::uint(*c)))
+                }
+                _ => None,
+            }
+        }));
+        let supervision = Json::obj(vec![
+            (
+                "executor_failures",
+                Json::uint(self.registry.counter("supervisor.executor_failures")),
+            ),
+            ("control_restarts", Json::uint(self.registry.counter("supervisor.control_restarts"))),
+            ("monitor_degraded_ms", Json::uint(self.registry.counter("monitor.degraded_ms"))),
+            (
+                "monitor_permanent_degraded",
+                Json::uint(self.registry.counter("monitor.permanent_degraded")),
+            ),
+            ("restarts", restarts),
+        ]);
         Json::obj(vec![
             ("duration_us", Json::uint(self.duration_us)),
             ("tuples_ingested", Json::uint(self.tuples_ingested)),
@@ -103,6 +129,7 @@ impl RuntimeReport {
             ("latency_us", self.latency.to_json()),
             ("throughput", self.throughput.to_json()),
             ("groups", Json::arr(vec![group(0), group(1)])),
+            ("supervision", supervision),
             ("registry", self.registry.to_json()),
             (
                 "trace",
@@ -160,11 +187,28 @@ mod tests {
             "\"groups\"",
             "\"imbalance\"",
             "\"migration_spans\"",
+            "\"supervision\"",
             "\"registry\"",
             "\"trace\"",
         ] {
             assert!(rendered.contains(key), "missing {key} in {rendered}");
         }
         assert!(rendered.contains("\"results_per_sec\":5"), "10 results / 2 s: {rendered}");
+    }
+
+    #[test]
+    fn supervision_section_exports_per_executor_restart_counters() {
+        let mut r = empty_report();
+        r.registry.counter_add("supervisor.executor_failures", 3);
+        r.registry.counter_add("supervisor.control_restarts", 2);
+        r.registry.counter_add("supervisor.restarts.dispatch-seq", 1);
+        r.registry.counter_add("supervisor.restarts.monitor-0", 2);
+        r.registry.counter_add("monitor.degraded_ms", 7);
+        let rendered = r.to_json().to_string_compact();
+        assert!(rendered.contains("\"executor_failures\":3"), "{rendered}");
+        assert!(rendered.contains("\"control_restarts\":2"), "{rendered}");
+        assert!(rendered.contains("\"monitor_degraded_ms\":7"), "{rendered}");
+        assert!(rendered.contains("\"dispatch-seq\":1"), "{rendered}");
+        assert!(rendered.contains("\"monitor-0\":2"), "{rendered}");
     }
 }

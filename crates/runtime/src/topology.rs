@@ -51,6 +51,35 @@
 //! injected crashes are fail-stop at a message boundary the rebuilt state
 //! is exactly "everything before the crash message, nothing of it".
 //!
+//! The control plane is supervised too (see ARCHITECTURE.md, "Failure
+//! model & recovery"):
+//!
+//! * **Dispatcher shards** are restartable. The respawned shard carries
+//!   its *epoch fence* (highest snapshot epoch the dead incarnation
+//!   installed, kept outside the restarted body) into a fresh routing
+//!   table, salvage-flushes the dead incarnation's pending batches (they
+//!   were already routed, so per-destination FIFO survives), defers new
+//!   data until the sequencer's re-publication rebuilds its table to the
+//!   fence, and announces [`ShardNote::Restarted`]. The fence makes the
+//!   re-publication idempotent and — the core safety property — makes it
+//!   impossible for a resurrected shard to acknowledge a snapshot older
+//!   than one its predecessor installed (`xtask check-protocol
+//!   sharded-shard-restart` checks this exhaustively).
+//! * **The sequencer** is restartable: its authoritative routing table
+//!   lives outside the `catch_unwind` region, the in-flight control
+//!   message is parked in a replay slot before an injected crash fires,
+//!   and recovery re-publishes the current snapshot to every shard before
+//!   replaying the slot — so an interrupted publication barrier re-runs
+//!   to completion.
+//! * **Monitors** are a *degradable* dependency. On a crash the
+//!   supervisor harvests the survivor's seed (epoch allocator, in-flight
+//!   round, last load report per instance, stats history), backs off
+//!   deterministically, and reseeds a fresh monitor; while down, routing
+//!   is frozen at the last committed table and the run continues without
+//!   migrations. Past the restart budget the monitor degrades
+//!   permanently: the in-flight round is tombstoned through the existing
+//!   abort path and a minimal drain keeps the shutdown handshake alive.
+//!
 //! Migration rounds are abortable while their route flip is still
 //! pending: the per-group monitor arms a deadline per round
 //! ([`SupervisionConfig::round_timeout_ms`]) and on breach asks the
@@ -75,7 +104,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 
 use fastjoin_baselines::{build_partitioners, SystemKind};
 use fastjoin_core::config::FastJoinConfig;
-use fastjoin_core::dispatcher::{Dispatch, Dispatcher};
+use fastjoin_core::dispatcher::{Dispatch, Dispatcher, InstallVerdict};
 use fastjoin_core::hash::mix64;
 use fastjoin_core::instance::JoinInstance;
 use fastjoin_core::instance::Work;
@@ -89,7 +118,9 @@ use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 use lintmarks::lint;
 
 use crate::accounting::ProbeAccountant;
-use crate::fault::{ChaosPolicy, ChaosReceiver, CrashPhase, FaultPlan, KillSwitch};
+use crate::fault::{
+    ChaosPolicy, ChaosReceiver, ControlKillSwitch, CrashPhase, FaultPlan, KillSwitch,
+};
 use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg, ShardCtrl, ShardNote};
 use crate::report::RuntimeReport;
 
@@ -122,6 +153,28 @@ const SEED_ROLE_CHAOS: u64 = 2;
 /// distinct `(group, id, role)` triples for the same base.
 fn executor_seed(base: u64, group: u64, id: u64, role: u64) -> u64 {
     mix64(mix64(mix64(mix64(base) ^ group) ^ id) ^ role)
+}
+
+/// Sends on a (possibly bounded) channel, refreshing the caller's
+/// heartbeat while parked on a full inbox. A plain blocking `send` there
+/// froze the heartbeat for as long as backpressure lasted, so genuine
+/// (healthy) backpressure longer than [`SupervisionConfig::stall_ms`] was
+/// misdiagnosed as a silent stall and failed the run. Returns `false`
+/// when the receiver is gone (the message is dropped, as with the
+/// `let _ = tx.send(..)` idiom this replaces).
+fn send_with_hb<T>(tx: &Sender<T>, msg: T, hb: &AtomicU64, now_us: &dyn Fn() -> u64) -> bool {
+    use crossbeam::channel::SendTimeoutError;
+    let mut msg = msg;
+    loop {
+        match tx.send_timeout(msg, EXECUTOR_TICK) {
+            Ok(()) => return true,
+            Err(SendTimeoutError::Timeout(m)) => {
+                hb.store(now_us(), Ordering::Relaxed);
+                msg = m;
+            }
+            Err(SendTimeoutError::Disconnected(_)) => return false,
+        }
+    }
 }
 
 /// Supervision and shutdown-watchdog knobs. The defaults preserve the
@@ -251,11 +304,14 @@ pub enum RunError {
     /// An executor stopped updating its heartbeat (or shutdown timed out
     /// waiting on it) without reporting a failure.
     ExecutorHung {
-        /// Thread name of the stalled executor.
+        /// Thread name(s) of the stalled executor(s), comma-separated —
+        /// every executor past the stall deadline is listed, so a
+        /// cross-executor deadlock shows all of its participants.
         name: String,
     },
-    /// An executor panicked and was out of restart budget (or is a
-    /// non-restartable executor: dispatcher, monitor).
+    /// An executor panicked and was out of restart budget (or is the
+    /// non-restartable unsharded dispatcher). Monitors never produce
+    /// this: past their restart budget they degrade instead.
     ExecutorFailed {
         /// Thread name of the failed executor.
         name: String,
@@ -467,29 +523,124 @@ fn run_topology_inner(
             let batch_size = cfg.batch_size;
             // Each shard owns private partitioner state; consistency
             // across shards comes from the published snapshots, not from
-            // sharing (partitioner routing methods are `&mut self`).
-            let (r_shard, s_shard, _) = build_partitioners(cfg.system, &cfg.fastjoin);
+            // sharing (partitioner routing methods are `&mut self`) — the
+            // supervisor below rebuilds it per incarnation, so the system
+            // kind and config travel into the thread.
+            let system = cfg.system;
+            let fj = cfg.fastjoin.clone();
             let seq = shared_seq.clone();
+            let max_restarts = sup.max_restarts;
+            let crash_at = cfg.faults.shard_crash(k);
             let thread_name = name.clone();
             handles.push((
                 name,
                 thread::Builder::new()
                     .name(thread_name.clone())
                     .spawn(move || {
-                        let body = catch_unwind(AssertUnwindSafe(|| {
-                            shard_loop(
-                                k, r_shard, s_shard, batch_size, &data_rx, &sc_rx, &note_tx,
-                                &inst_txs, &collector, &now_us, trace_cfg, &hb, &kill, &seq,
-                            );
-                        }));
-                        if let Err(p) = body {
+                        let now_ref: &dyn Fn() -> u64 = &now_us;
+                        let (r_shard, s_shard, _) = build_partitioners(system, &fj);
+                        let mut core = DispatcherCore::new(
+                            r_shard,
+                            s_shard,
+                            batch_size,
+                            &inst_txs,
+                            [None, None],
+                            now_ref,
+                            &hb,
+                            &trace_cfg,
+                            Some(&seq),
+                            None,
+                        );
+                        let mut switch = ControlKillSwitch::new(crash_at);
+                        let mut resync = false;
+                        let mut saw_eos = false;
+                        let mut restarts = 0u32;
+                        loop {
+                            let body = catch_unwind(AssertUnwindSafe(|| {
+                                shard_loop(
+                                    &mut core,
+                                    k,
+                                    &data_rx,
+                                    &sc_rx,
+                                    &note_tx,
+                                    &hb,
+                                    &kill,
+                                    &mut switch,
+                                    &mut resync,
+                                    &mut saw_eos,
+                                );
+                            }));
+                            let payload = match body {
+                                Ok(()) => break,
+                                Err(p) => p,
+                            };
+                            restarts += 1;
+                            let fatal = restarts > max_restarts;
                             let _ = collector.send(CollectorMsg::ExecutorFailure {
-                                name: thread_name,
-                                error: panic_text(p.as_ref()),
-                                fatal: true,
-                                restarts: 0,
+                                name: thread_name.clone(),
+                                error: panic_text(payload.as_ref()),
+                                fatal,
+                                restarts,
                             });
+                            if fatal {
+                                break;
+                            }
+                            // Salvage the dead incarnation's pending batches:
+                            // every queued tuple was already routed, so
+                            // flushing preserves per-destination FIFO — and it
+                            // happens before the fresh incarnation can install
+                            // (and ack) any snapshot, so data routed under the
+                            // old table still precedes any barrier release.
+                            let salvaged =
+                                catch_unwind(AssertUnwindSafe(|| core.flush_all())).is_ok();
+                            let fence = core.dispatcher.fence();
+                            let (r2, s2, _) = build_partitioners(system, &fj);
+                            let mut fresh = DispatcherCore::new(
+                                r2,
+                                s2,
+                                batch_size,
+                                &inst_txs,
+                                [None, None],
+                                now_ref,
+                                &hb,
+                                &trace_cfg,
+                                Some(&seq),
+                                None,
+                            );
+                            // Telemetry and the epoch fence outlive the body:
+                            // the fence is what makes it impossible for this
+                            // incarnation to ack a superseded snapshot.
+                            fresh.reg = std::mem::replace(&mut core.reg, MetricsRegistry::new());
+                            fresh.ring = std::mem::replace(
+                                &mut core.ring,
+                                TraceRing::new(Actor::dispatcher(), &trace_cfg),
+                            );
+                            fresh.dispatcher.set_fence(fence);
+                            core = fresh;
+                            if !salvaged {
+                                core.reg.counter_add("shard_salvage_failures", 1);
+                            }
+                            core.reg.counter_add("shard_restarts", 1);
+                            // The fresh routing table starts at initial routes;
+                            // if any snapshot was ever installed, defer data
+                            // until the sequencer's re-publication rebuilds it
+                            // to (at least) the fence.
+                            resync = fence > 0;
+                            let mut ev = TraceEvent::control(
+                                now_us(),
+                                Actor::dispatcher(),
+                                TraceKind::ShardRestart,
+                                0,
+                                k as u64,
+                            );
+                            ev.aux2 = fence;
+                            core.ring.push(ev);
+                            let _ = note_tx.send(ShardNote::Restarted { shard: k, fence });
                         }
+                        let _ = collector.send(CollectorMsg::DispatcherDone {
+                            registry: Box::new(core.reg),
+                            journal: Box::new(core.ring.into_journal()),
+                        });
                         hb.store(HB_FINISHED, Ordering::Relaxed);
                     })
                     .expect("spawn dispatch shard"), // lint:allow(thread spawn at startup)
@@ -504,36 +655,85 @@ fn run_topology_inner(
         let mon_txs = mon_txs.clone();
         let ctrl_rx = disp_ctrl_rx;
         let collector = collector_tx.clone();
+        let max_restarts = sup.max_restarts;
+        let crash_at = cfg.faults.sequencer_crash();
+        let shards_total = shard_ctrl_txs.len();
         let thread_name = name.clone();
         handles.push((
             name,
             thread::Builder::new()
                 .name(thread_name.clone())
                 .spawn(move || {
-                    let body = catch_unwind(AssertUnwindSafe(|| {
-                        sequencer_loop(
-                            r_part,
-                            s_part,
-                            &ctrl_rx,
-                            shard_ctrl_txs,
-                            note_rx,
-                            &inst_txs,
-                            mon_txs,
-                            &collector,
-                            &now_us,
-                            trace_cfg,
-                            &hb,
-                            &kill,
-                        );
-                    }));
-                    if let Err(p) = body {
+                    let now_ref: &dyn Fn() -> u64 = &now_us;
+                    let fanout = ShardFanout {
+                        ctrl_txs: shard_ctrl_txs,
+                        note_rx,
+                        epoch: 0,
+                        eos_shards: HashSet::new(),
+                        hb: &hb,
+                        kill: &kill,
+                    };
+                    // The core — and with it the authoritative routing
+                    // table, the publication epoch, and the monitor
+                    // senders — is owned here, outside the restart loop:
+                    // a sequencer panic loses the thread, never the table.
+                    let mut core = DispatcherCore::new(
+                        r_part,
+                        s_part,
+                        1,
+                        &inst_txs,
+                        mon_txs,
+                        now_ref,
+                        &hb,
+                        &trace_cfg,
+                        None,
+                        Some(fanout),
+                    );
+                    let mut switch = ControlKillSwitch::new(crash_at);
+                    let mut inflight: Option<DispatcherMsg> = None;
+                    let mut eos_broadcast = false;
+                    let mut restarts = 0u32;
+                    loop {
+                        let body = catch_unwind(AssertUnwindSafe(|| {
+                            sequencer_loop(
+                                &mut core,
+                                &ctrl_rx,
+                                shards_total,
+                                &mut inflight,
+                                &mut eos_broadcast,
+                                &mut switch,
+                                &hb,
+                                &kill,
+                            );
+                        }));
+                        let payload = match body {
+                            Ok(()) => break,
+                            Err(p) => p,
+                        };
+                        restarts += 1;
+                        let fatal = restarts > max_restarts;
                         let _ = collector.send(CollectorMsg::ExecutorFailure {
-                            name: thread_name,
-                            error: panic_text(p.as_ref()),
-                            fatal: true,
-                            restarts: 0,
+                            name: thread_name.clone(),
+                            error: panic_text(payload.as_ref()),
+                            fatal,
+                            restarts,
                         });
+                        if fatal {
+                            break;
+                        }
+                        core.reg.counter_add("sequencer_restarts", 1);
+                        // An organic panic may have abandoned a publication
+                        // mid-barrier; re-publishing the current snapshot
+                        // heals any shard divergence (the shard-side epoch
+                        // fence turns duplicates into ack-free reinstalls).
+                        // Then the loop resumes, replaying a message parked
+                        // at an injected crash boundary first.
+                        core.republish_all();
                     }
+                    let _ = collector.send(CollectorMsg::DispatcherDone {
+                        registry: Box::new(core.reg),
+                        journal: Box::new(core.ring.into_journal()),
+                    });
                     hb.store(HB_FINISHED, Ordering::Relaxed);
                 })
                 .expect("spawn dispatch sequencer"), // lint:allow(thread spawn at startup)
@@ -589,6 +789,7 @@ fn run_topology_inner(
                             disp_ctrl: &disp_ctrl,
                             collector: &collector,
                             results,
+                            hb: &hb,
                         };
                         // Chaos perturbs at tuple granularity: batches are
                         // split to their scalar equivalents first (only
@@ -635,38 +836,159 @@ fn run_topology_inner(
                 thread::Builder::new()
                     .name(thread_name.clone())
                     .spawn(move || {
-                        let chaos_rx = ChaosReceiver::new(
+                        let actor = Actor::monitor(g as u8);
+                        let mut rx = ChaosReceiver::new(
                             rx,
                             plan.monitor_chaos,
                             plan.rng_for(0x4D_4F4E + g as u64), // "MON"
                             |m| matches!(m, MonitorMsg::Report { .. }),
                         );
-                        let body = catch_unwind(AssertUnwindSafe(|| {
-                            monitor_loop(
-                                g,
-                                &fj,
-                                period,
-                                chaos_rx,
-                                &to_instances,
-                                &disp_ctrl,
-                                &collector,
-                                &ack,
-                                &now_us,
-                                sup,
-                                plan.drop_migrate_cmds,
-                                trace_cfg,
-                                &hb,
-                                &kill,
-                            );
-                        }));
-                        if let Err(p) = body {
+                        let n = to_instances.len();
+                        // The runtime's monitor clock is wall-clock
+                        // milliseconds; the µs cooldown goes through the one
+                        // sanctioned conversion (rounds up, so a
+                        // sub-millisecond cooldown can never truncate to
+                        // "disabled").
+                        let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown_ms());
+                        monitor.set_round_timeout(sup.round_timeout_ms);
+                        let mut sess = MonitorSession {
+                            monitor,
+                            li: TimeSeries::new((period.as_micros() as u64).max(1)),
+                            ring: TraceRing::new(actor, &trace_cfg),
+                            reg: MetricsRegistry::new(),
+                            quiescing: false,
+                            acked: false,
+                            drop_triggers: plan.drop_migrate_cmds,
+                        };
+                        let mut switch = ControlKillSwitch::new(plan.monitor_crash(g));
+                        let mut backoff_rng = plan.rng_for(0x4D4F_4E53 + g as u64); // "MONS"
+                        let mut restarts = 0u32;
+                        loop {
+                            let body = catch_unwind(AssertUnwindSafe(|| {
+                                monitor_loop(
+                                    g,
+                                    period,
+                                    &mut sess,
+                                    &mut rx,
+                                    &to_instances,
+                                    &disp_ctrl,
+                                    &ack,
+                                    &now_us,
+                                    &mut switch,
+                                    &hb,
+                                    &kill,
+                                );
+                            }));
+                            let payload = match body {
+                                Ok(()) => break,
+                                Err(p) => p,
+                            };
+                            restarts += 1;
+                            let down_at = now_us();
+                            // Never fatal: a monitor beyond its restart
+                            // budget degrades the run (no more migrations)
+                            // instead of failing it.
                             let _ = collector.send(CollectorMsg::ExecutorFailure {
-                                name: thread_name,
-                                error: panic_text(p.as_ref()),
-                                fatal: true,
-                                restarts: 0,
+                                name: thread_name.clone(),
+                                error: panic_text(payload.as_ref()),
+                                fatal: false,
+                                restarts,
                             });
+                            sess.ring.push(TraceEvent::control(
+                                down_at,
+                                actor,
+                                TraceKind::MonitorDown,
+                                0,
+                                u64::from(restarts),
+                            ));
+                            // Harvest the dead incarnation's durable summary
+                            // — the load-stats seed a real monitor would
+                            // restart from.
+                            let floor = sess.monitor.last_allocated_epoch();
+                            let inflight = sess.monitor.in_flight_round();
+                            let loads = sess.monitor.load_snapshot();
+                            let stats = sess.monitor.stats();
+                            let spans = sess.monitor.spans().to_vec();
+                            if restarts > sup.max_restarts {
+                                // Tombstone the in-flight round through the
+                                // dispatcher's existing abort path, then
+                                // freeze: the run continues correctly on the
+                                // last committed routing table, without
+                                // migrations.
+                                if let Some((epoch, source, _)) = inflight {
+                                    sess.ring.push(TraceEvent::control(
+                                        now_us(),
+                                        actor,
+                                        TraceKind::AbortRequest,
+                                        epoch,
+                                        source as u64,
+                                    ));
+                                    let _ = disp_ctrl.send(DispatcherMsg::Abort {
+                                        group: g,
+                                        epoch,
+                                        source,
+                                    });
+                                }
+                                sess.reg.counter_add("monitor.permanent_degraded", 1);
+                                degraded_monitor_drain(
+                                    g, &mut sess, &mut rx, &ack, &now_us, &hb, &kill,
+                                );
+                                break;
+                            }
+                            // Bounded, seed-deterministic exponential backoff
+                            // before the next incarnation, heartbeat-
+                            // refreshing so the stall watchdog sees a live
+                            // (if degraded) executor.
+                            let base_ms = 1u64 << restarts.saturating_sub(1).min(5);
+                            let jitter = {
+                                use rand::Rng;
+                                backoff_rng.gen_range(0..=base_ms)
+                            };
+                            let wake = Instant::now() + Duration::from_millis(base_ms + jitter);
+                            while Instant::now() < wake && !kill.load(Ordering::Relaxed) {
+                                hb.store(now_us(), Ordering::Relaxed);
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                            // Reseed a fresh monitor from the harvest. The
+                            // epoch floor keeps round ids monotonic across
+                            // incarnations; a restored in-flight round gets a
+                            // fresh deadline, so the bounded retry path
+                            // (timeout → abort → backoff → retrigger) closes
+                            // it if its instances died with the answer.
+                            let mut m = Monitor::new(n, fj.theta, fj.migration_cooldown_ms());
+                            m.set_round_timeout(sup.round_timeout_ms);
+                            m.set_epoch_floor(floor);
+                            for (id, load) in loads.into_iter().enumerate() {
+                                m.on_report(id, load);
+                            }
+                            m.absorb_history(stats, spans);
+                            if let Some((epoch, source, target)) = inflight {
+                                m.restore_round(epoch, source, target, now_us() / 1000);
+                            }
+                            sess.monitor = m;
+                            let degraded_ms = now_us().saturating_sub(down_at) / 1000;
+                            sess.reg.counter_add("monitor.degraded_ms", degraded_ms);
+                            sess.reg.counter_add("monitor_restarts", 1);
+                            sess.ring.push(TraceEvent::control(
+                                now_us(),
+                                actor,
+                                TraceKind::MonitorUp,
+                                0,
+                                degraded_ms,
+                            ));
                         }
+                        // Close the LI trace with a final sample so even runs
+                        // shorter than one monitor period report a (possibly
+                        // single-point) series.
+                        sess.li.record(now_us(), sess.monitor.imbalance());
+                        let _ = collector.send(CollectorMsg::MonitorDone {
+                            group: g,
+                            stats: sess.monitor.stats(),
+                            spans: sess.monitor.spans().to_vec(),
+                            li: Box::new(sess.li),
+                            registry: Box::new(sess.reg),
+                            journal: Box::new(sess.ring.into_journal()),
+                        });
                         hb.store(HB_FINISHED, Ordering::Relaxed);
                     })
                     .expect("spawn monitor"), // lint:allow(thread spawn at startup)
@@ -842,10 +1164,11 @@ fn run_topology_inner(
                 trace.absorb(*journal);
                 done += 1;
             }
-            Ok(CollectorMsg::MonitorDone { group, stats, spans, li, journal }) => {
+            Ok(CollectorMsg::MonitorDone { group, stats, spans, li, registry: r, journal }) => {
                 monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                 migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
                 imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
+                registry.merge_prefixed("", &r);
                 trace.absorb(*journal);
                 monitors_done += 1;
             }
@@ -858,15 +1181,31 @@ fn run_topology_inner(
             }
             Ok(CollectorMsg::ExecutorFailure { name, error, fatal, restarts }) => {
                 registry.counter_add("supervisor.executor_failures", 1);
-                let _ = restarts; // per-instance restart counts live in the instance registries
+                // One ExecutorFailure event is sent per restart attempt, so
+                // counting events yields the cumulative per-executor restart
+                // count (`restarts` itself is the running total and would
+                // double-count if summed).
+                registry.counter_add(&format!("supervisor.restarts.{name}"), 1);
+                let _ = restarts;
+                // Control-plane recoveries (dispatcher shards, the
+                // sequencer, monitors) get their own aggregate, the
+                // headline number for control-plane chaos runs.
+                if !fatal
+                    && (name.starts_with("dispatch-shard")
+                        || name == "dispatch-seq"
+                        || name.starts_with("monitor-"))
+                {
+                    registry.counter_add("supervisor.control_restarts", 1);
+                }
                 if fatal {
                     first_error = Some(RunError::ExecutorFailed { name, error });
                     break;
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
-                if let Some(name) = stalled_executor(&heartbeats, now_us(), sup.stall_ms) {
-                    first_error = Some(RunError::ExecutorHung { name });
+                let stalled = stalled_executors(&heartbeats, now_us(), sup.stall_ms);
+                if !stalled.is_empty() {
+                    first_error = Some(RunError::ExecutorHung { name: stalled.join(", ") });
                     break;
                 }
             }
@@ -956,6 +1295,9 @@ enum CollectorMsg {
         stats: MonitorStats,
         spans: Vec<MigrationSpan>,
         li: Box<TimeSeries>,
+        /// Supervision telemetry (`monitor.degraded_ms`, restart counts)
+        /// merged unprefixed into the run registry.
+        registry: Box<MetricsRegistry>,
         journal: Box<TraceJournal>,
     },
     DispatcherDone {
@@ -1006,18 +1348,23 @@ fn quiet_injected_panics() {
     });
 }
 
-/// First executor whose heartbeat is older than `stall_ms`, if any.
-fn stalled_executor(heartbeats: &[Heartbeat], now_us: u64, stall_ms: u64) -> Option<String> {
+/// Every executor whose heartbeat is older than `stall_ms`. Reporting
+/// all of them (not just the first) matters under correlated stalls — a
+/// wedged channel typically hangs both of its endpoints, and the first
+/// name alone routinely pointed debugging at the victim instead of the
+/// culprit.
+fn stalled_executors(heartbeats: &[Heartbeat], now_us: u64, stall_ms: u64) -> Vec<String> {
     if stall_ms == 0 {
-        return None;
+        return Vec::new();
     }
     heartbeats
         .iter()
-        .find(|(_, hb)| {
+        .filter(|(_, hb)| {
             let at = hb.load(Ordering::Relaxed);
             at != HB_FINISHED && now_us.saturating_sub(at) > stall_ms.saturating_mul(1_000)
         })
         .map(|(name, _)| name.clone())
+        .collect()
 }
 
 /// Scans pending collector messages for a fatal executor failure, to
@@ -1109,6 +1456,10 @@ struct DispatcherCore<'a> {
     /// dispatcher's — to be gone.
     mon_txs: [Option<Sender<MonitorMsg>>; 2],
     now_us: &'a dyn Fn() -> u64,
+    /// The owning executor's heartbeat, refreshed inside bounded-channel
+    /// send waits so backpressure never reads as a stall (see
+    /// [`send_with_hb`]).
+    hb: &'a AtomicU64,
     /// Cross-shard dispatch-seq counter (None when unsharded: the
     /// embedded dispatcher's own counter reproduces today's seqs exactly).
     shared_seq: Option<&'a AtomicU64>,
@@ -1133,7 +1484,45 @@ struct ShardFanout<'a> {
     kill: &'a AtomicBool,
 }
 
-impl DispatcherCore<'_> {
+impl<'a> DispatcherCore<'a> {
+    /// Builds a core with empty pending queues and a fresh routing table.
+    /// Every role (unsharded dispatcher, shard, sequencer) and every
+    /// restart incarnation goes through here, so the initial-state shape
+    /// lives in one place.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+        s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+        batch_size: usize,
+        inst_txs: &'a [Vec<Sender<RtMsg>>; 2],
+        mon_txs: [Option<Sender<MonitorMsg>>; 2],
+        now_us: &'a dyn Fn() -> u64,
+        hb: &'a AtomicU64,
+        trace_cfg: &TraceConfig,
+        shared_seq: Option<&'a AtomicU64>,
+        fanout: Option<ShardFanout<'a>>,
+    ) -> Self {
+        DispatcherCore {
+            dispatcher: Dispatcher::new(r_part, s_part),
+            scratch: Dispatch::default(),
+            reg: MetricsRegistry::new(),
+            ring: TraceRing::new(Actor::dispatcher(), trace_cfg),
+            routed: [HashSet::new(), HashSet::new()],
+            aborted: [HashSet::new(), HashSet::new()],
+            pending: [
+                inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+                inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
+            ],
+            batch_size: batch_size.max(1),
+            inst_txs,
+            mon_txs,
+            now_us,
+            hb,
+            shared_seq,
+            fanout,
+        }
+    }
+
     /// Routes one spout tuple into the per-destination pending queues
     /// (assigning its dispatch seq), flushing any queue that fills.
     #[lint(hot_path)]
@@ -1202,48 +1591,59 @@ impl DispatcherCore<'_> {
             self.reg.histogram_record("stage.dispatch_us", flushed_at.saturating_sub(ts));
         }
         let tx = &self.inst_txs[group][dest]; // lint:allow(callers pass destinations that exist by construction)
+        let (hb, now_us) = (self.hb, self.now_us);
         let mut stores: Vec<Tuple> = Vec::new();
         let mut probes: Vec<(Tuple, u32)> = Vec::new();
         for item in items {
             match item {
                 PendingItem::Store(t) => {
-                    Self::ship_probes(tx, &mut probes);
+                    Self::ship_probes(tx, &mut probes, hb, now_us);
                     stores.push(t);
                 }
                 PendingItem::Probe(t, f) => {
-                    Self::ship_stores(tx, &mut stores);
+                    Self::ship_stores(tx, &mut stores, hb, now_us);
                     probes.push((t, f));
                 }
             }
         }
-        Self::ship_stores(tx, &mut stores);
-        Self::ship_probes(tx, &mut probes);
+        Self::ship_stores(tx, &mut stores, hb, now_us);
+        Self::ship_probes(tx, &mut probes, hb, now_us);
     }
 
-    fn ship_stores(tx: &Sender<RtMsg>, stores: &mut Vec<Tuple>) {
+    fn ship_stores(
+        tx: &Sender<RtMsg>,
+        stores: &mut Vec<Tuple>,
+        hb: &AtomicU64,
+        now_us: &dyn Fn() -> u64,
+    ) {
         match stores.len() {
             0 => {}
             1 => {
                 if let Some(t) = stores.pop() {
-                    let _ = tx.send(RtMsg::Inst(InstanceMsg::Data(t)));
+                    let _ = send_with_hb(tx, RtMsg::Inst(InstanceMsg::Data(t)), hb, now_us);
                 }
             }
             _ => {
-                let _ = tx.send(RtMsg::DataBatch(std::mem::take(stores)));
+                let _ = send_with_hb(tx, RtMsg::DataBatch(std::mem::take(stores)), hb, now_us);
             }
         }
     }
 
-    fn ship_probes(tx: &Sender<RtMsg>, probes: &mut Vec<(Tuple, u32)>) {
+    fn ship_probes(
+        tx: &Sender<RtMsg>,
+        probes: &mut Vec<(Tuple, u32)>,
+        hb: &AtomicU64,
+        now_us: &dyn Fn() -> u64,
+    ) {
         match probes.len() {
             0 => {}
             1 => {
                 if let Some((t, f)) = probes.pop() {
-                    let _ = tx.send(RtMsg::Probe(t, f));
+                    let _ = send_with_hb(tx, RtMsg::Probe(t, f), hb, now_us);
                 }
             }
             _ => {
-                let _ = tx.send(RtMsg::ProbeBatch(std::mem::take(probes)));
+                let _ = send_with_hb(tx, RtMsg::ProbeBatch(std::mem::take(probes)), hb, now_us);
             }
         }
     }
@@ -1286,31 +1686,58 @@ impl DispatcherCore<'_> {
         fanout.epoch += 1;
         let epoch = fanout.epoch;
         let snap = self.dispatcher.route_snapshot(epoch);
-        let mut expected = 0usize;
+        // Per-shard ack flags (not a count): a shard that restarts
+        // mid-barrier may satisfy the barrier via its `Restarted` note
+        // instead of a `SnapshotLive` ack, and a count could not tell a
+        // duplicate from a distinct shard. A refused send means the
+        // shard's supervisor gave up (fatal — the run is already failing);
+        // pre-ack it so the barrier cannot wedge the shutdown path.
+        let mut acked: Vec<bool> = Vec::with_capacity(fanout.ctrl_txs.len());
         for tx in &fanout.ctrl_txs {
             // Post-EOS shards still install and ack (nothing is pending
-            // there); only a dead shard's channel refuses the send, and a
-            // dead shard has already failed the run.
-            if tx.send(ShardCtrl::Publish(snap.clone())).is_ok() {
-                expected += 1;
-            }
+            // there).
+            acked.push(tx.send(ShardCtrl::Publish(snap.clone())).is_err());
         }
         self.reg.counter_add("route_publishes", 1);
-        let mut live = 0usize;
-        while live < expected {
+        while !acked.iter().all(|a| *a) {
             if fanout.kill.load(Ordering::Relaxed) {
                 return;
             }
             match fanout.note_rx.recv_timeout(EXECUTOR_TICK) {
-                Ok(ShardNote::SnapshotLive { epoch: e, .. }) => {
+                Ok(ShardNote::SnapshotLive { shard, epoch: e }) => {
                     // Acks for superseded epochs (a barrier abandoned by
                     // an emergency stop) are stale; ignore them.
                     if e == epoch {
-                        live += 1;
+                        acked[shard] = true; // lint:allow(notes carry the sender's own shard id)
                     }
                 }
                 Ok(ShardNote::Eos { shard }) => {
                     fanout.eos_shards.insert(shard);
+                }
+                Ok(ShardNote::Restarted { shard, fence }) => {
+                    // A shard died mid-barrier. Re-publish the snapshot so
+                    // the fresh incarnation can rebuild its table; if the
+                    // dead incarnation had already installed this epoch
+                    // (fence >= epoch), the install is durable in the
+                    // fence and only the ack died with the thread — count
+                    // the note as the ack. The reinstall itself never acks
+                    // (see `install_snapshot`), so this cannot double-count.
+                    let resend = self.dispatcher.route_snapshot(epoch);
+                    // lint:allow(notes carry the sender's own shard id)
+                    let dead = fanout.ctrl_txs[shard].send(ShardCtrl::Publish(resend)).is_err();
+                    self.reg.counter_add("snapshot_republishes", 1);
+                    let mut ev = TraceEvent::control(
+                        (self.now_us)(),
+                        Actor::dispatcher(),
+                        TraceKind::SnapshotRepublish,
+                        epoch,
+                        shard as u64,
+                    );
+                    ev.aux2 = fence;
+                    self.ring.push(ev);
+                    if dead || fence >= epoch {
+                        acked[shard] = true; // lint:allow(notes carry the sender's own shard id)
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     fanout.hb.store((self.now_us)(), Ordering::Relaxed);
@@ -1320,16 +1747,96 @@ impl DispatcherCore<'_> {
         }
     }
 
-    /// Shard only: applies one publication. Flush-then-install is the
-    /// snapshot-per-batch rule — every pending batch drains under the
-    /// snapshot its tuples were routed with, and no batch ever mixes
-    /// epochs — and the ack completes the sequencer's barrier.
-    fn install_snapshot(&mut self, shard: usize, snap: RouteSnapshot, note_tx: &Sender<ShardNote>) {
+    /// Shard only: applies one publication through the epoch fence.
+    /// Flush-then-install is the snapshot-per-batch rule — every pending
+    /// batch drains under the snapshot its tuples were routed with, and
+    /// no batch ever mixes epochs. Only a *first* install of an epoch
+    /// acks (completing the sequencer's barrier): a re-publication after
+    /// a restart rebuilds the table but its epoch is already covered by
+    /// the fence — acking it again could release a barrier whose flushes
+    /// this incarnation never performed — and a snapshot older than the
+    /// fence is dropped outright (a resurrected shard must never ack a
+    /// superseded snapshot). Returns whether the live table now covers at
+    /// least this epoch (`Installed` or `Reinstalled`), which is what
+    /// ends a restarted shard's resync window.
+    fn install_snapshot(
+        &mut self,
+        shard: usize,
+        snap: RouteSnapshot,
+        note_tx: &Sender<ShardNote>,
+    ) -> bool {
         self.flush_all();
         let epoch = snap.epoch;
-        self.dispatcher.install_routes(snap);
-        self.reg.counter_add("snapshot_installs", 1);
-        let _ = note_tx.send(ShardNote::SnapshotLive { shard, epoch });
+        match self.dispatcher.install_routes_fenced(snap) {
+            InstallVerdict::Installed => {
+                self.reg.counter_add("snapshot_installs", 1);
+                let _ = note_tx.send(ShardNote::SnapshotLive { shard, epoch });
+                true
+            }
+            InstallVerdict::Reinstalled => {
+                self.reg.counter_add("snapshot_reinstalls", 1);
+                true
+            }
+            InstallVerdict::Superseded => {
+                self.reg.counter_add("snapshots_superseded", 1);
+                false
+            }
+        }
+    }
+
+    /// Sequencer only: folds queued shard notes outside any publication
+    /// barrier — EOS reports, stale acks from a barrier abandoned on
+    /// emergency stop (dropped), and restart notices (answered with a
+    /// re-publication of the current snapshot so the fresh incarnation
+    /// rebuilds its routing table). No-op when `fanout` is None.
+    fn fold_notes(&mut self) {
+        loop {
+            let Some(fanout) = self.fanout.as_mut() else { return };
+            let Ok(note) = fanout.note_rx.try_recv() else { return };
+            match note {
+                ShardNote::Eos { shard } => {
+                    fanout.eos_shards.insert(shard);
+                }
+                ShardNote::SnapshotLive { .. } => {}
+                ShardNote::Restarted { shard, .. } => self.republish_to(shard),
+            }
+        }
+    }
+
+    /// Re-sends the current snapshot to one (just restarted) shard. No-op
+    /// before the first publication: with fence 0 the fresh incarnation
+    /// is not resyncing and its initial routing table is already correct.
+    fn republish_to(&mut self, shard: usize) {
+        let Some(fanout) = self.fanout.as_mut() else { return };
+        if fanout.epoch == 0 {
+            return;
+        }
+        let epoch = fanout.epoch;
+        let snap = self.dispatcher.route_snapshot(epoch);
+        // lint:allow(callers pass shard ids from notes or the fanout range)
+        let _ = fanout.ctrl_txs[shard].send(ShardCtrl::Publish(snap));
+        self.reg.counter_add("snapshot_republishes", 1);
+        let mut ev = TraceEvent::control(
+            (self.now_us)(),
+            Actor::dispatcher(),
+            TraceKind::SnapshotRepublish,
+            epoch,
+            shard as u64,
+        );
+        ev.aux2 = 0;
+        self.ring.push(ev);
+    }
+
+    /// Re-sends the current snapshot to every shard — the sequencer
+    /// supervisor's first act after a restart, healing any shard whose
+    /// table could have diverged under a publication the panic abandoned.
+    /// Duplicates are harmless: the shard-side epoch fence turns them
+    /// into ack-free reinstalls.
+    fn republish_all(&mut self) {
+        let shards = self.fanout.as_ref().map_or(0, |f| f.ctrl_txs.len());
+        for shard in 0..shards {
+            self.republish_to(shard);
+        }
     }
 
     /// Applies one dispatcher message. Returns `true` when it was the
@@ -1387,8 +1894,12 @@ impl DispatcherCore<'_> {
                     // Ordering discipline: the source's pending data goes
                     // out before its RouteUpdated.
                     self.flush_dest(group, req.source);
-                    let _ = self.inst_txs[group][req.source] // lint:allow(RouteRequest.source is a valid instance id)
-                        .send(RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }));
+                    let _ = send_with_hb(
+                        &self.inst_txs[group][req.source], // lint:allow(RouteRequest.source is a valid instance id)
+                        RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }),
+                        self.hb,
+                        self.now_us,
+                    );
                 }
             }
             DispatcherMsg::Abort { group, epoch, source } => {
@@ -1417,8 +1928,12 @@ impl DispatcherCore<'_> {
                     self.ring.push(ev);
                     // Ordering discipline: flush before the control send.
                     self.flush_dest(group, source);
-                    let _ = self.inst_txs[group][source] // lint:allow(AbortRequest.source is a valid instance id)
-                        .send(RtMsg::Inst(InstanceMsg::MigAbort { epoch }));
+                    let _ = send_with_hb(
+                        &self.inst_txs[group][source], // lint:allow(AbortRequest.source is a valid instance id)
+                        RtMsg::Inst(InstanceMsg::MigAbort { epoch }),
+                        self.hb,
+                        self.now_us,
+                    );
                 }
             }
             DispatcherMsg::Commit { group, epoch } => {
@@ -1469,24 +1984,9 @@ fn dispatcher_loop(
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
-    let mut core = DispatcherCore {
-        dispatcher: Dispatcher::new(r_part, s_part),
-        scratch: Dispatch::default(),
-        reg: MetricsRegistry::new(),
-        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
-        routed: [HashSet::new(), HashSet::new()],
-        aborted: [HashSet::new(), HashSet::new()],
-        pending: [
-            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-        ],
-        batch_size: batch_size.max(1),
-        inst_txs,
-        mon_txs,
-        now_us,
-        shared_seq: None,
-        fanout: None,
-    };
+    let mut core = DispatcherCore::new(
+        r_part, s_part, batch_size, inst_txs, mon_txs, now_us, hb, &trace_cfg, None, None,
+    );
     let mut saw_eos = false;
     loop {
         hb.store(now_us(), Ordering::Relaxed);
@@ -1534,7 +2034,7 @@ fn dispatcher_loop(
         }
         for group in inst_txs {
             for tx in group {
-                let _ = tx.send(RtMsg::Eos);
+                let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us);
             }
         }
         // Monitors exit on inbox disconnect; release our senders so they
@@ -1566,69 +2066,80 @@ fn dispatcher_loop(
 /// with priority between data messages, and after end-of-stream the
 /// shard keeps acknowledging them (trivially — nothing is pending) until
 /// the sequencer exits and drops the control channel.
+///
+/// The body is re-entrant: its supervisor (see `run_topology_inner`)
+/// calls it again after a panic with a rebuilt `core` carrying the dead
+/// incarnation's epoch fence and telemetry, `resync = true` when any
+/// snapshot had ever been installed (data is deferred until the
+/// sequencer's re-publication rebuilds the routing table to at least the
+/// fence), and `saw_eos` preserved so a post-EOS crash re-enters the
+/// post-EOS serving phase directly. `switch` injects the
+/// `CrashPhase::ShardSnapshotInstall` fault: a panic at a publication
+/// pop, *before* the install — the hardest point for the fence, because
+/// the sequencer may already be blocked in that publication's barrier.
 #[allow(clippy::too_many_arguments)]
 fn shard_loop(
+    core: &mut DispatcherCore<'_>,
     shard: usize,
-    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
-    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
-    batch_size: usize,
     data_rx: &Receiver<DispatcherMsg>,
     ctrl_rx: &Receiver<ShardCtrl>,
     note_tx: &Sender<ShardNote>,
-    inst_txs: &[Vec<Sender<RtMsg>>; 2],
-    collector: &Sender<CollectorMsg>,
-    now_us: &dyn Fn() -> u64,
-    trace_cfg: TraceConfig,
     hb: &AtomicU64,
     kill: &AtomicBool,
-    shared_seq: &AtomicU64,
+    switch: &mut ControlKillSwitch,
+    resync: &mut bool,
+    saw_eos: &mut bool,
 ) {
-    let mut core = DispatcherCore {
-        dispatcher: Dispatcher::new(r_part, s_part),
-        scratch: Dispatch::default(),
-        reg: MetricsRegistry::new(),
-        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
-        routed: [HashSet::new(), HashSet::new()],
-        aborted: [HashSet::new(), HashSet::new()],
-        pending: [
-            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-        ],
-        batch_size: batch_size.max(1),
-        inst_txs,
-        mon_txs: [None, None],
-        now_us,
-        shared_seq: Some(shared_seq),
-        fanout: None,
-    };
-    let mut saw_eos = false;
-    loop {
-        hb.store(now_us(), Ordering::Relaxed);
-        if kill.load(Ordering::Relaxed) {
-            break;
-        }
-        // Publications have priority and are drained to empty between
-        // data messages, mirroring the unsharded control drain.
-        while let Ok(ShardCtrl::Publish(snap)) = ctrl_rx.try_recv() {
-            core.install_snapshot(shard, snap, note_tx);
-        }
-        match data_rx.recv_timeout(CTRL_TICK) {
-            Ok(m) => {
-                if core.on_msg(m) {
-                    saw_eos = true;
-                    break;
-                }
-                core.flush_overdue(now_us());
+    let now_us = core.now_us;
+    if !*saw_eos {
+        loop {
+            hb.store(now_us(), Ordering::Relaxed);
+            if kill.load(Ordering::Relaxed) {
+                break;
             }
-            Err(RecvTimeoutError::Timeout) => core.flush_overdue(now_us()),
-            Err(RecvTimeoutError::Disconnected) => break,
+            // Publications have priority and are drained to empty between
+            // data messages, mirroring the unsharded control drain.
+            while let Ok(ShardCtrl::Publish(snap)) = ctrl_rx.try_recv() {
+                if switch.should_crash() {
+                    // lint:allow(the injected fail-stop crash IS the fault under test; the shard wrapper catches and restarts)
+                    panic!(
+                        "fault injection: scheduled crash of dispatch-shard-{shard} before snapshot install"
+                    );
+                }
+                if core.install_snapshot(shard, snap, note_tx) {
+                    *resync = false;
+                }
+            }
+            if *resync {
+                // Fresh incarnation, stale table: the rebuilt core routes
+                // under initial routes until a re-published snapshot
+                // covers the fence, and routing data before then could
+                // contradict epochs the dead incarnation already routed
+                // under. The sequencer answers our `Restarted` note
+                // promptly, so this window is a few publication
+                // round-trips at most.
+                thread::sleep(CTRL_TICK);
+                continue;
+            }
+            match data_rx.recv_timeout(CTRL_TICK) {
+                Ok(m) => {
+                    if core.on_msg(m) {
+                        *saw_eos = true;
+                        break;
+                    }
+                    core.flush_overdue(now_us());
+                }
+                Err(RecvTimeoutError::Timeout) => core.flush_overdue(now_us()),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
         }
     }
-    if saw_eos && !kill.load(Ordering::Relaxed) {
+    if *saw_eos && !kill.load(Ordering::Relaxed) {
         // The Eos arm ran flush_all, so everything this shard routed is
         // already in the instances' inboxes; tell the sequencer (it
-        // broadcasts RtMsg::Eos once every shard has reported), then keep
-        // serving publications until the sequencer drops our channel.
+        // broadcasts RtMsg::Eos once every shard has reported — the note
+        // is idempotent, which lets a post-EOS restart re-send it), then
+        // keep serving publications until the sequencer drops our channel.
         let _ = note_tx.send(ShardNote::Eos { shard });
         loop {
             hb.store(now_us(), Ordering::Relaxed);
@@ -1636,16 +2147,22 @@ fn shard_loop(
                 break;
             }
             match ctrl_rx.recv_timeout(DISPATCH_TICK) {
-                Ok(ShardCtrl::Publish(snap)) => core.install_snapshot(shard, snap, note_tx),
+                Ok(ShardCtrl::Publish(snap)) => {
+                    if switch.should_crash() {
+                        // lint:allow(the injected fail-stop crash IS the fault under test; the shard wrapper catches and restarts)
+                        panic!(
+                            "fault injection: scheduled crash of dispatch-shard-{shard} before snapshot install"
+                        );
+                    }
+                    if core.install_snapshot(shard, snap, note_tx) {
+                        *resync = false;
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
     }
-    let _ = collector.send(CollectorMsg::DispatcherDone {
-        registry: Box::new(core.reg),
-        journal: Box::new(core.ring.into_journal()),
-    });
 }
 
 /// The control sequencer (`dispatcher_shards >= 2`): owns the
@@ -1655,75 +2172,62 @@ fn shard_loop(
 /// publication barrier ([`DispatcherCore::publish_snapshot`]) before the
 /// source's `RouteUpdated` goes out. The sequencer never touches data;
 /// its pending buffers stay empty and its flushes are no-ops.
+///
+/// The body is re-entrant: `core` (and with it the authoritative table,
+/// the publication epoch, and the monitor senders) is owned by the
+/// supervisor and survives a panic; `eos_broadcast` persists so a
+/// restart cannot broadcast `RtMsg::Eos` twice. `switch` injects the
+/// `CrashPhase::SequencerBarrier` fault — the crash fires at the message
+/// boundary, *after* parking the route in `inflight`, so the supervisor
+/// replays it on re-entry and the flip is delayed, not lost. (An organic
+/// panic mid-`on_msg` deliberately loses its message instead: its
+/// outbound effects may already have escaped, and replaying could
+/// publish a flip twice.)
 #[allow(clippy::too_many_arguments)]
 fn sequencer_loop(
-    r_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
-    s_part: Box<dyn fastjoin_core::partition::Partitioner + Send>,
+    core: &mut DispatcherCore<'_>,
     ctrl_rx: &Receiver<DispatcherMsg>,
-    shard_ctrl_txs: Vec<Sender<ShardCtrl>>,
-    note_rx: Receiver<ShardNote>,
-    inst_txs: &[Vec<Sender<RtMsg>>; 2],
-    mon_txs: [Option<Sender<MonitorMsg>>; 2],
-    collector: &Sender<CollectorMsg>,
-    now_us: &dyn Fn() -> u64,
-    trace_cfg: TraceConfig,
+    shards_total: usize,
+    inflight: &mut Option<DispatcherMsg>,
+    eos_broadcast: &mut bool,
+    switch: &mut ControlKillSwitch,
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
-    let shards_total = shard_ctrl_txs.len();
-    let mut core = DispatcherCore {
-        dispatcher: Dispatcher::new(r_part, s_part),
-        scratch: Dispatch::default(),
-        reg: MetricsRegistry::new(),
-        ring: TraceRing::new(Actor::dispatcher(), &trace_cfg),
-        routed: [HashSet::new(), HashSet::new()],
-        aborted: [HashSet::new(), HashSet::new()],
-        pending: [
-            inst_txs[0].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-            inst_txs[1].iter().map(|_| PendingBatch::default()).collect(), // lint:allow(both groups exist by construction)
-        ],
-        batch_size: 1,
-        inst_txs,
-        mon_txs,
-        now_us,
-        shared_seq: None,
-        fanout: Some(ShardFanout {
-            ctrl_txs: shard_ctrl_txs,
-            note_rx,
-            epoch: 0,
-            eos_shards: HashSet::new(),
-            hb,
-            kill,
-        }),
-    };
-    let mut eos_broadcast = false;
+    let now_us = core.now_us;
     loop {
         hb.store(now_us(), Ordering::Relaxed);
         if kill.load(Ordering::Relaxed) {
             break;
         }
-        // A control send wakes this wait directly (no data channel in
-        // between), so flips are served at channel latency; the timeout
-        // only bounds how late the shard EOS notes below are noticed.
-        match ctrl_rx.recv_timeout(DISPATCH_TICK) {
-            Ok(m) => {
-                let _ = core.on_msg(m);
+        // A message parked at a crash boundary replays first; otherwise a
+        // control send wakes this wait directly (no data channel in
+        // between), so flips are served at channel latency and the
+        // timeout only bounds how late the shard notes below are noticed.
+        let next = match inflight.take() {
+            Some(m) => Some(m),
+            None => match ctrl_rx.recv_timeout(DISPATCH_TICK) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+        if let Some(m) = next {
+            if matches!(m, DispatcherMsg::Route { .. }) && switch.should_crash() {
+                *inflight = Some(m);
+                // lint:allow(the injected fail-stop crash IS the fault under test; the sequencer wrapper catches, restarts, and replays the parked message)
+                panic!(
+                    "fault injection: scheduled crash of dispatch-seq before a route publication"
+                );
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            let _ = core.on_msg(m);
         }
-        // Fold in shard EOS reports. Snapshot acks are consumed by the
-        // publication barrier; any still queued here are stale ones from
-        // a barrier abandoned on emergency stop.
-        if let Some(fanout) = core.fanout.as_mut() {
-            while let Ok(note) = fanout.note_rx.try_recv() {
-                if let ShardNote::Eos { shard } = note {
-                    fanout.eos_shards.insert(shard);
-                }
-            }
-        }
+        // Fold in shard notes that arrived outside a publication barrier:
+        // EOS reports, restart notices (answered with a re-publication),
+        // and stale acks from a barrier abandoned on emergency stop.
+        core.fold_notes();
         let all_eos = core.fanout.as_ref().is_some_and(|f| f.eos_shards.len() == shards_total);
-        if all_eos && !eos_broadcast {
+        if all_eos && !*eos_broadcast {
             // Every shard's data is flushed. Mirror the unsharded EOS
             // epilogue: serve already-queued control, broadcast Eos —
             // which lands after all shard data on every (FIFO) instance
@@ -1739,21 +2243,15 @@ fn sequencer_loop(
                 0,
                 0,
             ));
-            for group in inst_txs {
+            for group in core.inst_txs {
                 for tx in group {
-                    let _ = tx.send(RtMsg::Eos);
+                    let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us);
                 }
             }
             core.mon_txs = [None, None];
-            eos_broadcast = true;
+            *eos_broadcast = true;
         }
     }
-    // Dropping the core drops the shard control channels, ending the
-    // shards' post-EOS serving loops.
-    let _ = collector.send(CollectorMsg::DispatcherDone {
-        registry: Box::new(core.reg),
-        journal: Box::new(core.ring.into_journal()),
-    });
 }
 
 // ---------------------------------------------------------------------
@@ -1779,6 +2277,10 @@ struct InstanceIo<'a> {
     disp_ctrl: &'a Sender<DispatcherMsg>,
     collector: &'a Sender<CollectorMsg>,
     results: Option<Sender<JoinedPair>>,
+    /// This executor's heartbeat, refreshed while a bounded peer-inbox
+    /// send waits on backpressure so the stall watchdog never mistakes a
+    /// full channel for a hung executor (see [`send_with_hb`]).
+    hb: &'a AtomicU64,
 }
 
 /// Everything a join-instance executor mutates while processing messages.
@@ -2052,13 +2554,23 @@ impl InstanceState {
                     self.reg.counter_add("probe_handoffs_out", entries.len() as u64);
                     if live {
                         if let Some(ch) = io.wiring.to_instances.get(to) {
-                            let _ = ch.send(RtMsg::ProbeHandoff(entries));
+                            let _ = send_with_hb(
+                                ch,
+                                RtMsg::ProbeHandoff(entries),
+                                io.hb,
+                                io.ctx.now_us,
+                            );
                         }
                     }
                 }
             }
             if live {
-                let _ = io.wiring.to_instances[to].send(RtMsg::Inst(msg)); // lint:allow(protocol contract: peer ids are valid instance indices)
+                let _ = send_with_hb(
+                    &io.wiring.to_instances[to], // lint:allow(protocol contract: peer ids are valid instance indices)
+                    RtMsg::Inst(msg),
+                    io.hb,
+                    io.ctx.now_us,
+                );
             }
         }
         for req in fx.route_requests.drain(..) {
@@ -2218,35 +2730,48 @@ fn instance_executor(
 // Monitors
 // ---------------------------------------------------------------------
 
+/// Everything a monitor executor accumulates across its lifetime,
+/// owned by the supervisor wrapper outside `catch_unwind` so a panic
+/// loses the incarnation but never the journal, telemetry, LI trace, or
+/// quiesce-handshake state. The [`Monitor`] itself is deliberately
+/// *rebuilt* after a crash rather than reused: a panic mid-method may
+/// have left it torn, so the supervisor harvests its durable summary
+/// (the load-stats seed, epoch high-water mark, and in-flight round) and
+/// reseeds a fresh one — modelling a real monitor process restarting
+/// from persisted load statistics.
+struct MonitorSession {
+    monitor: Monitor,
+    /// Live LI trace (the paper's Fig. 11), one bucket per monitor tick.
+    li: TimeSeries,
+    ring: TraceRing,
+    reg: MetricsRegistry,
+    quiescing: bool,
+    acked: bool,
+    /// Remaining injected `MigrateCmd` losses (see `FaultPlan`).
+    drop_triggers: u64,
+}
+
+/// One monitor incarnation: the periodic report/trigger/deadline loop.
+/// Re-entrant — all cross-incarnation state lives in [`MonitorSession`].
+/// `switch` injects the `CrashPhase::MonitorMidRound` fault: a panic
+/// immediately *after* a `MigrateCmd` goes out, so the round is in
+/// flight at the instances while the monitor that owns its deadline is
+/// dead (dropped triggers do not advance the switch — no round starts).
 #[allow(clippy::too_many_arguments)]
 fn monitor_loop(
     group: usize,
-    fj: &FastJoinConfig,
     period: Duration,
-    mut rx: ChaosReceiver<MonitorMsg>,
+    sess: &mut MonitorSession,
+    rx: &mut ChaosReceiver<MonitorMsg>,
     to_instances: &[Sender<RtMsg>],
     disp_ctrl: &Sender<DispatcherMsg>,
-    collector: &Sender<CollectorMsg>,
     quiesce_ack: &Sender<usize>,
     now_us: &dyn Fn() -> u64,
-    sup: SupervisionConfig,
-    mut drop_triggers: u64,
-    trace_cfg: TraceConfig,
+    switch: &mut ControlKillSwitch,
     hb: &AtomicU64,
     kill: &AtomicBool,
 ) {
-    let n = to_instances.len();
     let actor = Actor::monitor(group as u8);
-    let mut ring = TraceRing::new(actor, &trace_cfg);
-    // The runtime's monitor clock is wall-clock milliseconds; the µs
-    // cooldown goes through the one sanctioned conversion (rounds up, so
-    // a sub-millisecond cooldown can never truncate to "disabled").
-    let mut monitor = Monitor::new(n, fj.theta, fj.migration_cooldown_ms());
-    monitor.set_round_timeout(sup.round_timeout_ms);
-    // Live LI trace (the paper's Fig. 11), one bucket per monitor tick.
-    let mut li = TimeSeries::new((period.as_micros() as u64).max(1));
-    let mut quiescing = false;
-    let mut acked = false;
     let mut next_tick = Instant::now() + period;
     #[allow(clippy::while_let_loop)] // the loop body has multiple exits
     loop {
@@ -2257,10 +2782,10 @@ fn monitor_loop(
         // Ask every instance for its period statistics.
         let timeout = next_tick.saturating_duration_since(Instant::now());
         match rx.recv_timeout(timeout) {
-            Ok(MonitorMsg::Report { id, load }) => monitor.on_report(id, load),
+            Ok(MonitorMsg::Report { id, load }) => sess.monitor.on_report(id, load),
             Ok(MonitorMsg::Done(done)) => {
-                monitor.on_migration_done(done, now_us() / 1000);
-                ring.push(TraceEvent::control(
+                sess.monitor.on_migration_done(done, now_us() / 1000);
+                sess.ring.push(TraceEvent::control(
                     now_us(),
                     actor,
                     TraceKind::MigDone,
@@ -2273,8 +2798,8 @@ fn monitor_loop(
                 let _ = disp_ctrl.send(DispatcherMsg::Commit { group, epoch: done.epoch });
             }
             Ok(MonitorMsg::AbortOutcome { epoch, aborted }) => {
-                monitor.on_abort_outcome(epoch, aborted, now_us() / 1000);
-                ring.push(TraceEvent::control(
+                sess.monitor.on_abort_outcome(epoch, aborted, now_us() / 1000);
+                sess.ring.push(TraceEvent::control(
                     now_us(),
                     actor,
                     TraceKind::AbortOutcome,
@@ -2282,15 +2807,15 @@ fn monitor_loop(
                     u64::from(aborted),
                 ));
             }
-            Ok(MonitorMsg::Quiesce) => quiescing = true,
+            Ok(MonitorMsg::Quiesce) => sess.quiescing = true,
             Err(RecvTimeoutError::Timeout) => {
                 next_tick += period;
-                li.record(now_us(), monitor.imbalance());
+                sess.li.record(now_us(), sess.monitor.imbalance());
                 for tx in to_instances {
-                    let _ = tx.send(RtMsg::ReportRequest);
+                    let _ = send_with_hb(tx, RtMsg::ReportRequest, hb, now_us);
                 }
-                if !quiescing {
-                    if let Some(trigger) = monitor.maybe_trigger(now_us() / 1000) {
+                if !sess.quiescing {
+                    if let Some(trigger) = sess.monitor.maybe_trigger(now_us() / 1000) {
                         let epoch = trigger.msg.round_id().unwrap_or(TraceEvent::NO_ROUND);
                         let target = match &trigger.msg {
                             InstanceMsg::MigrateCmd { target, .. } => *target as u64,
@@ -2303,13 +2828,13 @@ fn monitor_loop(
                             | InstanceMsg::MigAbort { .. }
                             | InstanceMsg::MigReturn { .. } => 0,
                         };
-                        if drop_triggers > 0 {
+                        if sess.drop_triggers > 0 {
                             // Injected fault: the command is lost in
                             // flight. The monitor now believes a round is
                             // in flight that no instance ever heard of —
                             // only the abort watchdog can close it.
-                            drop_triggers -= 1;
-                            ring.push(TraceEvent {
+                            sess.drop_triggers -= 1;
+                            sess.ring.push(TraceEvent {
                                 at_us: now_us(),
                                 actor,
                                 kind: TraceKind::FaultDropTrigger,
@@ -2319,7 +2844,7 @@ fn monitor_loop(
                                 aux2: target,
                             });
                         } else {
-                            ring.push(TraceEvent {
+                            sess.ring.push(TraceEvent {
                                 at_us: now_us(),
                                 actor,
                                 kind: TraceKind::MigTrigger,
@@ -2328,13 +2853,25 @@ fn monitor_loop(
                                 aux: trigger.source as u64,
                                 aux2: target,
                             });
-                            // lint:allow(monitor only triggers sources it was built to watch)
-                            let _ = to_instances[trigger.source].send(RtMsg::Inst(trigger.msg));
+                            let source = trigger.source;
+                            let _ = send_with_hb(
+                                // lint:allow(monitor only triggers sources it was built to watch)
+                                &to_instances[source],
+                                RtMsg::Inst(trigger.msg),
+                                hb,
+                                now_us,
+                            );
+                            if switch.should_crash() {
+                                // lint:allow(the injected fail-stop crash IS the fault under test; the monitor wrapper catches and restarts)
+                                panic!(
+                                    "fault injection: scheduled crash of monitor-{group} mid-round"
+                                );
+                            }
                         }
                     }
                 }
-                if let Some(req) = monitor.check_deadline(now_us() / 1000) {
-                    ring.push(TraceEvent::control(
+                if let Some(req) = sess.monitor.check_deadline(now_us() / 1000) {
+                    sess.ring.push(TraceEvent::control(
                         now_us(),
                         actor,
                         TraceKind::AbortRequest,
@@ -2350,21 +2887,52 @@ fn monitor_loop(
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        if quiescing && !acked && !monitor.migration_in_flight() {
+        if sess.quiescing && !sess.acked && !sess.monitor.migration_in_flight() {
             let _ = quiesce_ack.send(group);
-            acked = true;
+            sess.acked = true;
         }
     }
-    // Close the LI trace with a final sample so even runs shorter than one
-    // monitor period report a (possibly single-point) series.
-    li.record(now_us(), monitor.imbalance());
-    let _ = collector.send(CollectorMsg::MonitorDone {
-        group,
-        stats: monitor.stats(),
-        spans: monitor.spans().to_vec(),
-        li: Box::new(li),
-        journal: Box::new(ring.into_journal()),
-    });
+}
+
+/// Terminal degraded mode, entered when a monitor's restart budget is
+/// spent: the run continues *without* migrations — routing is frozen at
+/// the last table the dispatcher committed — rather than failing. This
+/// loop keeps the shutdown handshake alive: `Quiesce` is acknowledged
+/// immediately (no round can be in flight — the caller tombstoned any
+/// in-flight round through the dispatcher's abort path before entering),
+/// and every other message is discarded until the inbox disconnects.
+fn degraded_monitor_drain(
+    group: usize,
+    sess: &mut MonitorSession,
+    rx: &mut ChaosReceiver<MonitorMsg>,
+    quiesce_ack: &Sender<usize>,
+    now_us: &dyn Fn() -> u64,
+    hb: &AtomicU64,
+    kill: &AtomicBool,
+) {
+    // A Quiesce that arrived before the final crash still needs its ack.
+    if sess.quiescing && !sess.acked {
+        let _ = quiesce_ack.send(group);
+        sess.acked = true;
+    }
+    loop {
+        hb.store(now_us(), Ordering::Relaxed);
+        if kill.load(Ordering::Relaxed) {
+            return;
+        }
+        match rx.recv_timeout(EXECUTOR_TICK) {
+            Ok(MonitorMsg::Quiesce) => {
+                sess.quiescing = true;
+                if !sess.acked {
+                    let _ = quiesce_ack.send(group);
+                    sess.acked = true;
+                }
+            }
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2668,22 +3236,39 @@ mod tests {
                         let hb = AtomicU64::new(0);
                         let kill = AtomicBool::new(false);
                         let now_us = move || start.elapsed().as_micros() as u64;
-                        shard_loop(
-                            k,
+                        let now_ref: &dyn Fn() -> u64 = &now_us;
+                        let trace_cfg = TraceConfig::default();
+                        let mut core = DispatcherCore::new(
                             r_part,
                             s_part,
                             batch_size,
+                            &txs,
+                            [None, None],
+                            now_ref,
+                            &hb,
+                            &trace_cfg,
+                            Some(&seq),
+                            None,
+                        );
+                        let mut switch = ControlKillSwitch::new(None);
+                        let mut resync = false;
+                        let mut saw_eos = false;
+                        shard_loop(
+                            &mut core,
+                            k,
                             &d_rx,
                             &sc_rx,
                             &note_tx,
-                            &txs,
-                            &collector,
-                            &now_us,
-                            TraceConfig::default(),
                             &hb,
                             &kill,
-                            &seq,
+                            &mut switch,
+                            &mut resync,
+                            &mut saw_eos,
                         );
+                        let _ = collector.send(CollectorMsg::DispatcherDone {
+                            registry: Box::new(core.reg),
+                            journal: Box::new(core.ring.into_journal()),
+                        });
                     })
                     .expect("spawn test shard"),
             );
@@ -2699,20 +3284,46 @@ mod tests {
                     let hb = AtomicU64::new(0);
                     let kill = AtomicBool::new(false);
                     let now_us = move || start.elapsed().as_micros() as u64;
-                    sequencer_loop(
+                    let now_ref: &dyn Fn() -> u64 = &now_us;
+                    let trace_cfg = TraceConfig::default();
+                    let shards_total = shard_ctrls.len();
+                    let fanout = ShardFanout {
+                        ctrl_txs: shard_ctrls,
+                        note_rx,
+                        epoch: 0,
+                        eos_shards: HashSet::new(),
+                        hb: &hb,
+                        kill: &kill,
+                    };
+                    let mut core = DispatcherCore::new(
                         r_part,
                         s_part,
-                        &ctrl_rx,
-                        shard_ctrls,
-                        note_rx,
+                        1,
                         &seq_txs,
                         [None, None],
-                        &collector,
-                        &now_us,
-                        TraceConfig::default(),
+                        now_ref,
+                        &hb,
+                        &trace_cfg,
+                        None,
+                        Some(fanout),
+                    );
+                    let mut switch = ControlKillSwitch::new(None);
+                    let mut inflight = None;
+                    let mut eos_broadcast = false;
+                    sequencer_loop(
+                        &mut core,
+                        &ctrl_rx,
+                        shards_total,
+                        &mut inflight,
+                        &mut eos_broadcast,
+                        &mut switch,
                         &hb,
                         &kill,
                     );
+                    let _ = collector.send(CollectorMsg::DispatcherDone {
+                        registry: Box::new(core.reg),
+                        journal: Box::new(core.ring.into_journal()),
+                    });
                 })
                 .expect("spawn test sequencer"),
         );
@@ -2871,5 +3482,64 @@ mod tests {
             "every shard must route the migrated key under the published snapshot"
         );
         shutdown_sharded(h, shards);
+    }
+
+    /// Regression test (heartbeat under backpressure). A bounded-channel
+    /// send parked on a full peer inbox is making progress, not hanging;
+    /// [`send_with_hb`] must keep refreshing the sender's heartbeat so
+    /// the stall watchdog never converts backpressure into a false
+    /// `ExecutorHung`. The pre-fix executors used plain blocking sends,
+    /// and this test fails there: the heartbeat stays at its pre-send
+    /// value for the whole park, which is far longer than `stall_ms`.
+    #[test]
+    fn bounded_send_refreshes_heartbeat_under_backpressure() {
+        let (tx, rx) = bounded::<RtMsg>(1);
+        tx.send(RtMsg::ReportRequest).expect("pre-fill the single slot");
+        let hb = Arc::new(AtomicU64::new(0));
+        let heartbeats: Vec<Heartbeat> = vec![("parked".to_string(), hb.clone())];
+        let start = Instant::now();
+        let sender = {
+            let hb = hb.clone();
+            thread::spawn(move || {
+                let now_us = move || start.elapsed().as_micros() as u64;
+                assert!(send_with_hb(&tx, RtMsg::Eos, &hb, &now_us), "receiver stays alive");
+            })
+        };
+        // Park the send well past the stall budget. The heartbeat is
+        // refreshed every EXECUTOR_TICK (25ms), so a 100ms budget has
+        // ample slack against scheduler jitter.
+        thread::sleep(Duration::from_millis(200));
+        let now = start.elapsed().as_micros() as u64;
+        assert!(
+            stalled_executors(&heartbeats, now, 100).is_empty(),
+            "a send parked on a full inbox must keep its heartbeat fresh"
+        );
+        // And the parked message is delivered once the inbox drains.
+        let first = rx.recv_timeout(Duration::from_secs(5)).expect("pre-fill drains");
+        assert!(matches!(first, RtMsg::ReportRequest));
+        let second = rx.recv_timeout(Duration::from_secs(5)).expect("parked send lands");
+        assert!(matches!(second, RtMsg::Eos));
+        sender.join().expect("sender exits cleanly");
+    }
+
+    /// Regression test (stall report completeness). Correlated stalls —
+    /// e.g. both endpoints of a wedged channel — must all be named in
+    /// `RunError::ExecutorHung`; the pre-fix sweep reported only the
+    /// first match, which routinely pointed debugging at the victim
+    /// instead of the culprit.
+    #[test]
+    fn stalled_executors_reports_every_stalled_executor() {
+        let hbs: Vec<Heartbeat> = vec![
+            ("stale-a".into(), Arc::new(AtomicU64::new(10))),
+            ("fresh".into(), Arc::new(AtomicU64::new(1_000_000))),
+            ("stale-b".into(), Arc::new(AtomicU64::new(20))),
+            ("finished".into(), Arc::new(AtomicU64::new(HB_FINISHED))),
+        ];
+        let got = stalled_executors(&hbs, 1_000_000, 100);
+        assert_eq!(got, vec!["stale-a".to_string(), "stale-b".to_string()]);
+        assert!(
+            stalled_executors(&hbs, 1_000_000, 0).is_empty(),
+            "stall_ms = 0 disables the watchdog"
+        );
     }
 }

@@ -379,6 +379,149 @@ fn sharded_channel_chaos_preserves_exactly_once() {
     }
 }
 
+/// Control-plane fault classes: one `CrashFault` schedule per class,
+/// shaped for `shards` dispatcher shards.
+fn control_crashes(class: &str, shards: usize) -> Vec<CrashFault> {
+    match class {
+        // Kill the control sequencer as it receives its first route
+        // publication (the parked message is replayed on restart).
+        "kill-sequencer" => vec![CrashFault {
+            group: 0,
+            instance: 0,
+            phase: CrashPhase::SequencerBarrier { at_publish: 1 },
+        }],
+        // Kill every dispatcher shard at its first snapshot install; the
+        // epoch fence plus re-publication must rebuild each one.
+        "kill-shard" => (0..shards)
+            .map(|s| CrashFault {
+                group: 0,
+                instance: s,
+                phase: CrashPhase::ShardSnapshotInstall { at_install: 1 },
+            })
+            .collect(),
+        // Kill both monitors right after they commit to a migration round.
+        "kill-monitor" => (0..2)
+            .map(|g| CrashFault {
+                group: g,
+                instance: 0,
+                phase: CrashPhase::MonitorMidRound { at_round: 1 },
+            })
+            .collect(),
+        other => panic!("unknown control fault class {other}"),
+    }
+}
+
+#[test]
+fn control_plane_crashes_recover_exactly_once() {
+    // The control-plane crash matrix in miniature: the sequencer killed at
+    // a publication, every shard killed at a snapshot install, and both
+    // monitors killed mid-round — at one, two, and four dispatcher shards.
+    // Every run must land on the oracle. Classes that can fire (sequencer
+    // and shard kills need a sharded dispatcher; at one shard the control
+    // kill switches are inert) must actually fire within the widened seed
+    // loop. The ≥50-seed sweep rides `fastjoin-cli chaos` in CI.
+    for shards in [1usize, 2, 4] {
+        for class in ["kill-sequencer", "kill-shard", "kill-monitor"] {
+            let firable = class == "kill-monitor" || shards >= 2;
+            let mut fired = 0u64;
+            for seed in 0..8u64 {
+                let tuples = skewed_workload(seed, 8_000);
+                let expected = oracle(&tuples);
+                let plan = FaultPlan {
+                    seed,
+                    crashes: control_crashes(class, shards),
+                    ..FaultPlan::default()
+                };
+                let label = format!("{class} shards {shards} seed {seed}");
+                let report = try_run_topology(&sharded_cfg(plan, shards, 7), tuples)
+                    .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+                assert_exactly_once(&report, expected, 8_000, &label);
+                fired += report.registry.counter_sum("supervisor.control_restarts");
+                if seed >= 1 && (fired > 0 || !firable) {
+                    break;
+                }
+            }
+            assert!(
+                !firable || fired > 0,
+                "{class} at {shards} shards: no control-plane crash fired in 8 seeds; \
+                 tune the workload"
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_death_degrades_routing_and_matches_the_oracle_exactly() {
+    // With monitor restarts exhausted (max_restarts = 0) a monitor kill
+    // must permanently degrade the run — routing frozen at the last
+    // committed table, the in-flight round tombstoned through the abort
+    // path — and the join output must still equal the oracle exactly,
+    // unsharded and sharded.
+    for shards in [1usize, 2] {
+        let mut degraded_seen = false;
+        for seed in 0..8u64 {
+            let tuples = skewed_workload(seed, 8_000);
+            let expected = oracle(&tuples);
+            let plan = FaultPlan {
+                seed,
+                crashes: control_crashes("kill-monitor", shards),
+                ..FaultPlan::default()
+            };
+            let mut cfg = sharded_cfg(plan, shards, 1);
+            cfg.supervision.max_restarts = 0; // the first monitor crash is permanent
+            let label = format!("degraded shards {shards} seed {seed}");
+            let report = try_run_topology(&cfg, tuples)
+                .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+            assert_exactly_once(&report, expected, 8_000, &label);
+            if report.registry.counter_sum("monitor.permanent_degraded") > 0 {
+                degraded_seen = true;
+                break;
+            }
+        }
+        assert!(
+            degraded_seen,
+            "shards {shards}: no monitor kill fired in 8 seeds; tune the workload"
+        );
+    }
+}
+
+#[test]
+fn supervisor_restart_counters_are_exported_per_executor() {
+    // Every restart attempt lands in a per-executor
+    // `supervisor.restarts.<name>` counter plus the aggregate
+    // `supervisor.control_restarts`, and monitor downtime is accounted in
+    // `monitor.degraded_ms` — all visible in the final report registry.
+    for seed in 0..8u64 {
+        let tuples = skewed_workload(seed, 8_000);
+        let expected = oracle(&tuples);
+        let mut crashes = control_crashes("kill-sequencer", 2);
+        crashes.extend(control_crashes("kill-monitor", 2));
+        let plan = FaultPlan { seed, crashes, ..FaultPlan::default() };
+        let report = try_run_topology(&sharded_cfg(plan, 2, 7), tuples)
+            .unwrap_or_else(|e| panic!("counters seed {seed}: run failed: {e}"));
+        assert_exactly_once(&report, expected, 8_000, &format!("counters seed {seed}"));
+        let seq = report.registry.counter_sum("supervisor.restarts.dispatch-seq");
+        let mon = report.registry.counter_sum("supervisor.restarts.monitor-0")
+            + report.registry.counter_sum("supervisor.restarts.monitor-1");
+        if seq > 0 && mon > 0 {
+            assert!(
+                report.registry.counter_sum("supervisor.control_restarts") >= seq + mon,
+                "the aggregate must cover the per-executor control restarts"
+            );
+            assert!(
+                report.registry.counter_sum("monitor.degraded_ms") >= 1,
+                "a restarted monitor must account its downtime (backoff is >= 1 ms)"
+            );
+            assert!(
+                report.registry.counter_sum("sequencer_restarts") >= 1,
+                "the sequencer wrapper must count its own restarts"
+            );
+            return;
+        }
+    }
+    panic!("no seed fired both a sequencer and a monitor crash in 8 seeds; tune the workload");
+}
+
 #[test]
 fn sharded_stalled_round_is_aborted_by_the_watchdog_and_the_run_completes() {
     // The watchdog abort path must work when the abort verdict comes from

@@ -79,6 +79,20 @@ pub enum Variant {
     /// racing shards that still route under the old epoch — stale data
     /// reaches the source after its store moved away.
     ShardedNoBarrier,
+    /// The sharded dispatcher under **shard crash/restart**: either shard
+    /// may crash once at any point and be respawned by its supervisor.
+    /// The fresh incarnation keeps the dead one's epoch *fence* (highest
+    /// installed snapshot epoch) and defers routing until the sequencer's
+    /// re-publication reinstalls the current snapshot, so a dead
+    /// incarnation's install acknowledgement can never release the
+    /// publication barrier onto a shard still routing under the old
+    /// table. See [`sharded`].
+    ShardedShardRestart,
+    /// Known-bad: restart WITHOUT the epoch fence — the fresh incarnation
+    /// starts from the initial table and routes immediately, while the
+    /// dead incarnation's acknowledgement (a stale ack) still counts
+    /// toward the barrier.
+    ShardedRestartNoFence,
 }
 
 impl Variant {
@@ -91,6 +105,8 @@ impl Variant {
             "forward-before-store" => Some(Variant::ForwardBeforeStore),
             "sharded" => Some(Variant::Sharded),
             "sharded-no-barrier" => Some(Variant::ShardedNoBarrier),
+            "sharded-shard-restart" => Some(Variant::ShardedShardRestart),
+            "sharded-restart-no-fence" => Some(Variant::ShardedRestartNoFence),
             _ => None,
         }
     }
@@ -634,8 +650,10 @@ fn rebuild_trace(
 #[must_use]
 pub fn check(variant: Variant) -> CheckOutcome {
     match variant {
-        Variant::Sharded => return sharded::check(true),
-        Variant::ShardedNoBarrier => return sharded::check(false),
+        Variant::Sharded => return sharded::check(sharded::Mode::Barrier),
+        Variant::ShardedNoBarrier => return sharded::check(sharded::Mode::NoBarrier),
+        Variant::ShardedShardRestart => return sharded::check(sharded::Mode::Restart),
+        Variant::ShardedRestartNoFence => return sharded::check(sharded::Mode::RestartNoFence),
         Variant::Safe | Variant::NaiveNotifyFirst | Variant::ForwardBeforeStore => {}
     }
     let mut explorer = Explorer::new(variant);
@@ -772,8 +790,63 @@ pub fn report(outcome: &CheckOutcome, variant: Variant) -> i32 {
 /// migrated-away key. With the barrier dropped
 /// ([`Variant::ShardedNoBarrier`]) the stale-delivery race is reachable
 /// and reported with a shortest counterexample.
+///
+/// ## Crash/restart extension
+///
+/// The restart modes ([`Mode::Restart`], [`Mode::RestartNoFence`]) let
+/// each shard additionally **crash once at any point** and be respawned
+/// by its supervisor, exactly like the threaded runtime's shard wrapper:
+/// the fresh incarnation rebuilds the *initial* routing table (fresh
+/// partitioners), the sequencer learns of the restart via a
+/// `Restarted { shard, fence }` note and re-publishes its current
+/// snapshot, and — with the fence — the shard defers all routing until
+/// that re-publication installs (`resync`). The fence is the highest
+/// snapshot epoch the dead incarnation installed; it survives the crash
+/// outside the restarted body. Install verdicts mirror the runtime's
+/// `InstallVerdict`: an epoch above the fence installs and acks, the
+/// fence epoch *reinstalls* (rebuilds the table, clears `resync`, does
+/// NOT ack again), anything below is superseded and dropped. During a
+/// publication barrier a `Restarted` note with `fence >= epoch` counts
+/// as that shard's acknowledgement — the install happened; only the ack
+/// was lost with the thread. [`Mode::RestartNoFence`] drops the fence:
+/// the fresh incarnation forgets what it installed and routes
+/// immediately under the initial table while the dead incarnation's
+/// stale ack still releases the barrier — the checker finds the
+/// resulting stale delivery with a shortest counterexample.
 mod sharded {
     use super::{CheckOutcome, HashMap, Key, Side, VecDeque};
+
+    /// Which sharded-dispatcher behavior to explore.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        /// The shipped protocol: publication barrier, no crashes.
+        Barrier,
+        /// Known-bad: the barrier dropped (`RouteUpdated` at stage time).
+        NoBarrier,
+        /// Barrier plus supervised shard crash/restart with the epoch
+        /// fence: the fence survives the crash and gates routing until
+        /// the sequencer's re-publication reinstalls the snapshot.
+        Restart,
+        /// Known-bad: crash/restart WITHOUT the fence — the restarted
+        /// shard routes under the initial table while the dead
+        /// incarnation's stale ack releases the barrier.
+        RestartNoFence,
+    }
+
+    impl Mode {
+        /// Is the publication barrier in force?
+        fn barrier(self) -> bool {
+            self != Mode::NoBarrier
+        }
+        /// Are shard crashes part of the scenario?
+        fn restart(self) -> bool {
+            matches!(self, Mode::Restart | Mode::RestartNoFence)
+        }
+        /// Does the epoch fence survive a crash?
+        fn fence(self) -> bool {
+            self != Mode::RestartNoFence
+        }
+    }
 
     /// Shards in the model.
     const SHARDS: usize = 2;
@@ -818,6 +891,18 @@ mod sharded {
         MigStore(Vec<u64>),
     }
 
+    /// Shard → sequencer notes (one MPSC queue, like the runtime's
+    /// `ShardNote` channel).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum SNote {
+        /// Install acknowledgement: `shard` is now routing under `epoch`.
+        Live { shard: usize, epoch: u64 },
+        /// `shard` crashed and was respawned; `fence` is the highest
+        /// epoch the dead incarnation installed (0 when the fence is
+        /// dropped with the incarnation).
+        Restarted { shard: usize, fence: u64 },
+    }
+
     /// One join instance: R store per key, the migration buffer, and the
     /// keys whose store has been handed away.
     #[derive(Debug, Clone)]
@@ -832,8 +917,10 @@ mod sharded {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     enum SeqPhase {
         Idle,
-        /// Snapshots published; `n` acks consumed so far.
-        WaitAcks(usize),
+        /// Snapshots published; which shards have been credited with an
+        /// install so far (per-shard flags, so a duplicate credit for one
+        /// shard can never release the barrier).
+        WaitAcks([bool; SHARDS]),
         Done,
     }
 
@@ -846,8 +933,16 @@ mod sharded {
         shard_hot_owner: [usize; SHARDS],
         /// Pending snapshot publications, sequencer → shard (FIFO).
         ctrl: [VecDeque<u64>; SHARDS],
-        /// Pending install acknowledgements, shards → sequencer (MPSC).
-        acks: VecDeque<usize>,
+        /// Pending shard → sequencer notes (MPSC): install acks and
+        /// restart notifications share one queue, like the runtime.
+        notes: VecDeque<SNote>,
+        /// Highest snapshot epoch each shard has installed (the fence).
+        fence: [u64; SHARDS],
+        /// Restarted shards holding all routing until a reinstall
+        /// clears the gate (fence mode only).
+        resync: [bool; SHARDS],
+        /// Which shards have already spent their one crash.
+        crashed: [bool; SHARDS],
         seq: SeqPhase,
         /// The per-instance MPSC inboxes — ONE queue per instance, shared
         /// by both shards and the sequencer, exactly like the runtime.
@@ -866,9 +961,12 @@ mod sharded {
         Route(usize),
         /// Shard `i` installs its pending snapshot and acknowledges.
         Install(usize),
+        /// Shard `i` crashes and is respawned by its supervisor (restart
+        /// modes only; once per shard).
+        Crash(usize),
         /// The sequencer stages the flip and publishes snapshots.
         SeqStart,
-        /// The sequencer consumes one install acknowledgement.
+        /// The sequencer consumes one shard note (ack or restart).
         SeqAck,
         /// Instance `i` processes the head of its inbox.
         Deliver(usize),
@@ -876,14 +974,14 @@ mod sharded {
 
     /// The bounded scenario plus interning state.
     struct SExplorer {
-        barrier: bool,
+        mode: Mode,
         scripts: [Vec<STuple>; SHARDS],
         expected: Vec<(u64, u64)>,
         intern: HashMap<(usize, String), u16>,
     }
 
     impl SExplorer {
-        fn new(barrier: bool) -> Self {
+        fn new(mode: Mode) -> Self {
             let r = |key, seq| STuple { side: Side::R, key, seq };
             let s = |key, seq| STuple { side: Side::S, key, seq };
             // Shard-by-key: every hot tuple rides shard 0, every cold
@@ -907,7 +1005,7 @@ mod sharded {
                 }
             }
             expected.sort_unstable();
-            SExplorer { barrier, scripts, expected, intern: HashMap::new() }
+            SExplorer { mode, scripts, expected, intern: HashMap::new() }
         }
 
         fn initial_state(&self) -> SState {
@@ -915,7 +1013,10 @@ mod sharded {
                 shard_pos: [0; SHARDS],
                 shard_hot_owner: [SOURCE; SHARDS],
                 ctrl: std::array::from_fn(|_| VecDeque::new()),
-                acks: VecDeque::new(),
+                notes: VecDeque::new(),
+                fence: [0; SHARDS],
+                resync: [false; SHARDS],
+                crashed: [false; SHARDS],
                 seq: SeqPhase::Idle,
                 inboxes: std::array::from_fn(|_| VecDeque::new()),
                 insts: std::array::from_fn(|_| SInst {
@@ -940,17 +1041,21 @@ mod sharded {
         fn enabled(&self, s: &SState) -> Vec<SAction> {
             let mut acts = Vec::new();
             for i in 0..SHARDS {
-                if s.shard_pos[i] < self.scripts[i].len() {
+                // A resyncing shard routes nothing until its reinstall.
+                if s.shard_pos[i] < self.scripts[i].len() && !s.resync[i] {
                     acts.push(SAction::Route(i));
                 }
                 if !s.ctrl[i].is_empty() {
                     acts.push(SAction::Install(i));
                 }
+                if self.mode.restart() && !s.crashed[i] {
+                    acts.push(SAction::Crash(i));
+                }
             }
             if s.seq == SeqPhase::Idle {
                 acts.push(SAction::SeqStart);
             }
-            if !s.acks.is_empty() {
+            if !s.notes.is_empty() {
                 acts.push(SAction::SeqAck);
             }
             for (i, inbox) in s.inboxes.iter().enumerate() {
@@ -975,9 +1080,55 @@ mod sharded {
                 }
                 SAction::Install(i) => {
                     let epoch = n.ctrl[i].pop_front().expect("enabled ⇒ non-empty");
-                    n.shard_hot_owner[i] = TARGET;
-                    n.acks.push_back(i);
-                    (NODE_SH0 + i, format!("shard{i} installs epoch {epoch} and acks"))
+                    if self.mode.fence() && epoch < n.fence[i] {
+                        // Below the fence: a superseded snapshot. Drop it —
+                        // no table change, no ack.
+                        (NODE_SH0 + i, format!("shard{i} discards superseded epoch {epoch}"))
+                    } else if self.mode.fence() && epoch == n.fence[i] {
+                        // Re-publication of the epoch the dead incarnation
+                        // already installed: rebuild the table and clear
+                        // the resync gate, but do NOT ack a second time.
+                        n.shard_hot_owner[i] = TARGET;
+                        n.resync[i] = false;
+                        (NODE_SH0 + i, format!("shard{i} reinstalls epoch {epoch} (no ack)"))
+                    } else {
+                        n.shard_hot_owner[i] = TARGET;
+                        n.fence[i] = epoch;
+                        n.resync[i] = false;
+                        n.notes.push_back(SNote::Live { shard: i, epoch });
+                        (NODE_SH0 + i, format!("shard{i} installs epoch {epoch} and acks"))
+                    }
+                }
+                SAction::Crash(i) => {
+                    n.crashed[i] = true;
+                    // The fresh incarnation rebuilds the *initial* routing
+                    // table, exactly like the runtime's restarted shard
+                    // (fresh partitioners; only the fence survives — or
+                    // not, in the no-fence variant).
+                    n.shard_hot_owner[i] = SOURCE;
+                    if self.mode.fence() {
+                        n.resync[i] = n.fence[i] > 0;
+                        n.notes.push_back(SNote::Restarted { shard: i, fence: n.fence[i] });
+                        (
+                            NODE_SH0 + i,
+                            format!(
+                                "shard{i} crashes; supervisor restarts it (fence={} kept{})",
+                                n.fence[i],
+                                if n.resync[i] { ", resync until reinstall" } else { "" }
+                            ),
+                        )
+                    } else {
+                        n.fence[i] = 0;
+                        n.resync[i] = false;
+                        n.notes.push_back(SNote::Restarted { shard: i, fence: 0 });
+                        (
+                            NODE_SH0 + i,
+                            format!(
+                                "shard{i} crashes; supervisor restarts it WITHOUT the fence \
+                                 (initial table, routes immediately)"
+                            ),
+                        )
+                    }
                 }
                 SAction::SeqStart => {
                     // MigStart first: it must precede any new-epoch data
@@ -987,8 +1138,8 @@ mod sharded {
                     for ctrl in &mut n.ctrl {
                         ctrl.push_back(NEW_EPOCH);
                     }
-                    n.seq = SeqPhase::WaitAcks(0);
-                    if self.barrier {
+                    n.seq = SeqPhase::WaitAcks([false; SHARDS]);
+                    if self.mode.barrier() {
                         (NODE_SEQ, "sequencer stages flip, publishes snapshots".to_string())
                     } else {
                         // The bug under test: notify the source before any
@@ -1003,24 +1154,65 @@ mod sharded {
                     }
                 }
                 SAction::SeqAck => {
-                    let from = n.acks.pop_front().expect("enabled ⇒ non-empty");
-                    let SeqPhase::WaitAcks(done) = n.seq else {
-                        return Err(format!("ack from shard{from} outside a publication round"));
-                    };
-                    let done = done + 1;
-                    if done == SHARDS {
-                        n.seq = SeqPhase::Done;
-                        if self.barrier {
-                            // The barrier releases: every shard routes
-                            // under the new epoch, so everything the old
-                            // table routed to the source is already in its
-                            // inbox ahead of this message.
-                            n.inboxes[SOURCE].push_back(SMsg::RouteUpdated);
+                    let note = n.notes.pop_front().expect("enabled ⇒ non-empty");
+                    match note {
+                        SNote::Live { shard, epoch: _ } => {
+                            if let SeqPhase::WaitAcks(acked) = n.seq {
+                                let desc = self.credit(&mut n, acked, shard, "consumes ack from");
+                                (NODE_SEQ, desc)
+                            } else if self.mode.restart() {
+                                // A dead incarnation's ack arriving after
+                                // the round closed: harmless, discard it —
+                                // like the runtime's `fold_notes`.
+                                (
+                                    NODE_SEQ,
+                                    format!(
+                                        "sequencer discards shard{shard}'s stale ack \
+                                         (round closed)"
+                                    ),
+                                )
+                            } else {
+                                return Err(format!(
+                                    "ack from shard{shard} outside a publication round"
+                                ));
+                            }
                         }
-                    } else {
-                        n.seq = SeqPhase::WaitAcks(done);
+                        SNote::Restarted { shard, fence } => {
+                            // Re-publish the current snapshot so the fresh
+                            // incarnation can rebuild its table (a no-op
+                            // before the flip is staged — there is nothing
+                            // to republish).
+                            if n.seq != SeqPhase::Idle {
+                                n.ctrl[shard].push_back(NEW_EPOCH);
+                            }
+                            match n.seq {
+                                SeqPhase::WaitAcks(acked) if fence >= NEW_EPOCH => {
+                                    // The dead incarnation installed the
+                                    // barrier epoch — only its ack was
+                                    // lost with the thread. Credit it; the
+                                    // fence keeps the fresh incarnation
+                                    // from routing until the reinstall.
+                                    let desc =
+                                        self.credit(&mut n, acked, shard, "credits restarted");
+                                    (NODE_SEQ, format!("{desc}; republishes epoch {NEW_EPOCH}"))
+                                }
+                                SeqPhase::Idle => (
+                                    NODE_SEQ,
+                                    format!(
+                                        "sequencer sees shard{shard} restart \
+                                         (nothing published yet)"
+                                    ),
+                                ),
+                                _ => (
+                                    NODE_SEQ,
+                                    format!(
+                                        "sequencer republishes epoch {NEW_EPOCH} to restarted \
+                                         shard{shard} (fence={fence})"
+                                    ),
+                                ),
+                            }
+                        }
                     }
-                    (NODE_SEQ, format!("sequencer consumes ack from shard{from} ({done}/{SHARDS})"))
                 }
                 SAction::Deliver(i) => {
                     let msg = n.inboxes[i].pop_front().expect("enabled ⇒ non-empty");
@@ -1032,6 +1224,36 @@ mod sharded {
             let id = self.intern_event(node, &desc);
             n.histories[node].push(id);
             Ok((n, desc))
+        }
+
+        /// Credits `shard`'s install toward the open barrier and releases
+        /// it — sending `RouteUpdated` to the source — once every shard
+        /// is credited. Returns the step description.
+        fn credit(
+            &self,
+            n: &mut SState,
+            mut acked: [bool; SHARDS],
+            shard: usize,
+            why: &str,
+        ) -> String {
+            acked[shard] = true;
+            let done = acked.iter().filter(|a| **a).count();
+            if acked.iter().all(|a| *a) {
+                n.seq = SeqPhase::Done;
+                if self.mode.barrier() {
+                    // The barrier releases: every shard routes under the
+                    // new epoch, so everything the old table routed to the
+                    // source is already in its inbox ahead of this message.
+                    n.inboxes[SOURCE].push_back(SMsg::RouteUpdated);
+                    return format!(
+                        "sequencer {why} shard{shard} ({done}/{SHARDS}) — barrier releases, \
+                         RouteUpdated → source"
+                    );
+                }
+            } else {
+                n.seq = SeqPhase::WaitAcks(acked);
+            }
+            format!("sequencer {why} shard{shard} ({done}/{SHARDS})")
         }
 
         /// Processes one inbox message at instance `i`.
@@ -1047,10 +1269,20 @@ mod sharded {
                         // for a migrated-away key may arrive after the
                         // store left. (In the runtime this tuple would be
                         // lost or mis-stored — either breaks the join.)
-                        return Err(format!(
-                            "stale delivery: {t:?} reached inst{i} after its hot store migrated \
-                             away — a shard was still routing under the old epoch"
-                        ));
+                        return Err(if self.mode.restart() {
+                            format!(
+                                "stale delivery: {t:?} reached inst{i} after its hot store \
+                                 migrated away — the publication barrier was released by a \
+                                 stale ack from a crashed shard's dead incarnation while the \
+                                 restarted shard routed under the initial table (the epoch \
+                                 fence would have held routing until the reinstall)"
+                            )
+                        } else {
+                            format!(
+                                "stale delivery: {t:?} reached inst{i} after its hot store \
+                                 migrated away — a shard was still routing under the old epoch"
+                            )
+                        });
                     }
                     Self::process_tuple(n, i, t)?;
                 }
@@ -1101,6 +1333,11 @@ mod sharded {
                     return Err(format!("inst{i} still buffering at quiescence"));
                 }
             }
+            for (i, resyncing) in s.resync.iter().enumerate() {
+                if *resyncing {
+                    return Err(format!("shard{i} still resyncing at quiescence"));
+                }
+            }
             let mut joined = s.joined.clone();
             joined.sort_unstable();
             if joined != self.expected {
@@ -1136,8 +1373,9 @@ mod sharded {
                 key.push(u16::try_from(ctrl.len()).expect("tiny queue"));
             }
             key.push(u16::MAX);
-            for &a in &s.acks {
-                key.push(u16::try_from(a).expect("shard index"));
+            for note in &s.notes {
+                let id = self.intern_event(NODES + 2, &format!("{note:?}"));
+                key.push(id);
             }
             key.into_boxed_slice()
         }
@@ -1178,12 +1416,12 @@ mod sharded {
         out
     }
 
-    /// Explores every interleaving of the two shards, the sequencer, and
-    /// the instance inboxes; `barrier = false` drops the publication
-    /// barrier (the known-bad variant).
+    /// Explores every interleaving of the two shards, the sequencer,
+    /// crash/restart points (restart modes), and the instance inboxes
+    /// under `mode`; see [`Mode`] for the known-bad variants.
     #[must_use]
-    pub fn check(barrier: bool) -> CheckOutcome {
-        let mut explorer = SExplorer::new(barrier);
+    pub fn check(mode: Mode) -> CheckOutcome {
+        let mut explorer = SExplorer::new(mode);
         let initial = explorer.initial_state();
 
         let mut visited: HashMap<Box<[u16]>, u32> = HashMap::new();
@@ -1331,6 +1569,51 @@ mod tests {
             }
             CheckOutcome::Pass { .. } => {
                 panic!("skipping the publication barrier must violate completeness")
+            }
+        }
+    }
+
+    /// Exhaustive (~12 M states, minutes of CPU), so it is ignored in the
+    /// default test run to keep `cargo test --workspace` from starving
+    /// latency-sensitive tests on small hosts; CI proves it on every push
+    /// via the protocol job's dedicated
+    /// `cargo xtask check-protocol --variant sharded-shard-restart` step.
+    /// Run locally with `cargo test -p xtask -- --ignored`.
+    #[test]
+    #[ignore = "exhaustive (minutes); CI runs it via the protocol job"]
+    fn sharded_shard_restart_with_fence_passes_exhaustively() {
+        match check(Variant::ShardedShardRestart) {
+            CheckOutcome::Pass { states, schedules, expected_pairs } => {
+                assert!(states > 1_000, "restart scenario too small: {states} states");
+                assert!(schedules > 1_000, "expected many interleavings, got {schedules}");
+                assert_eq!(expected_pairs, 4);
+            }
+            CheckOutcome::Violation { reason, trace, .. } => {
+                panic!(
+                    "fenced shard restart must preserve the barrier, got: {reason}\n{}",
+                    trace.join("\n")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_restart_without_the_fence_is_caught() {
+        match check(Variant::ShardedRestartNoFence) {
+            CheckOutcome::Violation { reason, trace, .. } => {
+                assert!(!trace.is_empty(), "counterexample trace must not be empty");
+                assert!(
+                    reason.contains("stale ack"),
+                    "the failure must be the stale-ack race: {reason}"
+                );
+                assert!(
+                    trace.len() <= 40,
+                    "BFS should find a short counterexample, got {} steps",
+                    trace.len()
+                );
+            }
+            CheckOutcome::Pass { .. } => {
+                panic!("restarting without the epoch fence must be caught")
             }
         }
     }

@@ -24,7 +24,8 @@ commands:
                               protocol over every FIFO delivery schedule;
                               <v> is one of: safe (default),
                               naive-notify-first, forward-before-store,
-                              sharded, sharded-no-barrier
+                              sharded, sharded-no-barrier,
+                              sharded-shard-restart, sharded-restart-no-fence
   help                        show this message
 ";
 
@@ -93,8 +94,9 @@ fn run_check_protocol(args: &[String]) -> ExitCode {
                 let Some(v) = checker::Variant::parse(name) else {
                     eprintln!(
                         "xtask check-protocol: unknown variant `{name}` (expected safe, \
-                         naive-notify-first, forward-before-store, sharded, or \
-                         sharded-no-barrier)"
+                         naive-notify-first, forward-before-store, sharded, \
+                         sharded-no-barrier, sharded-shard-restart, or \
+                         sharded-restart-no-fence)"
                     );
                     return ExitCode::FAILURE;
                 };

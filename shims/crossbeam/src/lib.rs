@@ -46,6 +46,27 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::send_timeout`]; the unsent message is
+    /// handed back in either case.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full for the whole timeout.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +153,37 @@ pub mod channel {
                     Ok(g) => g,
                     Err(p) => p.into_inner(),
                 };
+            }
+        }
+
+        /// Sends `msg` with a deadline of `timeout` from now: blocks while
+        /// the channel is full, handing the message back on timeout so the
+        /// caller can refresh liveness signals (heartbeats) and retry.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                let full = self.shared.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(msg);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+                let (guard, _res) = match self.shared.not_full.wait_timeout(st, deadline - now) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                st = guard;
             }
         }
     }
@@ -382,6 +434,25 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+
+    #[test]
+    fn send_timeout_hands_the_message_back_then_delivers() {
+        use super::channel::SendTimeoutError;
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let back = match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Timeout(m)) => m,
+            other => panic!("expected timeout, got {other:?}"),
+        };
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send_timeout(back, Duration::from_millis(10)).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        drop(rx);
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(3))
+        ));
     }
 
     #[test]

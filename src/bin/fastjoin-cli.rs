@@ -706,6 +706,44 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             ..FaultPlan::default()
         }),
         ("stalled-round", |s| FaultPlan { seed: s, drop_migrate_cmds: 2, ..FaultPlan::default() }),
+        // Control-plane fault classes: kill the supervised control
+        // executors themselves. Sequencer and shard kills only fire with
+        // `--dispatcher-shards >= 2` (the unsharded dispatcher has neither
+        // executor, so the switches are inert and the runs are plain
+        // oracle checks).
+        ("kill-sequencer", |s| FaultPlan {
+            seed: s,
+            crashes: vec![CrashFault {
+                group: 0,
+                instance: 0,
+                phase: CrashPhase::SequencerBarrier { at_publish: 1 },
+            }],
+            ..FaultPlan::default()
+        }),
+        ("kill-shard", |s| FaultPlan {
+            seed: s,
+            // One kill per possible shard; entries for shards the run
+            // doesn't have are inert.
+            crashes: (0..4)
+                .map(|k| CrashFault {
+                    group: 0,
+                    instance: k,
+                    phase: CrashPhase::ShardSnapshotInstall { at_install: 1 },
+                })
+                .collect(),
+            ..FaultPlan::default()
+        }),
+        ("kill-monitor", |s| FaultPlan {
+            seed: s,
+            crashes: (0..2)
+                .map(|g| CrashFault {
+                    group: g,
+                    instance: 0,
+                    phase: CrashPhase::MonitorMidRound { at_round: 1 },
+                })
+                .collect(),
+            ..FaultPlan::default()
+        }),
     ];
 
     // Same skewed shape as the in-tree suite: twelve medium-hot keys so
@@ -950,6 +988,10 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
                 }
                 TraceKind::FaultDropTrigger => format!("source={} target={}", e.aux, e.aux2),
                 TraceKind::FaultRestart => format!("restarts={}", e.aux),
+                TraceKind::ShardRestart => format!("shard={} fence={}", e.aux, e.aux2),
+                TraceKind::MonitorDown => format!("restarts={}", e.aux),
+                TraceKind::MonitorUp => format!("degraded_ms={}", e.aux),
+                TraceKind::SnapshotRepublish => format!("shard={} fence={}", e.aux, e.aux2),
                 TraceKind::Ingest
                 | TraceKind::StoreDone
                 | TraceKind::ProbeDone
@@ -1094,7 +1136,10 @@ fn usage() -> &'static str {
        --tuples N      workload size per run (default 6000)\n\
        --class NAME    run one class only: crash-pre-migstart |\n\
                        crash-handoff-forward | crash-pre-route-flip |\n\
-                       crash-steady-state | channel-chaos | stalled-round\n\
+                       crash-steady-state | channel-chaos | stalled-round |\n\
+                       kill-sequencer | kill-shard | kill-monitor\n\
+                       (the kill-* classes crash control-plane executors;\n\
+                       sequencer/shard kills need --dispatcher-shards >= 2)\n\
        --out PATH      failure-report JSON (default CHAOS_report.json)\n\
        --trace-out P   write the first failing run's trace journal to P\n\
        --batch-size N  data-plane batch size for every run (default 1;\n\
