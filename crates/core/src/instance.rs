@@ -219,6 +219,16 @@ impl JoinInstance {
         v
     }
 
+    /// The `k` hottest keys as `(key, weight)` where weight is the key's
+    /// stored + last-period probe arrivals — the introspection plane's
+    /// skew heatmap. Ties break toward the smaller key (deterministic).
+    #[must_use]
+    pub fn top_keys(&self, k: usize) -> Vec<(Key, u64)> {
+        let mut stats = self.key_stats();
+        stats.sort_by_key(|s| (std::cmp::Reverse(s.stored + s.queue), s.key));
+        stats.into_iter().take(k).map(|s| (s.key, s.stored + s.queue)).collect()
+    }
+
     /// The window's lower bound for a reference event time, or 0 for
     /// full-history joins.
     #[inline]

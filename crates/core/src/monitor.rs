@@ -40,6 +40,135 @@ pub struct MonitorStats {
     pub keys_moved: u64,
 }
 
+/// Why a trigger evaluation with `LI > Θ` ended the way it did — the
+/// decision-audit vocabulary. Evaluations where `LI <= Θ` (steady state)
+/// are not decisions and are never recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// A migration round was triggered (heaviest → lightest).
+    Triggered,
+    /// Rejected: the cooldown since the last round had not elapsed.
+    Cooldown,
+    /// Rejected: a round was already in flight.
+    InFlight,
+    /// Rejected: heaviest == lightest (degenerate candidate set).
+    Degenerate,
+}
+
+impl DecisionReason {
+    /// Stable lowercase name used in report JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionReason::Triggered => "triggered",
+            DecisionReason::Cooldown => "cooldown",
+            DecisionReason::InFlight => "in_flight",
+            DecisionReason::Degenerate => "degenerate",
+        }
+    }
+
+    /// Compact numeric code carried in trace events (`MigDecision.aux`).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            DecisionReason::Triggered => 0,
+            DecisionReason::Cooldown => 1,
+            DecisionReason::InFlight => 2,
+            DecisionReason::Degenerate => 3,
+        }
+    }
+}
+
+/// How a decision ultimately resolved. Rejections are terminal
+/// (`Rejected`); triggered rounds start `Pending` and are patched by
+/// [`Monitor::on_migration_done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionOutcome {
+    /// A rejected evaluation (see its [`DecisionReason`]).
+    Rejected,
+    /// Triggered; the round has not completed yet.
+    Pending,
+    /// Triggered; the round moved at least one key.
+    Effective,
+    /// Triggered; the source abandoned (zero-benefit selection).
+    Abandoned,
+    /// Triggered; the watchdog aborted and rolled the round back.
+    Aborted,
+}
+
+impl DecisionOutcome {
+    /// Stable lowercase name used in report JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionOutcome::Rejected => "rejected",
+            DecisionOutcome::Pending => "pending",
+            DecisionOutcome::Effective => "effective",
+            DecisionOutcome::Abandoned => "abandoned",
+            DecisionOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One audited trigger evaluation: the candidate set the monitor looked
+/// at, what it chose, and why. Consecutive identical rejections collapse
+/// into one entry with a `repeats` count so a long cooldown stretch does
+/// not evict triggered rounds from the bounded log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationDecision {
+    /// Time of the first evaluation collapsed into this entry.
+    pub at: u64,
+    /// Time of the latest evaluation collapsed into this entry.
+    pub last_at: u64,
+    /// Identical consecutive evaluations collapsed in after the first.
+    pub repeats: u64,
+    /// The allocated round epoch (`None` for rejections).
+    pub epoch: Option<Epoch>,
+    /// `LI` at the latest evaluation.
+    pub imbalance: f64,
+    /// The heaviest instance (would-be or actual migration source).
+    pub source: usize,
+    /// The lightest instance (would-be or actual migration target).
+    pub target: usize,
+    /// The candidate set considered: per-instance loads at evaluation.
+    pub loads: Vec<InstanceLoad>,
+    /// Why the evaluation resolved the way it did.
+    pub reason: DecisionReason,
+    /// How the decision ultimately resolved.
+    pub outcome: DecisionOutcome,
+}
+
+impl MigrationDecision {
+    /// The decision as a JSON tree (the report's `decisions` entries).
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let loads = self.loads.iter().enumerate().map(|(i, l)| {
+            Json::obj(vec![
+                ("instance", Json::uint(i as u64)),
+                ("stored", Json::uint(l.stored)),
+                ("queue", Json::uint(l.queue)),
+                ("load", l.effective_load().into()),
+            ])
+        });
+        Json::obj(vec![
+            ("at", Json::uint(self.at)),
+            ("last_at", Json::uint(self.last_at)),
+            ("repeats", Json::uint(self.repeats)),
+            ("epoch", self.epoch.map(Json::uint).unwrap_or(Json::Null)),
+            ("imbalance", self.imbalance.into()),
+            ("source", Json::uint(self.source as u64)),
+            ("target", Json::uint(self.target as u64)),
+            ("reason", Json::str(self.reason.name())),
+            ("outcome", Json::str(self.outcome.name())),
+            ("loads", Json::arr(loads)),
+        ])
+    }
+}
+
+/// Bound on the per-monitor decision log; oldest entries are evicted.
+const DECISION_LOG_CAP: usize = 512;
+
 /// A request, produced by [`Monitor::check_deadline`], to abort the
 /// in-flight round: the engine must ask the dispatcher whether the round's
 /// route flip already happened and report back with
@@ -96,6 +225,12 @@ pub struct Monitor {
     /// vector of recent sub-window statistics). Depth 1 = no smoothing.
     history_depth: usize,
     history: Vec<VecDeque<InstanceLoad>>,
+    /// Bounded decision-audit log, oldest first (see [`MigrationDecision`]).
+    decisions: Vec<MigrationDecision>,
+    /// Lifetime count of distinct decisions recorded (repeats collapse and
+    /// evictions do not decrement) — lets callers emit trace events for
+    /// only-new entries by diffing against a remembered count.
+    decisions_recorded: u64,
 }
 
 impl Monitor {
@@ -124,6 +259,8 @@ impl Monitor {
             spans: Vec::new(),
             history_depth: 1,
             history: vec![VecDeque::new(); n],
+            decisions: Vec::new(),
+            decisions_recorded: 0,
         }
     }
 
@@ -167,6 +304,15 @@ impl Monitor {
     #[must_use]
     pub fn migration_in_flight(&self) -> bool {
         self.in_flight.is_some()
+    }
+
+    /// True while an abort of the in-flight round has been requested (or
+    /// accepted) but the round has not yet closed. Used by the live
+    /// introspection plane to distinguish an aborting round from a
+    /// healthy migration.
+    #[must_use]
+    pub fn abort_pending(&self) -> bool {
+        self.abort_state != AbortState::None
     }
 
     /// Arms the round-timeout watchdog: a round in flight longer than
@@ -251,18 +397,26 @@ impl Monitor {
     /// [`MigrationTrigger`] when `LI > Θ`, no round is in flight, and the
     /// cooldown has elapsed.
     pub fn maybe_trigger(&mut self, now: u64) -> Option<MigrationTrigger> {
+        let li = self.table.imbalance();
         if self.in_flight.is_some() {
+            if li > self.theta {
+                self.record_rejection(now, li, DecisionReason::InFlight);
+            }
             return None;
         }
         if now < self.last_round_end.saturating_add(self.cooldown) {
+            if li > self.theta {
+                self.record_rejection(now, li, DecisionReason::Cooldown);
+            }
             return None;
         }
-        if self.table.imbalance() <= self.theta {
+        if li <= self.theta {
             return None;
         }
         let source = self.table.heaviest();
         let target = self.table.lightest();
         if source == target {
+            self.record_rejection(now, li, DecisionReason::Degenerate);
             return None;
         }
         let epoch = self.next_epoch;
@@ -283,10 +437,75 @@ impl Monitor {
             effective: false,
             route_flip_us: None,
         });
+        self.record_decision(MigrationDecision {
+            at: now,
+            last_at: now,
+            repeats: 0,
+            epoch: Some(epoch),
+            imbalance: li,
+            source,
+            target,
+            loads: self.load_snapshot(),
+            reason: DecisionReason::Triggered,
+            outcome: DecisionOutcome::Pending,
+        });
         Some(MigrationTrigger {
             source,
             msg: InstanceMsg::MigrateCmd { epoch, target, target_load: self.table.get(target) },
         })
+    }
+
+    /// Appends a decision to the bounded audit log, evicting the oldest
+    /// entry at capacity.
+    fn record_decision(&mut self, d: MigrationDecision) {
+        if self.decisions.len() >= DECISION_LOG_CAP {
+            self.decisions.remove(0);
+        }
+        self.decisions.push(d);
+        self.decisions_recorded += 1;
+    }
+
+    /// Records a rejected evaluation (`LI > Θ` but no round started).
+    /// Consecutive rejections with the same reason and candidate pair
+    /// collapse into the previous entry's `repeats` count.
+    fn record_rejection(&mut self, now: u64, li: f64, reason: DecisionReason) {
+        let source = self.table.heaviest();
+        let target = self.table.lightest();
+        if let Some(last) = self.decisions.last_mut() {
+            if last.reason == reason && last.source == source && last.target == target {
+                last.repeats += 1;
+                last.last_at = now;
+                last.imbalance = li;
+                return;
+            }
+        }
+        let loads = self.load_snapshot();
+        self.record_decision(MigrationDecision {
+            at: now,
+            last_at: now,
+            repeats: 0,
+            epoch: None,
+            imbalance: li,
+            source,
+            target,
+            loads,
+            reason,
+            outcome: DecisionOutcome::Rejected,
+        });
+    }
+
+    /// The decision-audit log, oldest first (bounded; oldest evicted).
+    #[must_use]
+    pub fn decisions(&self) -> &[MigrationDecision] {
+        &self.decisions
+    }
+
+    /// Lifetime count of distinct decisions recorded (survives eviction;
+    /// collapsed repeats don't count). Diff against a remembered value to
+    /// find how many tail entries of [`Monitor::decisions`] are new.
+    #[must_use]
+    pub fn decisions_recorded(&self) -> u64 {
+        self.decisions_recorded
     }
 
     /// The highest epoch this monitor has allocated (0 = none yet).
@@ -350,10 +569,15 @@ impl Monitor {
         });
     }
 
-    /// Folds a dead incarnation's lifetime statistics and completed spans
-    /// into this monitor, so supervised restarts don't erase the group's
-    /// migration history from the final report.
-    pub fn absorb_history(&mut self, stats: MonitorStats, spans: Vec<MigrationSpan>) {
+    /// Folds a dead incarnation's lifetime statistics, completed spans,
+    /// and decision-audit log into this monitor, so supervised restarts
+    /// don't erase the group's migration history from the final report.
+    pub fn absorb_history(
+        &mut self,
+        stats: MonitorStats,
+        spans: Vec<MigrationSpan>,
+        decisions: Vec<MigrationDecision>,
+    ) {
         self.stats.triggered += stats.triggered;
         self.stats.effective += stats.effective;
         self.stats.abandoned += stats.abandoned;
@@ -363,6 +587,13 @@ impl Monitor {
         let mut prior = spans;
         prior.append(&mut self.spans);
         self.spans = prior;
+        self.decisions_recorded += decisions.len() as u64;
+        let mut prior = decisions;
+        prior.append(&mut self.decisions);
+        while prior.len() > DECISION_LOG_CAP {
+            prior.remove(0);
+        }
+        self.decisions = prior;
     }
 
     /// Records the completion (or abandonment) of the in-flight round.
@@ -406,6 +637,16 @@ impl Monitor {
             span.tuples_moved = done.tuples_moved;
             span.effective = effective;
             self.spans.push(span);
+        }
+        let outcome = if aborted {
+            DecisionOutcome::Aborted
+        } else if effective {
+            DecisionOutcome::Effective
+        } else {
+            DecisionOutcome::Abandoned
+        };
+        if let Some(d) = self.decisions.iter_mut().rev().find(|d| d.epoch == Some(done.epoch)) {
+            d.outcome = outcome;
         }
     }
 }
@@ -459,6 +700,91 @@ mod tests {
         m.on_migration_done(MigrationDone { epoch, tuples_moved: 10, keys_moved: 2 }, 150);
         assert!(m.maybe_trigger(200).is_none(), "cooldown from round end");
         assert!(m.maybe_trigger(250).is_some());
+    }
+
+    #[test]
+    fn decision_audit_records_cooldown_rejections_and_patches_outcomes() {
+        let mut m = loaded_monitor();
+        assert!(m.decisions().is_empty(), "no decisions before the first evaluation");
+        // During the initial cooldown with LI > theta, the rejection is audited.
+        assert!(m.maybe_trigger(50).is_none());
+        assert_eq!(m.decisions().len(), 1);
+        assert_eq!(m.decisions()[0].reason.name(), "cooldown");
+        assert_eq!(m.decisions()[0].outcome, DecisionOutcome::Rejected);
+        assert_eq!(m.decisions()[0].epoch, None);
+        // A consecutive identical rejection collapses into the same entry.
+        assert!(m.maybe_trigger(60).is_none());
+        assert_eq!(m.decisions().len(), 1);
+        assert_eq!(m.decisions()[0].repeats, 1);
+        assert_eq!(m.decisions()[0].last_at, 60);
+        assert_eq!(m.decisions_recorded(), 1, "collapsed repeats are not new decisions");
+        // The trigger itself is audited with the candidate set and epoch.
+        let trig = m.maybe_trigger(100).expect("trigger");
+        let epoch = match trig.msg {
+            InstanceMsg::MigrateCmd { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        let d = m.decisions().last().expect("trigger decision");
+        assert_eq!(d.reason, DecisionReason::Triggered);
+        assert_eq!(d.outcome, DecisionOutcome::Pending);
+        assert_eq!(d.epoch, Some(epoch));
+        assert_eq!((d.source, d.target), (0, 2));
+        assert_eq!(d.loads.len(), 4, "candidate set covers every instance");
+        assert_eq!(d.loads[0], InstanceLoad::new(1000, 100));
+        // While in flight, a hot table audits an in_flight rejection.
+        assert!(m.maybe_trigger(120).is_none());
+        assert_eq!(m.decisions().last().map(|d| d.reason), Some(DecisionReason::InFlight));
+        // Completion patches the triggered decision's outcome in place.
+        m.on_migration_done(MigrationDone { epoch, tuples_moved: 10, keys_moved: 2 }, 150);
+        let patched = m
+            .decisions()
+            .iter()
+            .find(|d| d.epoch == Some(epoch))
+            .expect("triggered decision survives");
+        assert_eq!(patched.outcome, DecisionOutcome::Effective);
+        let json = patched.to_json().to_string_compact();
+        assert!(json.contains("\"outcome\":\"effective\""), "json outcome: {json}");
+        assert!(json.contains("\"reason\":\"triggered\""), "json reason: {json}");
+    }
+
+    #[test]
+    fn decision_audit_marks_abandoned_and_aborted_rounds() {
+        let mut m = loaded_monitor();
+        let e1 = trigger_epoch(&mut m, 100);
+        m.on_migration_done(MigrationDone { epoch: e1, tuples_moved: 0, keys_moved: 0 }, 150);
+        assert_eq!(
+            m.decisions().iter().find(|d| d.epoch == Some(e1)).map(|d| d.outcome),
+            Some(DecisionOutcome::Abandoned)
+        );
+        m.set_round_timeout(50);
+        let e2 = trigger_epoch(&mut m, 300);
+        let req = m.check_deadline(400).expect("watchdog fires");
+        m.on_abort_outcome(req.epoch, true, 400);
+        m.on_migration_done(MigrationDone { epoch: e2, tuples_moved: 0, keys_moved: 0 }, 410);
+        assert_eq!(
+            m.decisions().iter().find(|d| d.epoch == Some(e2)).map(|d| d.outcome),
+            Some(DecisionOutcome::Aborted)
+        );
+    }
+
+    #[test]
+    fn decision_log_is_bounded_and_absorbed_across_restarts() {
+        let mut m = loaded_monitor();
+        // Alternate heaviest/lightest so rejections never collapse.
+        for i in 0..600u64 {
+            if i % 2 == 0 {
+                m.on_report(3, InstanceLoad::new(1, 0));
+            } else {
+                m.on_report(3, InstanceLoad::new(2000, 200));
+            }
+            assert!(m.maybe_trigger(i % 100).is_none(), "cooldown holds");
+        }
+        assert_eq!(m.decisions().len(), 512, "log bounded at the cap");
+        assert_eq!(m.decisions_recorded(), 600, "lifetime count survives eviction");
+        let mut fresh = Monitor::new(4, 2.2, 100);
+        fresh.absorb_history(m.stats(), m.spans().to_vec(), m.decisions().to_vec());
+        assert_eq!(fresh.decisions().len(), 512);
+        assert_eq!(fresh.decisions_recorded(), 512, "absorbed entries count as recorded");
     }
 
     #[test]
@@ -697,7 +1023,7 @@ mod tests {
         for (i, l) in loads.into_iter().enumerate() {
             fresh.on_report(i, l);
         }
-        fresh.absorb_history(old.stats(), old.spans().to_vec());
+        fresh.absorb_history(old.stats(), old.spans().to_vec(), old.decisions().to_vec());
         fresh.restore_round(epoch, source, target, 400);
         assert!(fresh.migration_in_flight());
         assert_eq!(fresh.stats().triggered, 2, "restore must not double-count the trigger");

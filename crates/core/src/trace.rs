@@ -185,6 +185,16 @@ pub enum TraceKind {
     /// The sequencer re-published its current snapshot (epoch in `epoch`)
     /// to a restarted shard; `aux` = the target shard.
     SnapshotRepublish,
+    /// Monitor audited a trigger evaluation (see `MigrationDecision`):
+    /// `aux` = the decision reason code (0 triggered, 1 cooldown,
+    /// 2 in-flight, 3 degenerate), `aux2` = `source * 256 + target`,
+    /// `epoch` = the allocated round for triggers (`NO_ROUND` for
+    /// rejections).
+    MigDecision,
+    /// Source selected key `seq` for migration in round `epoch`;
+    /// `aux` = the key's benefit score `F_k` in milli-units,
+    /// `aux2` = the key's load contribution (stored + queued tuples).
+    MigPlanKey,
 }
 
 impl TraceKind {
@@ -216,6 +226,8 @@ impl TraceKind {
             TraceKind::MonitorDown => "MonitorDown",
             TraceKind::MonitorUp => "MonitorUp",
             TraceKind::SnapshotRepublish => "SnapshotRepublish",
+            TraceKind::MigDecision => "MigDecision",
+            TraceKind::MigPlanKey => "MigPlanKey",
         }
     }
 
@@ -247,6 +259,8 @@ impl TraceKind {
             "MonitorDown" => TraceKind::MonitorDown,
             "MonitorUp" => TraceKind::MonitorUp,
             "SnapshotRepublish" => TraceKind::SnapshotRepublish,
+            "MigDecision" => TraceKind::MigDecision,
+            "MigPlanKey" => TraceKind::MigPlanKey,
             _ => return None,
         })
     }
@@ -652,6 +666,8 @@ mod tests {
             TraceKind::MonitorDown,
             TraceKind::MonitorUp,
             TraceKind::SnapshotRepublish,
+            TraceKind::MigDecision,
+            TraceKind::MigPlanKey,
         ] {
             assert_eq!(TraceKind::parse(kind.name()), Some(kind));
         }

@@ -1,0 +1,494 @@
+//! Live introspection plane: the in-run side channel that makes a
+//! running topology observable without perturbing it.
+//!
+//! Executors publish cheap probes to an [`IntrospectionHub`] (one mutex
+//! lock per monitor tick / batch flush — never on the per-tuple hot
+//! path). The hub assembles [`RuntimeSnapshot`]s on demand; an optional
+//! periodic thread streams them as JSONL to a file sink, and an optional
+//! blocking HTTP server (std `TcpListener`, no dependencies) serves
+//! `/metrics` (Prometheus text, via `to_prometheus`) and `/snapshot`
+//! (JSON) from the same hub. Everything here is gated: with
+//! `snapshot_interval_ms = 0` and no `--serve-metrics`, no hub is
+//! created and runs are bit-for-bit identical to a build without this
+//! module.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use fastjoin_core::metrics::MetricsRegistry;
+use fastjoin_core::telemetry::{
+    GroupProbe, InstanceProbe, RuntimeSnapshot, SnapshotCollector, SupervisorHealth,
+};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(5);
+/// Per-connection socket read/write budget.
+const SOCKET_TIMEOUT: Duration = Duration::from_millis(500);
+/// Largest request head we bother reading (method + path is all we use).
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Latest-value store behind the hub mutex. Publishers overwrite their
+/// own slots; snapshot assembly reads a consistent view under the lock.
+#[derive(Debug, Default)]
+struct HubState {
+    /// Latest probe per instance, keyed `(group, id)`.
+    instances: BTreeMap<(u8, u16), InstanceProbe>,
+    /// Latest monitor probe per group.
+    groups: [Option<GroupProbe>; 2],
+    /// Bounded-channel depth high-watermarks by queue name.
+    queues: BTreeMap<String, u64>,
+    /// Absolute counter values by name (publisher owns the total).
+    counters: BTreeMap<String, u64>,
+    /// Supervisor health aggregates.
+    supervisor: SupervisorHealth,
+}
+
+/// The shared mailbox of the introspection plane. One per run; executors
+/// hold an `Arc` and publish latest-value probes, the snapshot thread and
+/// HTTP handlers read them. All methods are cheap (one short mutex lock)
+/// and none are called on the per-tuple hot path.
+#[derive(Debug, Default)]
+pub struct IntrospectionHub {
+    state: Mutex<HubState>,
+    collector: Mutex<SnapshotCollector>,
+}
+
+impl IntrospectionHub {
+    /// A fresh, empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ignore mutex poisoning: the hub holds plain latest-value data, and
+    /// a publisher that panicked mid-update leaves at worst one stale
+    /// probe. Observability must not take the data plane down with it.
+    fn state(&self) -> MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Publishes an instance's latest probe (called on report ticks).
+    pub fn publish_instance(&self, probe: InstanceProbe) {
+        self.state().instances.insert((probe.group, probe.id), probe);
+    }
+
+    /// Publishes a group's latest monitor probe (called on monitor ticks).
+    pub fn publish_group(&self, probe: GroupProbe) {
+        let mut s = self.state();
+        if let Some(slot) = s.groups.get_mut(usize::from(probe.group)) {
+            *slot = Some(probe);
+        }
+    }
+
+    /// Records a bounded-channel depth observation; the hub keeps the
+    /// high-watermark per queue name.
+    pub fn publish_queue(&self, name: &str, depth: u64) {
+        let mut s = self.state();
+        match s.queues.get_mut(name) {
+            Some(hwm) => *hwm = (*hwm).max(depth),
+            None => {
+                s.queues.insert(name.to_string(), depth);
+            }
+        }
+    }
+
+    /// Sets a counter to its current lifetime total (publisher owns the
+    /// value; the snapshot collector derives deltas).
+    pub fn set_counter(&self, name: &str, total: u64) {
+        self.state().counters.insert(name.to_string(), total);
+    }
+
+    /// Records one executor failure (crash caught by a supervisor).
+    pub fn record_executor_failure(&self) {
+        self.state().supervisor.executor_failures += 1;
+    }
+
+    /// Records one control-plane recovery (shard/sequencer/monitor).
+    pub fn record_control_restart(&self) {
+        self.state().supervisor.control_restarts += 1;
+    }
+
+    /// Marks the run degraded (a monitor's restart budget is spent).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.state().supervisor.degraded = degraded;
+    }
+
+    /// Assembles the next consistent snapshot (monotone `seq`, counter
+    /// deltas against the previous snapshot from this hub).
+    pub fn snapshot(&self, at_us: u64) -> RuntimeSnapshot {
+        let (instances, groups, queues, counters, supervisor) = {
+            let s = self.state();
+            let instances: Vec<InstanceProbe> = s.instances.values().cloned().collect();
+            let groups: Vec<GroupProbe> = s.groups.iter().flatten().cloned().collect();
+            let queues: Vec<(String, u64)> =
+                s.queues.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let counters: Vec<(String, u64)> =
+                s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            (instances, groups, queues, counters, s.supervisor)
+        };
+        let mut collector =
+            self.collector.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        collector.collect(at_us, instances, groups, queues, &counters, supervisor)
+    }
+
+    /// Renders the hub as a [`MetricsRegistry`] — the `/metrics` endpoint
+    /// reuses the registry's Prometheus rendering instead of a second
+    /// exposition-format writer.
+    #[must_use]
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s = self.state();
+        for (name, total) in &s.counters {
+            reg.counter_add(name, *total);
+        }
+        for (name, depth) in &s.queues {
+            reg.gauge_set(name, *depth as f64);
+        }
+        for probe in s.instances.values() {
+            let side = if probe.group == 0 { 'r' } else { 's' };
+            reg.gauge_set(&format!("inst.{side}{}.load", probe.id), probe.load as f64);
+            reg.gauge_set(
+                &format!("inst.{side}{}.queue.depth", probe.id),
+                probe.queue_depth as f64,
+            );
+        }
+        for probe in s.groups.iter().flatten() {
+            reg.gauge_set(&format!("monitor.{}.imbalance", probe.group), probe.imbalance);
+            reg.counter_add(&format!("monitor.{}.triggered", probe.group), probe.triggered);
+            reg.counter_add(&format!("monitor.{}.effective", probe.group), probe.effective);
+        }
+        reg.counter_add("supervisor.executor_failures", s.supervisor.executor_failures);
+        reg.counter_add("supervisor.control_restarts", s.supervisor.control_restarts);
+        reg.gauge_set("supervisor.degraded", if s.supervisor.degraded { 1.0 } else { 0.0 });
+        reg
+    }
+}
+
+/// The running introspection plane: the hub plus its service threads
+/// (periodic snapshot streamer, HTTP server). Built by [`Introspection::start`],
+/// torn down by [`Introspection::shutdown`].
+pub struct Introspection {
+    hub: Arc<IntrospectionHub>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    port: Option<u16>,
+    started: Instant,
+    stream_path: Option<String>,
+    interval_ms: u64,
+}
+
+impl Introspection {
+    /// Starts the plane. `interval_ms > 0` runs a periodic snapshot
+    /// thread (streaming JSONL to `stream_path` when set); `serve_port`
+    /// binds a blocking HTTP server on `127.0.0.1` (port 0 picks an
+    /// ephemeral port, readable via [`Introspection::port`]).
+    ///
+    /// # Errors
+    /// Fails only if the requested HTTP port cannot be bound.
+    pub fn start(
+        interval_ms: u64,
+        serve_port: Option<u16>,
+        stream_path: Option<String>,
+    ) -> std::io::Result<Introspection> {
+        let hub = Arc::new(IntrospectionHub::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let mut threads = Vec::new();
+        let mut port = None;
+        if let Some(p) = serve_port {
+            let listener = TcpListener::bind(("127.0.0.1", p))?;
+            port = Some(listener.local_addr()?.port());
+            listener.set_nonblocking(true)?;
+            let hub2 = Arc::clone(&hub);
+            let stop2 = Arc::clone(&stop);
+            let t = thread::Builder::new()
+                .name("introspect-http".to_string())
+                .spawn(move || http_loop(&listener, &hub2, &stop2, started))?;
+            threads.push(t);
+        }
+        if interval_ms > 0 {
+            let hub2 = Arc::clone(&hub);
+            let stop2 = Arc::clone(&stop);
+            let path = stream_path.clone();
+            let t =
+                thread::Builder::new().name("introspect-snap".to_string()).spawn(move || {
+                    snapshot_loop(interval_ms, &hub2, &stop2, started, path.as_deref())
+                })?;
+            threads.push(t);
+        }
+        Ok(Introspection { hub, stop, threads, port, started, stream_path, interval_ms })
+    }
+
+    /// The hub executors publish into.
+    #[must_use]
+    pub fn hub(&self) -> Arc<IntrospectionHub> {
+        Arc::clone(&self.hub)
+    }
+
+    /// The bound HTTP port, when serving (resolved for port 0).
+    #[must_use]
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// Stops the service threads and writes one final snapshot to the
+    /// stream sink, so even runs shorter than the interval leave a
+    /// record.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if self.interval_ms > 0 {
+            if let Some(path) = &self.stream_path {
+                let at_us = self.started.elapsed().as_micros() as u64;
+                append_snapshot(path, &self.hub.snapshot(at_us));
+            }
+        }
+    }
+}
+
+/// Dropping without [`Introspection::shutdown`] (a failed run bailing
+/// out early) still stops and joins the service threads — it only skips
+/// the final snapshot.
+impl Drop for Introspection {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Introspection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Introspection")
+            .field("port", &self.port)
+            .field("interval_ms", &self.interval_ms)
+            .finish()
+    }
+}
+
+/// Appends one snapshot as a JSONL line; errors are swallowed (the sink
+/// is diagnostics — a full disk must not fail the run).
+fn append_snapshot(path: &str, snap: &RuntimeSnapshot) {
+    let line = snap.to_json().to_string_compact();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Periodic snapshot thread body: one snapshot per interval until
+/// stopped, sleeping in short slices so shutdown is prompt.
+fn snapshot_loop(
+    interval_ms: u64,
+    hub: &IntrospectionHub,
+    stop: &AtomicBool,
+    started: Instant,
+    stream_path: Option<&str>,
+) {
+    let interval = Duration::from_millis(interval_ms);
+    let mut next = started + interval;
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now < next {
+            thread::sleep(next.saturating_duration_since(now).min(ACCEPT_IDLE));
+            continue;
+        }
+        next += interval;
+        let snap = hub.snapshot(started.elapsed().as_micros() as u64);
+        if let Some(path) = stream_path {
+            append_snapshot(path, &snap);
+        }
+    }
+}
+
+/// Accept loop for the metrics endpoint. Non-blocking accept + short
+/// sleeps keeps shutdown latency bounded without extra machinery.
+fn http_loop(listener: &TcpListener, hub: &IntrospectionHub, stop: &AtomicBool, started: Instant) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let at_us = started.elapsed().as_micros() as u64;
+                let _ = serve_one(stream, hub, at_us);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_IDLE),
+            Err(_) => thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Connection: close —
+/// scrapers reconnect per poll, which keeps the loop single-threaded.
+fn serve_one(mut stream: TcpStream, hub: &IntrospectionHub, at_us: u64) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend(chunk.iter().take(n));
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("")
+        .to_string();
+    let (status, content_type, body) = match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", hub.registry().to_prometheus())
+        }
+        "/snapshot" => {
+            ("200 OK", "application/json", hub.snapshot(at_us).to_json().to_string_compact())
+        }
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastjoin_core::json::Json;
+    use fastjoin_core::telemetry::{validate_prometheus, MigrationPhase};
+
+    fn probe(group: u8, id: u16, load: u64) -> InstanceProbe {
+        InstanceProbe {
+            group,
+            id,
+            load,
+            queue_depth: 3,
+            hot_keys: vec![(999, load)],
+            migrating: false,
+        }
+    }
+
+    #[test]
+    fn hub_snapshot_reports_probes_queues_and_counter_deltas() {
+        let hub = IntrospectionHub::new();
+        hub.publish_instance(probe(0, 0, 10));
+        hub.publish_instance(probe(0, 1, 40));
+        hub.publish_group(GroupProbe {
+            group: 0,
+            imbalance: 4.0,
+            loads: vec![10, 40],
+            phase: MigrationPhase::Migrating,
+            epoch: 7,
+            triggered: 1,
+            effective: 0,
+        });
+        hub.publish_queue("queue.spout.depth", 5);
+        hub.publish_queue("queue.spout.depth", 2); // HWM keeps 5
+        hub.set_counter("spout.tuples_ingested", 100);
+        let s1 = hub.snapshot(1_000);
+        assert_eq!(s1.seq, 1);
+        assert_eq!(s1.instances.len(), 2);
+        assert_eq!(s1.groups.len(), 1);
+        assert_eq!(s1.queues, vec![("queue.spout.depth".to_string(), 5)]);
+        assert_eq!(s1.counters.len(), 1);
+        let c = s1.counters.first().expect("one counter");
+        assert_eq!((c.total, c.delta), (100, 100));
+        hub.set_counter("spout.tuples_ingested", 130);
+        let s2 = hub.snapshot(2_000);
+        assert_eq!(s2.seq, 2);
+        let c = s2.counters.first().expect("one counter");
+        assert_eq!((c.total, c.delta), (130, 30));
+        // Re-publishing an instance overwrites, never duplicates.
+        hub.publish_instance(probe(0, 1, 50));
+        assert_eq!(hub.snapshot(3_000).instances.len(), 2);
+    }
+
+    #[test]
+    fn hub_registry_renders_valid_prometheus() {
+        let hub = IntrospectionHub::new();
+        hub.publish_instance(probe(1, 2, 17));
+        hub.publish_queue("queue.shard0.depth", 9);
+        hub.set_counter("spout.tuples_ingested", 42);
+        hub.record_executor_failure();
+        hub.set_degraded(true);
+        let text = hub.registry().to_prometheus();
+        validate_prometheus(&text).expect("hub registry must render cleanly");
+        assert!(text.contains("fastjoin_inst_s2_load 17"), "{text}");
+        assert!(text.contains("fastjoin_queue_shard0_depth 9"), "{text}");
+        assert!(text.contains("fastjoin_supervisor_degraded 1"), "{text}");
+    }
+
+    #[test]
+    fn http_server_serves_metrics_snapshot_and_404() {
+        let intro = Introspection::start(0, Some(0), None).expect("bind ephemeral port");
+        let port = intro.port().expect("server advertises its port");
+        let hub = intro.hub();
+        hub.publish_instance(probe(0, 3, 21));
+        hub.set_counter("spout.tuples_ingested", 5);
+
+        let get = |path: &str| -> (String, String) {
+            let mut conn = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+            conn.write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
+            .expect("send request");
+            let mut raw = String::new();
+            conn.read_to_string(&mut raw).expect("read response");
+            let (head, body) = raw.split_once("\r\n\r\n").expect("response has a head");
+            (head.to_string(), body.to_string())
+        };
+
+        let (head, body) = get("/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        validate_prometheus(&body).expect("/metrics must be parseable");
+        assert!(body.contains("fastjoin_inst_r3_load 21"), "{body}");
+
+        let (head, body) = get("/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let json = Json::parse(&body).expect("/snapshot must be JSON");
+        assert_eq!(json.get("seq").and_then(Json::as_u64), Some(1));
+        let insts = json.get("instances").and_then(Json::as_arr).expect("instances");
+        assert_eq!(insts.len(), 1);
+
+        let (head, _) = get("/other");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        intro.shutdown();
+    }
+
+    #[test]
+    fn snapshot_stream_writes_jsonl_and_final_snapshot_on_shutdown() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fastjoin-introspect-{}.jsonl", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        let intro = Introspection::start(10, None, Some(path_str.clone())).expect("start");
+        intro.hub().set_counter("spout.tuples_ingested", 1);
+        thread::sleep(Duration::from_millis(60));
+        intro.shutdown();
+        let text = std::fs::read_to_string(&path).expect("stream file exists");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "periodic + final snapshots expected: {}", lines.len());
+        let mut prev_seq = 0;
+        for line in &lines {
+            let json = Json::parse(line).expect("every line is a snapshot");
+            let seq = json.get("seq").and_then(Json::as_u64).expect("seq");
+            assert!(seq > prev_seq, "snapshot seq must be monotone");
+            prev_seq = seq;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,12 +15,14 @@
 
 pub mod accounting;
 pub mod fault;
+pub mod introspect;
 pub mod msg;
 pub mod report;
 pub mod topology;
 
 pub use accounting::{AccountingError, ProbeAccountant};
 pub use fault::{ChaosPolicy, CrashFault, CrashPhase, FaultPlan};
+pub use introspect::{Introspection, IntrospectionHub};
 pub use report::RuntimeReport;
 pub use topology::{
     run_topology, run_topology_with_results, try_run_topology, try_run_topology_with_results,

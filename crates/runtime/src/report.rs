@@ -3,7 +3,7 @@
 use fastjoin_core::instance::InstanceCounters;
 use fastjoin_core::json::Json;
 use fastjoin_core::metrics::{LogHistogram, MetricsRegistry, MigrationSpan, TimeSeries};
-use fastjoin_core::monitor::MonitorStats;
+use fastjoin_core::monitor::{MigrationDecision, MonitorStats};
 use fastjoin_core::trace::TraceJournal;
 
 /// Everything measured during a topology run.
@@ -30,6 +30,10 @@ pub struct RuntimeReport {
     pub imbalance: [Option<TimeSeries>; 2],
     /// Completed migration-round spans per group, oldest first.
     pub migration_spans: [Vec<MigrationSpan>; 2],
+    /// Migration decision audit per group, oldest first: every candidate
+    /// round the monitor considered — committed plans and rejections with
+    /// reasons (see `docs/ARCHITECTURE.md`, "Live introspection").
+    pub decisions: [Vec<MigrationDecision>; 2],
     /// Merged executor metrics, namespaced `dispatcher.*` / `inst.r3.*` /
     /// `inst.s0.*` (see `docs/ARCHITECTURE.md`, "Observability").
     pub registry: MetricsRegistry,
@@ -91,6 +95,7 @@ impl RuntimeReport {
                     "migration_spans",
                     Json::arr(self.migration_spans[g].iter().map(MigrationSpan::to_json)),
                 ),
+                ("decisions", Json::arr(self.decisions[g].iter().map(MigrationDecision::to_json))),
                 ("stored_total", Json::uint(self.stored_total(g))),
             ])
         };
@@ -158,6 +163,7 @@ mod tests {
             monitor_stats: [None, None],
             imbalance: [None, None],
             migration_spans: [Vec::new(), Vec::new()],
+            decisions: [Vec::new(), Vec::new()],
             registry: MetricsRegistry::new(),
             trace: TraceJournal::new(),
         }
@@ -187,6 +193,7 @@ mod tests {
             "\"groups\"",
             "\"imbalance\"",
             "\"migration_spans\"",
+            "\"decisions\"",
             "\"supervision\"",
             "\"registry\"",
             "\"trace\"",

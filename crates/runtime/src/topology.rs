@@ -109,10 +109,11 @@ use fastjoin_core::hash::mix64;
 use fastjoin_core::instance::JoinInstance;
 use fastjoin_core::instance::Work;
 use fastjoin_core::metrics::{MetricsRegistry, MigrationSpan, TimeSeries};
-use fastjoin_core::monitor::{Monitor, MonitorStats};
+use fastjoin_core::monitor::{MigrationDecision, Monitor, MonitorStats};
 use fastjoin_core::protocol::{Effects, InstanceMsg, MigrationState};
 use fastjoin_core::routing::RouteSnapshot;
 use fastjoin_core::selection::{make_selector, KeySelector};
+use fastjoin_core::telemetry::{GroupProbe, InstanceProbe, MigrationPhase};
 use fastjoin_core::trace::{Actor, TraceConfig, TraceEvent, TraceJournal, TraceKind, TraceRing};
 use fastjoin_core::tuple::{JoinedPair, Side, Tuple};
 use lintmarks::lint;
@@ -121,6 +122,7 @@ use crate::accounting::ProbeAccountant;
 use crate::fault::{
     ChaosPolicy, ChaosReceiver, ControlKillSwitch, CrashPhase, FaultPlan, KillSwitch,
 };
+use crate::introspect::{Introspection, IntrospectionHub};
 use crate::msg::{DispatcherMsg, MonitorMsg, ProbeRecord, RtMsg, ShardCtrl, ShardNote};
 use crate::report::RuntimeReport;
 
@@ -139,6 +141,9 @@ const CTRL_TICK: Duration = Duration::from_micros(100);
 const DISPATCH_TICK: Duration = Duration::from_millis(1);
 /// Collector wait between liveness sweeps.
 const COLLECT_TICK: Duration = Duration::from_millis(50);
+/// Hottest keys each instance publishes per introspection probe (the
+/// width of one skew-heatmap row).
+const HOT_KEYS_PER_PROBE: usize = 5;
 
 /// Role salt for [`executor_seed`]: the per-instance key selector RNG.
 const SEED_ROLE_SELECTOR: u64 = 1;
@@ -161,8 +166,16 @@ fn executor_seed(base: u64, group: u64, id: u64, role: u64) -> u64 {
 /// (healthy) backpressure longer than [`SupervisionConfig::stall_ms`] was
 /// misdiagnosed as a silent stall and failed the run. Returns `false`
 /// when the receiver is gone (the message is dropped, as with the
-/// `let _ = tx.send(..)` idiom this replaces).
-fn send_with_hb<T>(tx: &Sender<T>, msg: T, hb: &AtomicU64, now_us: &dyn Fn() -> u64) -> bool {
+/// `let _ = tx.send(..)` idiom this replaces). Each timed-out park bumps
+/// `parked`, the sender's contribution to the `sends_parked` backpressure
+/// counter.
+fn send_with_hb<T>(
+    tx: &Sender<T>,
+    msg: T,
+    hb: &AtomicU64,
+    now_us: &dyn Fn() -> u64,
+    parked: &mut u64,
+) -> bool {
     use crossbeam::channel::SendTimeoutError;
     let mut msg = msg;
     loop {
@@ -170,6 +183,7 @@ fn send_with_hb<T>(tx: &Sender<T>, msg: T, hb: &AtomicU64, now_us: &dyn Fn() -> 
             Ok(()) => return true,
             Err(SendTimeoutError::Timeout(m)) => {
                 hb.store(now_us(), Ordering::Relaxed);
+                *parked += 1;
                 msg = m;
             }
             Err(SendTimeoutError::Disconnected(_)) => return false,
@@ -247,6 +261,19 @@ pub struct RuntimeConfig {
     /// Trace-journal settings: per-executor ring capacity and data-plane
     /// sampling (default: enabled, 16Ki events/executor, 1-in-64).
     pub trace: TraceConfig,
+    /// Live-introspection snapshot period in milliseconds. 0 (the
+    /// default) disables the snapshot thread entirely — no extra threads,
+    /// messages, or allocations, keeping seed behavior bit-for-bit.
+    pub snapshot_interval_ms: u64,
+    /// Serve `/metrics` (Prometheus text) and `/snapshot` (JSON) over
+    /// HTTP on `127.0.0.1:<port>` for the duration of the run. Port 0
+    /// binds an ephemeral port (reported via the introspection handle).
+    /// `None` (the default) starts no server.
+    pub serve_metrics: Option<u16>,
+    /// Append each periodic snapshot as one JSON line to this file
+    /// (requires `snapshot_interval_ms > 0`). `None` keeps snapshots
+    /// in-memory only (still visible via `/snapshot`).
+    pub snapshot_path: Option<String>,
 }
 
 impl Default for RuntimeConfig {
@@ -262,6 +289,9 @@ impl Default for RuntimeConfig {
             supervision: SupervisionConfig::default(),
             faults: FaultPlan::default(),
             trace: TraceConfig::default(),
+            snapshot_interval_ms: 0,
+            serve_metrics: None,
+            snapshot_path: None,
         }
     }
 }
@@ -291,6 +321,11 @@ impl RuntimeConfig {
                  batch rate bound starves the dispatcher",
                 self.batch_size, self.queue_cap
             ));
+        }
+        if self.snapshot_path.is_some() && self.snapshot_interval_ms == 0 {
+            return Err("snapshot_path requires snapshot_interval_ms > 0 (the periodic snapshot \
+                 thread is what writes the stream)"
+                .into());
         }
         Ok(())
     }
@@ -425,6 +460,29 @@ fn run_topology_inner(
         quiet_injected_panics();
     }
 
+    // --- Live introspection plane -------------------------------------
+    // Strictly gated: with snapshots off and no metrics port, no hub is
+    // created, every `hub` Option below is `None`, and the run is
+    // bit-for-bit identical to one built before this plane existed.
+    let introspection = if cfg.snapshot_interval_ms > 0 || cfg.serve_metrics.is_some() {
+        match Introspection::start(
+            cfg.snapshot_interval_ms,
+            cfg.serve_metrics,
+            cfg.snapshot_path.clone(),
+        ) {
+            Ok(i) => Some(i),
+            Err(e) => {
+                return Err(RunError::ExecutorFailed {
+                    name: "introspect-http".to_string(),
+                    error: format!("failed to start introspection plane: {e}"),
+                })
+            }
+        }
+    } else {
+        None
+    };
+    let hub: Option<Arc<IntrospectionHub>> = introspection.as_ref().map(Introspection::hub);
+
     // Channels.
     let shards = cfg.dispatcher_shards.max(1);
     // One bounded spout → dispatcher data channel per shard (exactly one
@@ -477,6 +535,7 @@ fn run_topology_inner(
         let ctrl_rx = disp_ctrl_rx;
         let collector = collector_tx.clone();
         let batch_size = cfg.batch_size;
+        let hub = hub.clone();
         let thread_name = name.clone();
         handles.push((
             name,
@@ -496,6 +555,9 @@ fn run_topology_inner(
                             fatal: true,
                             restarts: 0,
                         });
+                        if let Some(h) = hub.as_deref() {
+                            h.record_executor_failure();
+                        }
                     }
                     hb.store(HB_FINISHED, Ordering::Relaxed);
                 })
@@ -531,6 +593,7 @@ fn run_topology_inner(
             let seq = shared_seq.clone();
             let max_restarts = sup.max_restarts;
             let crash_at = cfg.faults.shard_crash(k);
+            let hub = hub.clone();
             let thread_name = name.clone();
             handles.push((
                 name,
@@ -582,6 +645,12 @@ fn run_topology_inner(
                                 fatal,
                                 restarts,
                             });
+                            if let Some(h) = hub.as_deref() {
+                                h.record_executor_failure();
+                                if !fatal {
+                                    h.record_control_restart();
+                                }
+                            }
                             if fatal {
                                 break;
                             }
@@ -615,6 +684,7 @@ fn run_topology_inner(
                                 &mut core.ring,
                                 TraceRing::new(Actor::dispatcher(), &trace_cfg),
                             );
+                            fresh.sends_parked = std::mem::take(&mut core.sends_parked);
                             fresh.dispatcher.set_fence(fence);
                             core = fresh;
                             if !salvaged {
@@ -637,6 +707,7 @@ fn run_topology_inner(
                             core.ring.push(ev);
                             let _ = note_tx.send(ShardNote::Restarted { shard: k, fence });
                         }
+                        core.fold_sends_parked();
                         let _ = collector.send(CollectorMsg::DispatcherDone {
                             registry: Box::new(core.reg),
                             journal: Box::new(core.ring.into_journal()),
@@ -658,6 +729,7 @@ fn run_topology_inner(
         let max_restarts = sup.max_restarts;
         let crash_at = cfg.faults.sequencer_crash();
         let shards_total = shard_ctrl_txs.len();
+        let hub = hub.clone();
         let thread_name = name.clone();
         handles.push((
             name,
@@ -718,6 +790,12 @@ fn run_topology_inner(
                             fatal,
                             restarts,
                         });
+                        if let Some(h) = hub.as_deref() {
+                            h.record_executor_failure();
+                            if !fatal {
+                                h.record_control_restart();
+                            }
+                        }
                         if fatal {
                             break;
                         }
@@ -730,6 +808,7 @@ fn run_topology_inner(
                         // at an injected crash boundary first.
                         core.republish_all();
                     }
+                    core.fold_sends_parked();
                     let _ = collector.send(CollectorMsg::DispatcherDone {
                         registry: Box::new(core.reg),
                         journal: Box::new(core.ring.into_journal()),
@@ -769,6 +848,7 @@ fn run_topology_inner(
                 delay_max_us: cfg.faults.instance_chaos.delay_max_us,
                 ..ChaosPolicy::default()
             };
+            let hub = hub.clone();
             let thread_name = name.clone();
             handles.push((
                 name,
@@ -790,6 +870,7 @@ fn run_topology_inner(
                             collector: &collector,
                             results,
                             hb: &hb,
+                            hub: hub.as_deref(),
                         };
                         // Chaos perturbs at tuple granularity: batches are
                         // split to their scalar equivalents first (only
@@ -830,6 +911,7 @@ fn run_topology_inner(
             let ack = quiesce_ack_tx.clone();
             let plan = cfg.faults.clone();
             let trace_cfg = cfg.trace;
+            let hub = hub.clone();
             let thread_name = name.clone();
             handles.push((
                 name,
@@ -859,6 +941,8 @@ fn run_topology_inner(
                             quiescing: false,
                             acked: false,
                             drop_triggers: plan.drop_migrate_cmds,
+                            sends_parked: 0,
+                            decisions_seen: 0,
                         };
                         let mut switch = ControlKillSwitch::new(plan.monitor_crash(g));
                         let mut backoff_rng = plan.rng_for(0x4D4F_4E53 + g as u64); // "MONS"
@@ -877,6 +961,7 @@ fn run_topology_inner(
                                     &mut switch,
                                     &hb,
                                     &kill,
+                                    hub.as_deref(),
                                 );
                             }));
                             let payload = match body {
@@ -894,6 +979,10 @@ fn run_topology_inner(
                                 fatal: false,
                                 restarts,
                             });
+                            if let Some(h) = hub.as_deref() {
+                                h.record_executor_failure();
+                                h.record_control_restart();
+                            }
                             sess.ring.push(TraceEvent::control(
                                 down_at,
                                 actor,
@@ -909,6 +998,7 @@ fn run_topology_inner(
                             let loads = sess.monitor.load_snapshot();
                             let stats = sess.monitor.stats();
                             let spans = sess.monitor.spans().to_vec();
+                            let decisions = sess.monitor.decisions().to_vec();
                             if restarts > sup.max_restarts {
                                 // Tombstone the in-flight round through the
                                 // dispatcher's existing abort path, then
@@ -930,6 +1020,9 @@ fn run_topology_inner(
                                     });
                                 }
                                 sess.reg.counter_add("monitor.permanent_degraded", 1);
+                                if let Some(h) = hub.as_deref() {
+                                    h.set_degraded(true);
+                                }
                                 degraded_monitor_drain(
                                     g, &mut sess, &mut rx, &ack, &now_us, &hb, &kill,
                                 );
@@ -961,10 +1054,14 @@ fn run_topology_inner(
                             for (id, load) in loads.into_iter().enumerate() {
                                 m.on_report(id, load);
                             }
-                            m.absorb_history(stats, spans);
+                            m.absorb_history(stats, spans, decisions);
                             if let Some((epoch, source, target)) = inflight {
                                 m.restore_round(epoch, source, target, now_us() / 1000);
                             }
+                            // The absorbed decisions were journaled by the
+                            // dead incarnation; only genuinely new ones get
+                            // trace events from here on.
+                            sess.decisions_seen = m.decisions_recorded();
                             sess.monitor = m;
                             let degraded_ms = now_us().saturating_sub(down_at) / 1000;
                             sess.reg.counter_add("monitor.degraded_ms", degraded_ms);
@@ -981,10 +1078,12 @@ fn run_topology_inner(
                         // shorter than one monitor period report a (possibly
                         // single-point) series.
                         sess.li.record(now_us(), sess.monitor.imbalance());
+                        sess.reg.counter_add("monitor.sends_parked", sess.sends_parked);
                         let _ = collector.send(CollectorMsg::MonitorDone {
                             group: g,
                             stats: sess.monitor.stats(),
                             spans: sess.monitor.spans().to_vec(),
+                            decisions: sess.monitor.decisions().to_vec(),
                             li: Box::new(sess.li),
                             registry: Box::new(sess.reg),
                             journal: Box::new(sess.ring.into_journal()),
@@ -1017,6 +1116,16 @@ fn run_topology_inner(
         .map(|_| Vec::with_capacity(if batch > 1 { batch } else { 0 }))
         .collect();
     let gap = cfg.rate_limit.map(|r| Duration::from_secs_f64(1.0 / r));
+    // Precomputed hub queue names (no allocation on the spout path).
+    let queue_names: Vec<String> = (0..shards)
+        .map(|sh| {
+            if shards > 1 {
+                format!("queue.shard{sh}.depth")
+            } else {
+                "queue.spout.depth".to_string()
+            }
+        })
+        .collect();
     let mut next_send = Instant::now();
     for mut t in workload {
         if kill.load(Ordering::Relaxed) {
@@ -1065,6 +1174,14 @@ fn run_topology_inner(
                     ingested -= len;
                     break;
                 }
+            }
+        }
+        if let Some(h) = hub.as_deref() {
+            // Spout-side backpressure view: ingest progress plus the
+            // depth of the channel it just fed.
+            h.set_counter("spout.tuples_ingested", ingested);
+            if let (Some(name), Some(tx)) = (queue_names.get(sh), shard_data_txs.get(sh)) {
+                h.publish_queue(name, tx.len() as u64);
             }
         }
     }
@@ -1125,6 +1242,7 @@ fn run_topology_inner(
     let mut monitor_stats: [Option<MonitorStats>; 2] = [None, None];
     let mut imbalance: [Option<TimeSeries>; 2] = [None, None];
     let mut migration_spans: [Vec<MigrationSpan>; 2] = [Vec::new(), Vec::new()];
+    let mut decisions: [Vec<MigrationDecision>; 2] = [Vec::new(), Vec::new()];
     let mut registry = MetricsRegistry::new();
     let mut trace = TraceJournal::new();
     // Route-flip latencies arrive from instances keyed by (group, epoch)
@@ -1164,9 +1282,18 @@ fn run_topology_inner(
                 trace.absorb(*journal);
                 done += 1;
             }
-            Ok(CollectorMsg::MonitorDone { group, stats, spans, li, registry: r, journal }) => {
+            Ok(CollectorMsg::MonitorDone {
+                group,
+                stats,
+                spans,
+                decisions: ds,
+                li,
+                registry: r,
+                journal,
+            }) => {
                 monitor_stats[group] = Some(stats); // lint:allow(group is 0 or 1 by construction)
                 migration_spans[group] = spans; // lint:allow(group is 0 or 1 by construction)
+                decisions[group] = ds; // lint:allow(group is 0 or 1 by construction)
                 imbalance[group] = Some(*li); // lint:allow(group is 0 or 1 by construction)
                 registry.merge_prefixed("", &r);
                 trace.absorb(*journal);
@@ -1253,6 +1380,14 @@ fn run_topology_inner(
     registry.counter_add("trace.dropped", trace.dropped());
     registry.counter_add("trace.events", trace.len() as u64);
 
+    // Orderly teardown: stop the snapshot/HTTP threads and write the
+    // final snapshot. (Failure paths above drop the plane instead, which
+    // stops the threads without the final snapshot.)
+    drop(hub);
+    if let Some(intro) = introspection {
+        intro.shutdown();
+    }
+
     Ok(RuntimeReport {
         duration_us: now_us(),
         tuples_ingested: ingested,
@@ -1264,6 +1399,7 @@ fn run_topology_inner(
         monitor_stats,
         imbalance,
         migration_spans,
+        decisions,
         registry,
         trace,
     })
@@ -1294,6 +1430,9 @@ enum CollectorMsg {
         group: usize,
         stats: MonitorStats,
         spans: Vec<MigrationSpan>,
+        /// The decision-audit log: every trigger evaluation with `LI > Θ`
+        /// (triggered or rejected) and how it resolved.
+        decisions: Vec<MigrationDecision>,
         li: Box<TimeSeries>,
         /// Supervision telemetry (`monitor.degraded_ms`, restart counts)
         /// merged unprefixed into the run registry.
@@ -1466,6 +1605,10 @@ struct DispatcherCore<'a> {
     /// Sequencer-only: the shard control fan-out. None on shards and on
     /// the unsharded dispatcher, making `publish_snapshot` a no-op there.
     fanout: Option<ShardFanout<'a>>,
+    /// Times a bounded send from this core parked on a full inbox
+    /// (backpressure); folded into the registry as `sends_parked` at
+    /// end-of-stream and carried across shard restarts with it.
+    sends_parked: u64,
 }
 
 /// The sequencer's handle on its shards: publish channels, the shared
@@ -1520,6 +1663,7 @@ impl<'a> DispatcherCore<'a> {
             hb,
             shared_seq,
             fanout,
+            sends_parked: 0,
         }
     }
 
@@ -1592,22 +1736,23 @@ impl<'a> DispatcherCore<'a> {
         }
         let tx = &self.inst_txs[group][dest]; // lint:allow(callers pass destinations that exist by construction)
         let (hb, now_us) = (self.hb, self.now_us);
+        let parked = &mut self.sends_parked;
         let mut stores: Vec<Tuple> = Vec::new();
         let mut probes: Vec<(Tuple, u32)> = Vec::new();
         for item in items {
             match item {
                 PendingItem::Store(t) => {
-                    Self::ship_probes(tx, &mut probes, hb, now_us);
+                    Self::ship_probes(tx, &mut probes, hb, now_us, parked);
                     stores.push(t);
                 }
                 PendingItem::Probe(t, f) => {
-                    Self::ship_stores(tx, &mut stores, hb, now_us);
+                    Self::ship_stores(tx, &mut stores, hb, now_us, parked);
                     probes.push((t, f));
                 }
             }
         }
-        Self::ship_stores(tx, &mut stores, hb, now_us);
-        Self::ship_probes(tx, &mut probes, hb, now_us);
+        Self::ship_stores(tx, &mut stores, hb, now_us, parked);
+        Self::ship_probes(tx, &mut probes, hb, now_us, parked);
     }
 
     fn ship_stores(
@@ -1615,16 +1760,18 @@ impl<'a> DispatcherCore<'a> {
         stores: &mut Vec<Tuple>,
         hb: &AtomicU64,
         now_us: &dyn Fn() -> u64,
+        parked: &mut u64,
     ) {
         match stores.len() {
             0 => {}
             1 => {
                 if let Some(t) = stores.pop() {
-                    let _ = send_with_hb(tx, RtMsg::Inst(InstanceMsg::Data(t)), hb, now_us);
+                    let _ = send_with_hb(tx, RtMsg::Inst(InstanceMsg::Data(t)), hb, now_us, parked);
                 }
             }
             _ => {
-                let _ = send_with_hb(tx, RtMsg::DataBatch(std::mem::take(stores)), hb, now_us);
+                let _ =
+                    send_with_hb(tx, RtMsg::DataBatch(std::mem::take(stores)), hb, now_us, parked);
             }
         }
     }
@@ -1634,18 +1781,27 @@ impl<'a> DispatcherCore<'a> {
         probes: &mut Vec<(Tuple, u32)>,
         hb: &AtomicU64,
         now_us: &dyn Fn() -> u64,
+        parked: &mut u64,
     ) {
         match probes.len() {
             0 => {}
             1 => {
                 if let Some((t, f)) = probes.pop() {
-                    let _ = send_with_hb(tx, RtMsg::Probe(t, f), hb, now_us);
+                    let _ = send_with_hb(tx, RtMsg::Probe(t, f), hb, now_us, parked);
                 }
             }
             _ => {
-                let _ = send_with_hb(tx, RtMsg::ProbeBatch(std::mem::take(probes)), hb, now_us);
+                let _ =
+                    send_with_hb(tx, RtMsg::ProbeBatch(std::mem::take(probes)), hb, now_us, parked);
             }
         }
+    }
+
+    /// Folds the parked-send count into the registry as the
+    /// `sends_parked` counter. Call once, immediately before the registry
+    /// ships to the collector (counter merges add, so shard reports sum).
+    fn fold_sends_parked(&mut self) {
+        self.reg.counter_add("sends_parked", std::mem::take(&mut self.sends_parked));
     }
 
     /// Flushes every destination whose oldest pending tuple has waited
@@ -1899,6 +2055,7 @@ impl<'a> DispatcherCore<'a> {
                         RtMsg::Inst(InstanceMsg::RouteUpdated { epoch: req.epoch }),
                         self.hb,
                         self.now_us,
+                        &mut self.sends_parked,
                     );
                 }
             }
@@ -1933,6 +2090,7 @@ impl<'a> DispatcherCore<'a> {
                         RtMsg::Inst(InstanceMsg::MigAbort { epoch }),
                         self.hb,
                         self.now_us,
+                        &mut self.sends_parked,
                     );
                 }
             }
@@ -1988,10 +2146,18 @@ fn dispatcher_loop(
         r_part, s_part, batch_size, inst_txs, mon_txs, now_us, hb, &trace_cfg, None, None,
     );
     let mut saw_eos = false;
+    let mut q_hwm = 0u64;
     loop {
         hb.store(now_us(), Ordering::Relaxed);
         if kill.load(Ordering::Relaxed) {
             break;
+        }
+        // High-watermark of the spout → dispatcher data channel: the
+        // backpressure depth an operator sees live and in the report.
+        let depth = data_rx.len() as u64;
+        if depth > q_hwm {
+            q_hwm = depth;
+            core.reg.gauge_set("queue.spout.depth", depth as f64);
         }
         // Control has priority and is drained to empty every iteration —
         // queued route flips, aborts, and commits are all served before
@@ -2034,7 +2200,7 @@ fn dispatcher_loop(
         }
         for group in inst_txs {
             for tx in group {
-                let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us);
+                let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us, &mut core.sends_parked);
             }
         }
         // Monitors exit on inbox disconnect; release our senders so they
@@ -2054,6 +2220,7 @@ fn dispatcher_loop(
             }
         }
     }
+    core.fold_sends_parked();
     let _ = collector.send(CollectorMsg::DispatcherDone {
         registry: Box::new(core.reg),
         journal: Box::new(core.ring.into_journal()),
@@ -2091,11 +2258,18 @@ fn shard_loop(
     saw_eos: &mut bool,
 ) {
     let now_us = core.now_us;
+    let mut q_hwm = 0u64;
     if !*saw_eos {
         loop {
             hb.store(now_us(), Ordering::Relaxed);
             if kill.load(Ordering::Relaxed) {
                 break;
+            }
+            // High-watermark of this shard's spout → shard data channel.
+            let depth = data_rx.len() as u64;
+            if depth > q_hwm {
+                q_hwm = depth;
+                core.reg.gauge_set(&format!("queue.shard{shard}.depth"), depth as f64);
             }
             // Publications have priority and are drained to empty between
             // data messages, mirroring the unsharded control drain.
@@ -2245,7 +2419,7 @@ fn sequencer_loop(
             ));
             for group in core.inst_txs {
                 for tx in group {
-                    let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us);
+                    let _ = send_with_hb(tx, RtMsg::Eos, hb, now_us, &mut core.sends_parked);
                 }
             }
             core.mon_txs = [None, None];
@@ -2281,6 +2455,9 @@ struct InstanceIo<'a> {
     /// send waits on backpressure so the stall watchdog never mistakes a
     /// full channel for a hung executor (see [`send_with_hb`]).
     hb: &'a AtomicU64,
+    /// Live introspection hub, present only when the plane is enabled;
+    /// published to on report ticks, never on the per-tuple hot path.
+    hub: Option<&'a IntrospectionHub>,
 }
 
 /// Everything a join-instance executor mutates while processing messages.
@@ -2299,6 +2476,11 @@ struct InstanceState {
     /// the route-flip latency of a migration round this instance sourced.
     flip_started: HashMap<u64, u64>,
     reg: MetricsRegistry,
+    /// Times a bounded peer send parked on a full inbox (backpressure);
+    /// folded into the registry as `sends_parked` at end-of-stream.
+    /// Checkpointed with the rest of the state — a restore rolls it back
+    /// to the value consistent with the replayed sends.
+    sends_parked: u64,
     eos: bool,
 }
 
@@ -2319,6 +2501,7 @@ impl InstanceState {
             probe_fanout: HashMap::new(),
             flip_started: HashMap::new(),
             reg: MetricsRegistry::new(),
+            sends_parked: 0,
             eos: false,
         }
     }
@@ -2408,10 +2591,42 @@ impl InstanceState {
                 if live {
                     self.trace_protocol_msg(actor, now_us(), ring, &m);
                 }
+                // Decision audit, per-key half: a MigrateCmd is about to
+                // run key selection, so capture the loads the benefit
+                // formula (Eq. 8) will see and journal one event per key
+                // the selector actually picks.
+                let mut plan_ctx = None;
+                if live {
+                    if let InstanceMsg::MigrateCmd { epoch, target_load, .. } = &m {
+                        // Stats must be captured pre-handle: handling the
+                        // command ships the selected keys' tuples away.
+                        plan_ctx =
+                            Some((*epoch, self.inst.load(), *target_load, self.inst.key_stats()));
+                    }
+                }
                 self.inst
                     .handle(m, self.selector.as_mut(), fj.theta_gap, fx)
                     // lint:allow(a protocol violation in the threaded runtime is unrecoverable)
                     .unwrap_or_else(|e| panic!("protocol violation: {e}"));
+                if let Some((epoch, src_load, dst_load, stats)) = plan_ctx {
+                    if let MigrationState::Source { keys, .. } = self.inst.migration_state() {
+                        let at = now_us();
+                        for stat in stats.iter().filter(|s| keys.contains(&s.key)) {
+                            // MigrateCmds are rare (one per round): push
+                            // unsampled so `trace --round` can always
+                            // explain the chosen plan.
+                            ring.push(TraceEvent {
+                                at_us: at,
+                                actor,
+                                kind: TraceKind::MigPlanKey,
+                                seq: stat.key,
+                                epoch,
+                                aux: (stat.benefit(src_load, dst_load) * 1000.0) as u64,
+                                aux2: stat.stored + stat.queue,
+                            });
+                        }
+                    }
+                }
             }
             RtMsg::Probe(t, fanout) => {
                 self.reg.histogram_record("stage.queue_wait_us", now_us().saturating_sub(t.ts));
@@ -2467,6 +2682,23 @@ impl InstanceState {
                 if live {
                     if let Some(mon) = &io.wiring.to_monitor {
                         let _ = mon.send(MonitorMsg::Report { id: ctx.id, load });
+                    }
+                    if let Some(hub) = io.hub {
+                        // The skew-heatmap row: current effective load,
+                        // inbox depth, and this instance's hottest keys.
+                        hub.publish_instance(InstanceProbe {
+                            group: ctx.group as u8,
+                            id: ctx.id as u16,
+                            load: self.inst.load().effective_load() as u64,
+                            queue_depth: qlen as u64,
+                            hot_keys: self.inst.top_keys(HOT_KEYS_PER_PROBE),
+                            migrating: !self.inst.migration_state().is_idle(),
+                        });
+                        let side = if ctx.group == 0 { 'r' } else { 's' };
+                        let c = self.inst.counters();
+                        hub.set_counter(&format!("inst.{side}{}.stored", ctx.id), c.stored);
+                        hub.set_counter(&format!("inst.{side}{}.probed", ctx.id), c.probed);
+                        hub.set_counter(&format!("inst.{side}{}.joined", ctx.id), c.joined);
                     }
                 }
             }
@@ -2559,6 +2791,7 @@ impl InstanceState {
                                 RtMsg::ProbeHandoff(entries),
                                 io.hb,
                                 io.ctx.now_us,
+                                &mut self.sends_parked,
                             );
                         }
                     }
@@ -2570,6 +2803,7 @@ impl InstanceState {
                     RtMsg::Inst(msg),
                     io.hb,
                     io.ctx.now_us,
+                    &mut self.sends_parked,
                 );
             }
         }
@@ -2618,6 +2852,9 @@ fn instance_executor(
     let mut log: Vec<RtMsg> = Vec::new();
     let mut fx = Effects::new();
     let mut restarts = 0u32;
+    // Inbox-depth high watermark: survives checkpoint restores (it is a
+    // property of the channel, not of the replayable state).
+    let mut q_hwm = 0u64;
     loop {
         hb.store(now_us(), Ordering::Relaxed);
         if kill.load(Ordering::Relaxed) {
@@ -2631,6 +2868,7 @@ fn instance_executor(
         let inject = switch.should_crash(&msg);
         let retry = msg.clone();
         let qlen = rx.queue_len();
+        q_hwm = q_hwm.max(qlen as u64);
         let stepped = catch_unwind(AssertUnwindSafe(|| {
             if inject {
                 // lint:allow(the injected fail-stop crash IS the fault being tested; caught by this very harness)
@@ -2662,6 +2900,9 @@ fn instance_executor(
                     fatal,
                     restarts,
                 });
+                if let Some(h) = io.hub {
+                    h.record_executor_failure();
+                }
                 if fatal {
                     return; // no InstanceDone: the collector fails the run
                 }
@@ -2709,6 +2950,8 @@ fn instance_executor(
             // been handed off; the collector asserts the sum stays zero.
             state.reg.counter_add("probe_fanout_leaked", state.probe_fanout.len() as u64);
             state.reg.counter_add("trace.dropped", ring.dropped());
+            state.reg.counter_add("sends_parked", state.sends_parked);
+            state.reg.gauge_set("queue.depth", q_hwm as f64);
             let (delays, drops, dups, reorders) = rx.perturbations();
             state.reg.counter_add("chaos.delays", delays);
             state.reg.counter_add("chaos.drops", drops);
@@ -2749,6 +2992,13 @@ struct MonitorSession {
     acked: bool,
     /// Remaining injected `MigrateCmd` losses (see `FaultPlan`).
     drop_triggers: u64,
+    /// Times a bounded instance send parked on a full inbox; folded into
+    /// the registry as `sends_parked` when the session reports.
+    sends_parked: u64,
+    /// How many of the monitor's audited decisions already have trace
+    /// events, so each incarnation journals only the new tail (resynced
+    /// on reseed — absorbed history was journaled by its incarnation).
+    decisions_seen: u64,
 }
 
 /// One monitor incarnation: the periodic report/trigger/deadline loop.
@@ -2770,6 +3020,7 @@ fn monitor_loop(
     switch: &mut ControlKillSwitch,
     hb: &AtomicU64,
     kill: &AtomicBool,
+    hub: Option<&IntrospectionHub>,
 ) {
     let actor = Actor::monitor(group as u8);
     let mut next_tick = Instant::now() + period;
@@ -2812,7 +3063,8 @@ fn monitor_loop(
                 next_tick += period;
                 sess.li.record(now_us(), sess.monitor.imbalance());
                 for tx in to_instances {
-                    let _ = send_with_hb(tx, RtMsg::ReportRequest, hb, now_us);
+                    let _ =
+                        send_with_hb(tx, RtMsg::ReportRequest, hb, now_us, &mut sess.sends_parked);
                 }
                 if !sess.quiescing {
                     if let Some(trigger) = sess.monitor.maybe_trigger(now_us() / 1000) {
@@ -2860,6 +3112,7 @@ fn monitor_loop(
                                 RtMsg::Inst(trigger.msg),
                                 hb,
                                 now_us,
+                                &mut sess.sends_parked,
                             );
                             if switch.should_crash() {
                                 // lint:allow(the injected fail-stop crash IS the fault under test; the monitor wrapper catches and restarts)
@@ -2882,6 +3135,51 @@ fn monitor_loop(
                         group,
                         epoch: req.epoch,
                         source: req.source,
+                    });
+                }
+                // Decision audit, trace half: journal every decision the
+                // monitor recorded this tick (committed plans and
+                // rejections alike) so `trace --round` can explain them.
+                let recorded = sess.monitor.decisions_recorded();
+                if recorded > sess.decisions_seen {
+                    let fresh = (recorded - sess.decisions_seen) as usize;
+                    let ds = sess.monitor.decisions();
+                    let at = now_us();
+                    for d in ds.iter().skip(ds.len().saturating_sub(fresh)) {
+                        sess.ring.push(TraceEvent {
+                            at_us: at,
+                            actor,
+                            kind: TraceKind::MigDecision,
+                            seq: 0,
+                            epoch: d.epoch.unwrap_or(TraceEvent::NO_ROUND),
+                            aux: d.reason.code(),
+                            aux2: (d.source as u64) * 256 + d.target as u64,
+                        });
+                    }
+                    sess.decisions_seen = recorded;
+                }
+                if let Some(hub) = hub {
+                    let (phase, epoch) = match sess.monitor.in_flight_round() {
+                        Some((e, _, _)) if sess.monitor.abort_pending() => {
+                            (MigrationPhase::Aborting, e)
+                        }
+                        Some((e, _, _)) => (MigrationPhase::Migrating, e),
+                        None => (MigrationPhase::Idle, 0),
+                    };
+                    let stats = sess.monitor.stats();
+                    hub.publish_group(GroupProbe {
+                        group: group as u8,
+                        imbalance: sess.monitor.imbalance(),
+                        loads: sess
+                            .monitor
+                            .load_snapshot()
+                            .iter()
+                            .map(|l| l.effective_load() as u64)
+                            .collect(),
+                        phase,
+                        epoch,
+                        triggered: stats.triggered,
+                        effective: stats.effective,
                     });
                 }
             }
@@ -3265,6 +3563,7 @@ mod tests {
                             &mut resync,
                             &mut saw_eos,
                         );
+                        core.fold_sends_parked();
                         let _ = collector.send(CollectorMsg::DispatcherDone {
                             registry: Box::new(core.reg),
                             journal: Box::new(core.ring.into_journal()),
@@ -3320,6 +3619,7 @@ mod tests {
                         &hb,
                         &kill,
                     );
+                    core.fold_sends_parked();
                     let _ = collector.send(CollectorMsg::DispatcherDone {
                         registry: Box::new(core.reg),
                         journal: Box::new(core.ring.into_journal()),
@@ -3502,7 +3802,12 @@ mod tests {
             let hb = hb.clone();
             thread::spawn(move || {
                 let now_us = move || start.elapsed().as_micros() as u64;
-                assert!(send_with_hb(&tx, RtMsg::Eos, &hb, &now_us), "receiver stays alive");
+                let mut parked = 0u64;
+                assert!(
+                    send_with_hb(&tx, RtMsg::Eos, &hb, &now_us, &mut parked),
+                    "receiver stays alive"
+                );
+                assert!(parked > 0, "a 200ms park must count at least one timeout");
             })
         };
         // Park the send well past the stall budget. The heartbeat is

@@ -74,6 +74,9 @@ fn chaos_cfg(faults: FaultPlan) -> RuntimeConfig {
         },
         faults,
         trace: TraceConfig::default(),
+        snapshot_interval_ms: 0,
+        serve_metrics: None,
+        snapshot_path: None,
     }
 }
 

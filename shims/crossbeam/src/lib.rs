@@ -156,6 +156,24 @@ pub mod channel {
             }
         }
 
+        /// Number of messages currently queued (racy by nature — by the
+        /// time the caller looks at it the queue may have changed; fine
+        /// for monitoring, wrong for synchronization). Matches real
+        /// crossbeam's `Sender::len`.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            match self.shared.state.lock() {
+                Ok(g) => g.queue.len(),
+                Err(p) => p.into_inner().queue.len(),
+            }
+        }
+
+        /// True when no messages are queued; see [`Sender::len`].
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Sends `msg` with a deadline of `timeout` from now: blocks while
         /// the channel is full, handing the message back on timeout so the
         /// caller can refresh liveness signals (heartbeats) and retry.

@@ -10,6 +10,11 @@
 //! fastjoin-cli compare  [--instances N] [--theta F] [--gb N] [--secs N]
 //! fastjoin-cli topology [--instances N] [--orders N] [--tracks N]
 //!                       [--rate N] [--theta F]
+//!                       [--snapshot-ms N] [--snapshot-out PATH]
+//!                       [--serve-metrics PORT]
+//!                       # introspection plane: periodic RuntimeSnapshots
+//!                       # to a JSONL sink and/or a live /metrics +
+//!                       # /snapshot HTTP endpoint (all off by default)
 //! fastjoin-cli census   [--locations N] [--orders N] [--tracks N]
 //! fastjoin-cli gen      --out PATH [--workload ridehail|gxy] [--x ..] [--y ..]
 //! fastjoin-cli bench    [--out PATH] [--deadline-secs N]
@@ -25,9 +30,15 @@
 //!                       # seeded fault-schedule matrix → CHAOS_report.json;
 //!                       # --trace-out ships the first failing run's journal
 //! fastjoin-cli trace    --journal PATH [--round N] [--group r|s]
-//!                       [--kind NAME] [--actor LABEL]
+//!                       [--kind NAME] [--actor LABEL] [--allow-drops true]
 //!                       # summarize a trace journal, or reconstruct one
-//!                       # migration round's phase timeline
+//!                       # migration round's phase timeline; exits non-zero
+//!                       # on dropped events unless --allow-drops
+//! fastjoin-cli top      (--port N | --file PATH) [--iters N]
+//!                       [--interval-ms N]
+//!                       # live instances × load/queue/hot-keys table from
+//!                       # a running topology's /snapshot endpoint or its
+//!                       # --snapshot-out stream
 //! ```
 //!
 //! The `chaos` command replays the fault classes of the in-tree chaos
@@ -223,6 +234,14 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
             let r: f64 = args.get("rate", 0.0)?;
             (r > 0.0).then_some(r)
         },
+        snapshot_interval_ms: args.get("snapshot-ms", 0)?,
+        serve_metrics: match args.flags.get("serve-metrics") {
+            None => None,
+            Some(v) => {
+                Some(v.parse().map_err(|_| format!("bad value for --serve-metrics: {v:?}"))?)
+            }
+        },
+        snapshot_path: args.flags.get("snapshot-out").cloned(),
         ..RuntimeConfig::default()
     };
     cfg.validate()?;
@@ -233,11 +252,18 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
         ..RideHailConfig::default()
     });
     println!("running threaded topology ({} join threads)…", 2 * cfg.fastjoin.instances_per_group);
+    if let Some(port) = cfg.serve_metrics {
+        println!("serving /metrics and /snapshot on http://127.0.0.1:{port}");
+    }
     let report = run_topology(&cfg, wl);
     println!("results        : {}", report.results_total);
     println!("throughput     : {:.0} results/s", report.results_per_sec());
     println!("mean latency   : {:.2} ms", report.mean_latency_us() / 1000.0);
     println!("migrations     : {}", report.migrations());
+    let audited: usize = report.decisions.iter().map(Vec::len).sum();
+    if audited > 0 {
+        println!("decisions      : {audited} audited (see the report's per-group decisions)");
+    }
     Ok(())
 }
 
@@ -401,6 +427,59 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             skewed.trace.dropped()
         ));
     }
+
+    // Introspection overhead check, same shape as the tracing gate: the
+    // skewed workload with 100 ms snapshots streaming to a file sink must
+    // stay within 10% of the plane-off run. The stream itself is also
+    // validated — every line a parseable snapshot, seq monotone.
+    let started = std::time::Instant::now();
+    let snap_path =
+        std::env::temp_dir().join(format!("fastjoin-bench-snapshots-{}.jsonl", std::process::id()));
+    let snap_path_str = snap_path.to_string_lossy().to_string();
+    let _ = std::fs::remove_file(&snap_path);
+    let snap_elapsed = {
+        let mut cfg = base(4);
+        cfg.rate_limit = Some(60_000.0);
+        cfg.snapshot_interval_ms = 100;
+        cfg.snapshot_path = Some(snap_path_str.clone());
+        let run_started = std::time::Instant::now();
+        let _ = run_topology(&cfg, skewed_workload());
+        run_started.elapsed()
+    };
+    deadline_check("skewed-snapshots", started);
+    let snap_tps = 30_000.0 / snap_elapsed.as_secs_f64().max(1e-9);
+    let snap_overhead_pct = (traced_tps - snap_tps) / traced_tps.max(1e-9) * 100.0;
+    if snap_tps < traced_tps * 0.9 {
+        trace_failures.push(format!(
+            "introspection overhead: 100 ms snapshots achieved {snap_tps:.0} tuples/s \
+             vs {traced_tps:.0} with the plane off ({snap_overhead_pct:.1}% slower; budget is 10%)"
+        ));
+    }
+    let snap_stream = std::fs::read_to_string(&snap_path).unwrap_or_default();
+    let mut snapshots_seen = 0u64;
+    let mut prev_seq = 0u64;
+    for line in snap_stream.lines() {
+        match Json::parse(line) {
+            Ok(j) => {
+                let seq = j.get("seq").and_then(Json::as_u64).unwrap_or(0);
+                if seq <= prev_seq {
+                    trace_failures
+                        .push(format!("snapshot stream seq not monotone at snapshot {seq}"));
+                    break;
+                }
+                prev_seq = seq;
+                snapshots_seen += 1;
+            }
+            Err(e) => {
+                trace_failures.push(format!("snapshot stream has an unparseable line: {e}"));
+                break;
+            }
+        }
+    }
+    if snapshots_seen == 0 {
+        trace_failures.push("snapshot run produced no snapshots in the stream sink".to_string());
+    }
+    let _ = std::fs::remove_file(&snap_path);
 
     // Batched-vs-unbatched comparison, two angles:
     //
@@ -568,6 +647,16 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             ]),
         ),
         (
+            "introspection",
+            Json::obj(vec![
+                ("snapshot_interval_ms", Json::uint(100)),
+                ("snapshots", Json::uint(snapshots_seen)),
+                ("snapshot_tuples_per_sec", Json::Num(snap_tps)),
+                ("plane_off_tuples_per_sec", Json::Num(traced_tps)),
+                ("overhead_pct", Json::Num(snap_overhead_pct)),
+            ]),
+        ),
+        (
             "batching",
             Json::obj(vec![
                 ("batch_size", Json::uint(batch_size as u64)),
@@ -601,6 +690,67 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     ]);
     std::fs::write(&out, doc.to_string_pretty() + "\n").map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+
+    // Bench history: append the headline numbers to a JSONL ledger keyed
+    // by git revision + config, and warn (never fail — machines differ)
+    // when batched throughput drops more than 20% against the previous
+    // entry for the same configuration.
+    let history_path = args.get_str("history", "BENCH_history.jsonl");
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(
+            || "unknown".to_string(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        );
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let config_key = format!("batch{batch_size}-cap{channel_cap}-shards{dispatcher_shards}");
+    if let Ok(prior) = std::fs::read_to_string(&history_path) {
+        let prev_tps = prior
+            .lines()
+            .rev()
+            .filter_map(|l| Json::parse(l).ok())
+            .find(|j| j.get("config").and_then(Json::as_str) == Some(config_key.as_str()))
+            .and_then(|j| j.get("batched_tuples_per_sec").and_then(Json::as_num));
+        if let Some(prev) = prev_tps {
+            if prev > 0.0 && batched_tps < prev * 0.8 {
+                eprintln!(
+                    "warning: batched throughput {batched_tps:.0} tuples/s is \
+                     {:.1}% below the previous {history_path} entry for {config_key} \
+                     ({prev:.0} tuples/s)",
+                    (1.0 - batched_tps / prev) * 100.0
+                );
+            }
+        }
+    }
+    let entry = Json::obj(vec![
+        ("ts", Json::uint(ts)),
+        ("rev", Json::str(rev)),
+        ("config", Json::str(config_key)),
+        ("batched_tuples_per_sec", Json::Num(batched_tps)),
+        ("unbatched_tuples_per_sec", Json::Num(unbatched_tps)),
+        ("traced_tuples_per_sec", Json::Num(traced_tps)),
+        ("snapshot_tuples_per_sec", Json::Num(snap_tps)),
+        ("skewed_results", Json::uint(skewed.results_total)),
+        ("skewed_p99_latency_us", Json::uint(skewed.latency.quantile(0.99).unwrap_or(0))),
+    ]);
+    {
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| writeln!(f, "{}", entry.to_string_compact()));
+        match appended {
+            Ok(()) => println!("appended {history_path}"),
+            Err(e) => eprintln!("warning: could not append {history_path}: {e}"),
+        }
+    }
+
     if let Some(path) = args.flags.get("trace-out") {
         std::fs::write(path, skewed.trace.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path} ({} trace events)", skewed.trace.len());
@@ -811,6 +961,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
                 },
                 faults: plan_for(seed),
                 trace: fastjoin::core::trace::TraceConfig::default(),
+                snapshot_interval_ms: 0,
+                serve_metrics: None,
+                snapshot_path: None,
             };
             let verdict: Result<(), String> = match try_run_topology(&cfg, tuples) {
                 Err(e) => Err(format!("run failed: {e}")),
@@ -918,6 +1071,16 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let mut journal = TraceJournal::from_jsonl(&text)?;
     journal.sort();
     println!("{path}: {} events, {} dropped", journal.len(), journal.dropped());
+    // A journal with drops is not trustworthy evidence: causal checks can
+    // pass only because the contradicting event fell out of the ring.
+    if journal.dropped() > 0 && !args.get("allow-drops", false)? {
+        return Err(format!(
+            "{} trace events were dropped (ring overflow) — analysis on an \
+             incomplete journal is unreliable; rerun with a larger ring, or \
+             pass --allow-drops true to proceed anyway",
+            journal.dropped()
+        ));
+    }
 
     if let Some(round) = args.flags.get("round") {
         let epoch: u64 = round.parse().map_err(|_| format!("bad --round {round:?}"))?;
@@ -992,6 +1155,19 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
                 TraceKind::MonitorDown => format!("restarts={}", e.aux),
                 TraceKind::MonitorUp => format!("degraded_ms={}", e.aux),
                 TraceKind::SnapshotRepublish => format!("shard={} fence={}", e.aux, e.aux2),
+                TraceKind::MigDecision => {
+                    let reason = match e.aux {
+                        0 => "triggered",
+                        1 => "cooldown",
+                        2 => "in_flight",
+                        3 => "degenerate",
+                        _ => "unknown",
+                    };
+                    format!("reason={reason} source={} target={}", e.aux2 / 256, e.aux2 % 256)
+                }
+                TraceKind::MigPlanKey => {
+                    format!("key={} benefit={:.3} tuples={}", e.seq, e.aux as f64 / 1000.0, e.aux2)
+                }
                 TraceKind::Ingest
                 | TraceKind::StoreDone
                 | TraceKind::ProbeDone
@@ -1118,6 +1294,122 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Fetches one document from the runtime's introspection server over a
+/// hand-rolled HTTP/1.1 GET (std `TcpStream` — the server side is equally
+/// minimal, so no client library is warranted).
+fn http_get(port: u16, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let addr = format!("127.0.0.1:{port}");
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("{addr}{path}: {}", head.lines().next().unwrap_or("no status line")));
+    }
+    Ok(body.to_string())
+}
+
+/// Renders one `/snapshot` JSON document as a compact live table:
+/// per-group monitor state, instances × load/queue/hot-keys, channel
+/// depths, and supervisor health. Tolerates missing fields (zeros/blanks)
+/// so a `top` built against a newer schema still renders older streams.
+fn render_snapshot(snap: &fastjoin::core::json::Json) {
+    use fastjoin::core::json::Json;
+    let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!("snapshot #{} at {} µs", num(snap, "seq"), num(snap, "at_us"));
+    if let Some(groups) = snap.get("groups").and_then(Json::as_arr) {
+        for g in groups {
+            let side = if num(g, "group") == 0 { "r" } else { "s" };
+            println!(
+                "  group {side}: LI={:.2} phase={} epoch={} triggered={} effective={}",
+                g.get("imbalance").and_then(Json::as_num).unwrap_or(0.0),
+                g.get("phase").and_then(Json::as_str).unwrap_or("?"),
+                num(g, "epoch"),
+                num(g, "triggered"),
+                num(g, "effective"),
+            );
+        }
+    }
+    println!("  {:<6} {:>10} {:>7} {:<4} hot keys (key x weight)", "inst", "load", "queue", "mig");
+    if let Some(instances) = snap.get("instances").and_then(Json::as_arr) {
+        for p in instances {
+            let side = if num(p, "group") == 0 { "r" } else { "s" };
+            let hot = p.get("hot_keys").and_then(Json::as_arr).map_or_else(String::new, |ks| {
+                ks.iter()
+                    .map(|k| format!("{}x{}", num(k, "key"), num(k, "weight")))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            });
+            let migrating = matches!(p.get("migrating"), Some(Json::Bool(true)));
+            println!(
+                "  {:<6} {:>10} {:>7} {:<4} {hot}",
+                format!("{side}{}", num(p, "id")),
+                num(p, "load"),
+                num(p, "queue_depth"),
+                if migrating { "yes" } else { "-" },
+            );
+        }
+    }
+    if let Some(Json::Obj(queues)) = snap.get("queues") {
+        if !queues.is_empty() {
+            let depths: Vec<String> = queues
+                .iter()
+                .map(|(name, depth)| format!("{name}={}", depth.as_u64().unwrap_or(0)))
+                .collect();
+            println!("  queues: {}", depths.join(" "));
+        }
+    }
+    if let Some(sup) = snap.get("supervisor") {
+        println!(
+            "  supervisor: failures={} restarts={} degraded={}",
+            num(sup, "executor_failures"),
+            num(sup, "control_restarts"),
+            matches!(sup.get("degraded"), Some(Json::Bool(true))),
+        );
+    }
+}
+
+/// Live view of a running topology: polls `/snapshot` from a runtime
+/// started with `--serve-metrics PORT` (or tails the JSONL file written
+/// by `--snapshot-out`) and renders a compact table per poll.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use fastjoin::core::json::Json;
+    let port: u16 = args.get("port", 0)?;
+    let file = args.flags.get("file").cloned();
+    if (port == 0) == file.is_none() {
+        return Err("top requires exactly one of --port N or --file PATH".to_string());
+    }
+    let iters: u64 = args.get("iters", 1)?;
+    let interval_ms: u64 = args.get("interval-ms", 1000)?;
+    for iter in 0..iters {
+        if iter > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+        let text = match &file {
+            Some(path) => {
+                let all = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                all.lines()
+                    .next_back()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{path} has no snapshots yet"))?
+            }
+            None => http_get(port, "/snapshot")?,
+        };
+        let snap = Json::parse(&text).map_err(|e| format!("bad snapshot JSON: {e}"))?;
+        render_snapshot(&snap);
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: fastjoin-cli <command> [--flag value]...\n\
      \n\
@@ -1130,6 +1422,7 @@ fn usage() -> &'static str {
        bench      observability smoke suite -> BENCH_smoke.json\n\
        chaos      seeded fault-schedule matrix -> CHAOS_report.json\n\
        trace      inspect a trace journal written by --trace-out\n\
+       top        live table from a running topology's snapshot plane\n\
      \n\
      fault-injection (chaos) knobs, all seed-deterministic via FaultPlan:\n\
        --seeds N       seeds per fault class (default 100)\n\
@@ -1161,12 +1454,27 @@ fn usage() -> &'static str {
        --trace-out PATH    write the skewed run's trace journal (JSONL)\n\
        --prom-out PATH     write the skewed run's metrics in Prometheus\n\
                            text format\n\
+       --history PATH      headline-numbers ledger, appended per run\n\
+                           (default BENCH_history.jsonl; warns when\n\
+                           throughput drops >20% vs the previous entry\n\
+                           for the same config)\n\
      trace:\n\
        --journal PATH  the JSONL journal to read (required)\n\
        --round N       reconstruct migration round N's phase timeline\n\
        --group r|s     which group's round N (required if both have one)\n\
        --kind NAME     filter the summary to one event kind\n\
        --actor LABEL   filter the summary to one actor (e.g. inst.r3)\n\
+       --allow-drops true  analyse a journal that dropped events instead\n\
+                           of exiting non-zero\n\
+     topology introspection (all off by default):\n\
+       --snapshot-ms N     periodic RuntimeSnapshot interval (0 = off)\n\
+       --snapshot-out PATH append each snapshot as one JSON line\n\
+       --serve-metrics N   serve /metrics and /snapshot on 127.0.0.1:N\n\
+     top:\n\
+       --port N        poll /snapshot from a --serve-metrics runtime\n\
+       --file PATH     read the latest snapshot from a --snapshot-out file\n\
+       --iters N       how many times to poll (default 1)\n\
+       --interval-ms N delay between polls (default 1000)\n\
      see the module docs (cargo doc) or the README for the full flag list"
 }
 
@@ -1185,6 +1493,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "chaos" => cmd_chaos(&args),
         "trace" => cmd_trace(&args),
+        "top" => cmd_top(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     });
     match result {

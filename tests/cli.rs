@@ -116,6 +116,7 @@ fn bench_journal_round_trips_through_the_trace_verb() {
     let out = dir.join("BENCH.json");
     let journal = dir.join("journal.jsonl");
     let prom = dir.join("metrics.prom");
+    let history = dir.join("history.jsonl");
     let (ok, stdout, stderr) = run(&[
         "bench",
         "--out",
@@ -124,9 +125,17 @@ fn bench_journal_round_trips_through_the_trace_verb() {
         journal.to_str().unwrap(),
         "--prom-out",
         prom.to_str().unwrap(),
+        "--history",
+        history.to_str().unwrap(),
     ]);
     assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("trace events"), "{stdout}");
+
+    // The history ledger got one appended entry keyed by rev + config.
+    let history_text = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(history_text.lines().count(), 1, "{history_text}");
+    assert!(history_text.contains("\"config\":\"batch64-"), "{history_text}");
+    assert!(history_text.contains("\"batched_tuples_per_sec\""), "{history_text}");
 
     // The Prometheus export validated before writing; spot-check shape.
     let prom_text = std::fs::read_to_string(&prom).unwrap();
